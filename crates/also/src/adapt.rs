@@ -1,0 +1,223 @@
+//! **P2 — Data structure adaptation** (§3.3 of the paper): pick, or
+//! specialize, the in-memory database representation according to the
+//! input's characteristics.
+//!
+//! Two concrete adaptations from the paper live here:
+//!
+//! * [`choose_repr`] — the representation chooser over the paper's
+//!   Feature 1/Feature 2 design space (horizontal vs vertical; dense bit
+//!   matrix vs sparse index lists vs prefix tree), driven by the measured
+//!   density of the `m × n` occurrence table.
+//! * [`DeltaByte`] — the compression scheme of §4.3: encode a node's item
+//!   ID as the difference from its parent's item ID in **one byte**, with
+//!   an escape code for the rare large deltas. In an FP-tree built over
+//!   frequency-ranked items, parent/child ranks are close, so nearly every
+//!   delta fits — shrinking the node and the tree's cache footprint
+//!   dramatically.
+
+/// The database representations of the paper's Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Repr {
+    /// Horizontal sparse: per transaction, the indices of its items (LCM).
+    HorizontalSparse,
+    /// Vertical dense bit matrix: per item, a bit per transaction (Eclat).
+    VerticalBits,
+    /// Prefix tree with shared prefixes (FP-Growth).
+    PrefixTree,
+}
+
+/// Chooses a representation from gross input statistics.
+///
+/// * dense tables (≥ `DENSE_THRESHOLD` fill) → bit matrix: a bit costs
+///   less than a 32-bit index once more than 1/32 of entries are set, and
+///   the vertical AND kernel is SIMD-friendly;
+/// * sparse tables with heavy prefix sharing (low distinct-transaction
+///   ratio) → prefix tree;
+/// * otherwise → horizontal sparse arrays.
+///
+/// `distinct_ratio` is `distinct transactions / transactions` in `0..=1`;
+/// pass `1.0` when unknown (disables the tree choice).
+pub fn choose_repr(n_transactions: usize, n_items: usize, nnz: u64, distinct_ratio: f64) -> Repr {
+    let cells = n_transactions as u64 * n_items as u64;
+    let density = if cells == 0 { 0.0 } else { nnz as f64 / cells as f64 };
+    if density >= DENSE_THRESHOLD {
+        Repr::VerticalBits
+    } else if distinct_ratio <= TREE_SHARING_THRESHOLD {
+        Repr::PrefixTree
+    } else {
+        Repr::HorizontalSparse
+    }
+}
+
+/// Density at which a bit matrix beats 32-bit sparse indices (1/32),
+/// nudged up slightly because sparse arrays also compress trailing items.
+pub const DENSE_THRESHOLD: f64 = 0.04;
+
+/// Distinct-transaction ratio below which prefix sharing pays for a tree.
+pub const TREE_SHARING_THRESHOLD: f64 = 0.5;
+
+/// The escape byte: a stored `0xFF` means "the real delta did not fit;
+/// look it up in the side table".
+pub const DELTA_ESCAPE: u8 = 0xFF;
+
+/// Differential one-byte item-ID encoding with an escape side table
+/// (§4.3 of the paper).
+///
+/// ```
+/// use also::adapt::{DeltaByte, NO_PARENT};
+/// let mut codec = DeltaByte::new();
+/// let byte = codec.encode(0, 4, 7);          // child rank 7 under parent rank 4
+/// assert_eq!(byte, 2);                       // 7 - 4 - 1
+/// assert_eq!(codec.decode(0, 4, byte), 7);
+/// let far = codec.encode(1, NO_PARENT, 5000); // too far: escapes
+/// assert_eq!(codec.decode(1, NO_PARENT, far), 5000);
+/// assert_eq!(codec.escape_count(), 1);
+/// ```
+///
+/// `encode(parent_item, item)` stores `item − parent_item − 1` (a child's
+/// rank is strictly greater than its parent's in a rank-ordered FP-tree)
+/// when it fits in `0..=0xFE`; larger deltas are escaped to a `u32` side
+/// table. The root's children encode against a virtual parent rank of
+/// `−1`, which callers express by passing `parent_item = NO_PARENT`.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaByte {
+    escapes: Vec<(u32, u32)>, // (node_index, absolute item) sorted by node_index
+}
+
+/// Virtual parent rank for root children (represents rank −1).
+pub const NO_PARENT: u32 = u32::MAX;
+
+impl DeltaByte {
+    /// Creates an empty codec (no escapes yet).
+    pub fn new() -> Self {
+        DeltaByte { escapes: Vec::new() }
+    }
+
+    /// Encodes `item` relative to `parent_item` for the node at
+    /// `node_index`, returning the byte to store. Escaped values are
+    /// recorded in the side table; `node_index` values must be encoded in
+    /// ascending order (node pools grow monotonically).
+    pub fn encode(&mut self, node_index: u32, parent_item: u32, item: u32) -> u8 {
+        let base = if parent_item == NO_PARENT { 0 } else { parent_item + 1 };
+        debug_assert!(item >= base, "child rank must exceed parent rank");
+        let delta = item - base;
+        if delta < DELTA_ESCAPE as u32 {
+            delta as u8
+        } else {
+            debug_assert!(
+                self.escapes.last().is_none_or(|&(n, _)| n < node_index),
+                "escapes must be recorded in ascending node order"
+            );
+            self.escapes.push((node_index, item));
+            DELTA_ESCAPE
+        }
+    }
+
+    /// Decodes the byte stored for `node_index` back to the absolute item.
+    #[inline]
+    pub fn decode(&self, node_index: u32, parent_item: u32, stored: u8) -> u32 {
+        if stored == DELTA_ESCAPE {
+            let at = self
+                .escapes
+                .binary_search_by_key(&node_index, |&(n, _)| n)
+                .expect("escaped node must be in side table");
+            self.escapes[at].1
+        } else {
+            let base = if parent_item == NO_PARENT { 0 } else { parent_item + 1 };
+            base + stored as u32
+        }
+    }
+
+    /// Number of escaped nodes — benches report the escape rate to show
+    /// the "usually fits in a single byte" claim holds.
+    pub fn escape_count(&self) -> usize {
+        self.escapes.len()
+    }
+
+    /// Bytes of side-table storage.
+    pub fn bytes(&self) -> usize {
+        self.escapes.len() * std::mem::size_of::<(u32, u32)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chooser_picks_bits_for_dense() {
+        // 300 transactions × 100 items, 40% full.
+        assert_eq!(choose_repr(300, 100, 12_000, 1.0), Repr::VerticalBits);
+    }
+
+    #[test]
+    fn chooser_picks_tree_for_shared_prefixes() {
+        assert_eq!(choose_repr(100_000, 10_000, 1_000_000, 0.2), Repr::PrefixTree);
+    }
+
+    #[test]
+    fn chooser_picks_sparse_otherwise() {
+        assert_eq!(choose_repr(100_000, 10_000, 1_000_000, 0.9), Repr::HorizontalSparse);
+    }
+
+    #[test]
+    fn chooser_empty_input() {
+        assert_eq!(choose_repr(0, 0, 0, 1.0), Repr::HorizontalSparse);
+    }
+
+    #[test]
+    fn delta_roundtrip_small() {
+        let mut c = DeltaByte::new();
+        // parent rank 10, child rank 11 → delta byte 0.
+        let b = c.encode(0, 10, 11);
+        assert_eq!(b, 0);
+        assert_eq!(c.decode(0, 10, b), 11);
+        assert_eq!(c.escape_count(), 0);
+    }
+
+    #[test]
+    fn delta_roundtrip_root_children() {
+        let mut c = DeltaByte::new();
+        let b = c.encode(0, NO_PARENT, 0); // most frequent item under root
+        assert_eq!(b, 0);
+        assert_eq!(c.decode(0, NO_PARENT, b), 0);
+        let b2 = c.encode(1, NO_PARENT, 200);
+        assert_eq!(c.decode(1, NO_PARENT, b2), 200);
+    }
+
+    #[test]
+    fn delta_escape_roundtrip() {
+        let mut c = DeltaByte::new();
+        let b = c.encode(7, 3, 3 + 1 + 300); // delta 300 doesn't fit
+        assert_eq!(b, DELTA_ESCAPE);
+        assert_eq!(c.decode(7, 3, b), 304);
+        assert_eq!(c.escape_count(), 1);
+        assert_eq!(c.bytes(), 8);
+    }
+
+    #[test]
+    fn delta_boundary_values() {
+        let mut c = DeltaByte::new();
+        // delta 0xFE is the largest inline value
+        let b = c.encode(0, 0, 1 + 0xFE - 1 + 1);
+        assert_eq!(b, 0xFE);
+        assert_eq!(c.decode(0, 0, b), 0xFF);
+        // delta 0xFF must escape
+        let b = c.encode(1, 0, 1 + 0xFF);
+        assert_eq!(b, DELTA_ESCAPE);
+        assert_eq!(c.decode(1, 0, b), 0x100);
+    }
+
+    #[test]
+    fn many_escapes_binary_search() {
+        let mut c = DeltaByte::new();
+        let mut stored = Vec::new();
+        for n in 0..100u32 {
+            stored.push(c.encode(n, 0, 1000 + n));
+        }
+        for n in 0..100u32 {
+            assert_eq!(c.decode(n, 0, stored[n as usize]), 1000 + n);
+        }
+        assert_eq!(c.escape_count(), 100);
+    }
+}

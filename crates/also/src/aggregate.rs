@@ -1,0 +1,354 @@
+//! **P3 — Aggregation** (§3.3 of the paper): pack multiple consecutive
+//! nodes of a linked structure into one cache-line-sized *supernode*, so a
+//! traversal dereferences one pointer per line instead of one per node.
+//!
+//! Plain linked structures have two problems the paper calls out: the
+//! traversal is memory-latency bound (each `next` load depends on the
+//! previous one) and spatial locality is poor (a node occupies a fraction
+//! of a cache line, and consecutive nodes need not be adjacent).
+//! Aggregation fixes both — at the price of making mid-list insertion
+//! expensive, which is why it only pays for *seldom-updated* structures
+//! such as the radix buckets of LCM's duplicate-removal pass or a built
+//! FP-tree.
+//!
+//! [`ChunkedList`] is the list form: an append-only list of `T` stored as
+//! a chain of supernodes, each holding [`chunk_capacity`] elements
+//! inline. Many lists share one [`ChunkPool`] (the LCM use-case is an
+//! array of thousands of short bucket lists), so allocation is one bump
+//! per supernode and chunks of different lists interleave in allocation
+//! order — which is traversal order when lists are filled in scan order.
+//!
+//! The tree form of aggregation (superlevels with node replication,
+//! Figure 4 of the paper) is structure-specific and lives with the
+//! FP-tree in `fpm-fpgrowth`; it is built on the same sizing helper
+//! [`chunk_capacity`].
+
+use crate::CACHE_LINE_BYTES;
+
+/// Sentinel "null" chunk index.
+const NONE: u32 = u32::MAX;
+
+/// Number of `T` elements that fit in one supernode, given that a
+/// supernode also carries a `next` link and a length byte and should span
+/// exactly `line_bytes` bytes (the paper: "making each supernode the size
+/// of a cache line seems to be optimal").
+pub const fn chunk_capacity(elem_bytes: usize, line_bytes: usize) -> usize {
+    // 8 bytes of header: u32 next + u8 len + padding.
+    let avail = if line_bytes > 8 { line_bytes - 8 } else { elem_bytes };
+    let k = avail / elem_bytes;
+    if k == 0 {
+        1
+    } else {
+        k
+    }
+}
+
+/// One supernode: up to `K` elements plus the link to the next supernode.
+#[derive(Clone)]
+struct Chunk<T, const K: usize> {
+    next: u32,
+    len: u8,
+    items: [T; K],
+}
+
+/// A bump pool of supernodes shared by many [`ChunkedList`]s.
+///
+/// `K` is the supernode capacity; use [`chunk_capacity`] (or the ready-made
+/// [`U32_LINE_CAPACITY`]) to pick it.
+pub struct ChunkPool<T, const K: usize> {
+    chunks: Vec<Chunk<T, K>>,
+}
+
+impl<T: Copy + Default, const K: usize> ChunkPool<T, K> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        ChunkPool { chunks: Vec::new() }
+    }
+
+    /// Creates an empty pool with room for `n` elements pre-reserved.
+    pub fn with_capacity(n: usize) -> Self {
+        ChunkPool {
+            chunks: Vec::with_capacity(n.div_ceil(K)),
+        }
+    }
+
+    /// Number of supernodes allocated.
+    pub fn chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Bytes of supernode storage in use — benchmarks report this to show
+    /// the replication/padding overhead the paper discusses.
+    pub fn bytes(&self) -> usize {
+        self.chunks.len() * std::mem::size_of::<Chunk<T, K>>()
+    }
+
+    fn alloc(&mut self) -> u32 {
+        let id = self.chunks.len() as u32;
+        self.chunks.push(Chunk {
+            next: NONE,
+            len: 0,
+            items: [T::default(); K],
+        });
+        id
+    }
+}
+
+impl<T: Copy + Default, const K: usize> Default for ChunkPool<T, K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An aggregated (supernode-chunked) append-only list.
+///
+/// The handle itself is two `u32`s; all storage lives in the shared
+/// [`ChunkPool`].
+///
+/// ```
+/// use also::aggregate::{ChunkPool, ChunkedList, U32_LINE_CAPACITY};
+/// let mut pool: ChunkPool<u32, U32_LINE_CAPACITY> = ChunkPool::new();
+/// let mut list = ChunkedList::new();
+/// for v in 0..100 {
+///     list.push(&mut pool, v);
+/// }
+/// assert_eq!(list.to_vec(&pool), (0..100).collect::<Vec<u32>>());
+/// // 100 u32s at 14 per cache-line supernode:
+/// assert_eq!(pool.chunks(), 8);
+/// ```
+#[derive(Clone, Copy)]
+pub struct ChunkedList {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl ChunkedList {
+    /// Creates an empty list (no storage allocated until the first push).
+    pub fn new() -> Self {
+        ChunkedList {
+            head: NONE,
+            tail: NONE,
+            len: 0,
+        }
+    }
+
+    /// Number of elements in the list.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` when no element has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends `value`, allocating a new supernode from `pool` only when
+    /// the tail supernode is full.
+    pub fn push<T: Copy + Default, const K: usize>(&mut self, pool: &mut ChunkPool<T, K>, value: T) {
+        if self.tail == NONE || pool.chunks[self.tail as usize].len as usize == K {
+            let id = pool.alloc();
+            if self.tail == NONE {
+                self.head = id;
+            } else {
+                pool.chunks[self.tail as usize].next = id;
+            }
+            self.tail = id;
+        }
+        let c = &mut pool.chunks[self.tail as usize];
+        c.items[c.len as usize] = value;
+        c.len += 1;
+        self.len += 1;
+    }
+
+    /// Visits every element in insertion order. Taking a closure (rather
+    /// than returning an iterator) keeps the hot loop free of per-element
+    /// branch overhead: the inner loop runs over one supernode's inline
+    /// array.
+    #[inline]
+    pub fn for_each<T: Copy + Default, const K: usize>(
+        &self,
+        pool: &ChunkPool<T, K>,
+        mut f: impl FnMut(T),
+    ) {
+        let mut cur = self.head;
+        while cur != NONE {
+            let c = &pool.chunks[cur as usize];
+            for &item in &c.items[..c.len as usize] {
+                f(item);
+            }
+            cur = c.next;
+        }
+    }
+
+    /// Visits the list one supernode at a time — the form instrumented
+    /// code uses: the caller sees (and can probe) each chunk's inline
+    /// array as a single contiguous slice.
+    #[inline]
+    pub fn for_each_chunk<T: Copy + Default, const K: usize>(
+        &self,
+        pool: &ChunkPool<T, K>,
+        mut f: impl FnMut(&[T]),
+    ) {
+        let mut cur = self.head;
+        while cur != NONE {
+            let c = &pool.chunks[cur as usize];
+            f(&c.items[..c.len as usize]);
+            cur = c.next;
+        }
+    }
+
+    /// Collects the list into a `Vec` (test/debug convenience).
+    pub fn to_vec<T: Copy + Default, const K: usize>(&self, pool: &ChunkPool<T, K>) -> Vec<T> {
+        let mut v = Vec::with_capacity(self.len());
+        self.for_each(pool, |x| v.push(x));
+        v
+    }
+}
+
+impl Default for ChunkedList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The supernode capacity for `u32` payloads on a 64-byte cache line —
+/// the configuration LCM's duplicate-removal buckets use.
+pub const U32_LINE_CAPACITY: usize = chunk_capacity(4, CACHE_LINE_BYTES);
+
+/// A classic singly-linked list over the same pool-of-nodes layout, used
+/// as the *un-aggregated baseline* in benchmarks and in the baseline LCM
+/// kernel: one element per node, one dependent load per element.
+pub struct NodeList<T> {
+    nodes: Vec<(T, u32)>,
+}
+
+impl<T: Copy> NodeList<T> {
+    /// Creates an empty node pool.
+    pub fn new() -> Self {
+        NodeList { nodes: Vec::new() }
+    }
+
+    /// Pushes `value` onto the front of the list whose head index is
+    /// `*head` (using `u32::MAX` as the empty list), updating the head.
+    pub fn push_front(&mut self, head: &mut u32, value: T) {
+        let id = self.nodes.len() as u32;
+        self.nodes.push((value, *head));
+        *head = id;
+    }
+
+    /// Visits the list starting at `head` (front to back).
+    #[inline]
+    pub fn for_each(&self, head: u32, mut f: impl FnMut(T)) {
+        let mut cur = head;
+        while cur != NONE {
+            let (v, next) = self.nodes[cur as usize];
+            f(v);
+            cur = next;
+        }
+    }
+
+    /// Reads node `id`: its value and the id of the next node
+    /// ([`NodeList::EMPTY`] at the end) — the manual walk used by
+    /// instrumented traversals that charge one dependent load per node.
+    #[inline]
+    pub fn node(&self, id: u32) -> (T, u32) {
+        self.nodes[id as usize]
+    }
+
+    /// The address of node `id`, for memory probes.
+    #[inline]
+    pub fn node_addr(&self, id: u32) -> usize {
+        &self.nodes[id as usize] as *const (T, u32) as usize
+    }
+
+    /// Number of nodes allocated across all lists in this pool.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no node has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The sentinel head value for an empty list.
+    pub const EMPTY: u32 = NONE;
+}
+
+impl<T: Copy> Default for NodeList<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_math() {
+        assert_eq!(chunk_capacity(4, 64), 14); // (64-8)/4
+        assert_eq!(chunk_capacity(8, 64), 7);
+        assert_eq!(chunk_capacity(100, 64), 1); // oversized elements degrade to 1
+        assert_eq!(U32_LINE_CAPACITY, 14);
+    }
+
+    #[test]
+    fn supernode_is_one_cache_line() {
+        assert!(std::mem::size_of::<Chunk<u32, U32_LINE_CAPACITY>>() <= CACHE_LINE_BYTES);
+    }
+
+    #[test]
+    fn push_and_iterate_preserves_order() {
+        let mut pool: ChunkPool<u32, 14> = ChunkPool::new();
+        let mut list = ChunkedList::new();
+        for i in 0..100u32 {
+            list.push(&mut pool, i * 3);
+        }
+        assert_eq!(list.len(), 100);
+        assert_eq!(list.to_vec(&pool), (0..100u32).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(pool.chunks(), 100usize.div_ceil(14));
+    }
+
+    #[test]
+    fn many_interleaved_lists_share_a_pool() {
+        let mut pool: ChunkPool<u32, 4> = ChunkPool::new();
+        let mut lists = vec![ChunkedList::new(); 10];
+        for round in 0..30u32 {
+            for (li, l) in lists.iter_mut().enumerate() {
+                l.push(&mut pool, round * 100 + li as u32);
+            }
+        }
+        for (li, l) in lists.iter().enumerate() {
+            let got = l.to_vec(&pool);
+            let expect: Vec<u32> = (0..30).map(|r| r * 100 + li as u32).collect();
+            assert_eq!(got, expect, "list {li}");
+        }
+    }
+
+    #[test]
+    fn empty_list_behaviour() {
+        let pool: ChunkPool<u32, 14> = ChunkPool::new();
+        let list = ChunkedList::new();
+        assert!(list.is_empty());
+        assert_eq!(list.to_vec(&pool), Vec::<u32>::new());
+        assert_eq!(pool.bytes(), 0);
+    }
+
+    #[test]
+    fn node_list_baseline_matches_chunked_contents() {
+        let mut pool: ChunkPool<u32, 14> = ChunkPool::new();
+        let mut agg = ChunkedList::new();
+        let mut base: NodeList<u32> = NodeList::new();
+        let mut head = NodeList::<u32>::EMPTY;
+        for i in 0..50u32 {
+            agg.push(&mut pool, i);
+            base.push_front(&mut head, i);
+        }
+        let mut from_base = Vec::new();
+        base.for_each(head, |v| from_base.push(v));
+        from_base.reverse(); // push_front reverses
+        assert_eq!(from_base, agg.to_vec(&pool));
+    }
+}

@@ -1,0 +1,179 @@
+//! **P4 — Compaction** (§3.3 of the paper): copy data that is scattered
+//! across memory into consecutive locations, so the accesses that follow
+//! enjoy spatial locality. Compaction pays when the copy cost is amortized
+//! over many subsequent accesses — LCM's frequency counters, read on every
+//! `calc_freq` call but scattered through the occurrence array's header
+//! structs, are the paper's example.
+//!
+//! Two tools live here:
+//!
+//! * [`Arena`] — a cache-line-aligned bump arena. Projected databases and
+//!   compacted counter blocks are copied into it, giving them both
+//!   contiguity and alignment.
+//! * [`compact_by`] / [`scatter_back`] — the structure-of-arrays split:
+//!   pull one hot field out of an array of structs into a dense vector,
+//!   operate on it, and write it back.
+
+use crate::CACHE_LINE_BYTES;
+
+/// A cache-line-aligned bump arena of `T`.
+///
+/// All values copied into the arena stay valid (their indices stable)
+/// until [`Arena::reset`]; the arena never reallocates its current block —
+/// it chains new blocks instead, so raw index ranges returned by
+/// [`Arena::copy_in`] remain usable.
+pub struct Arena<T> {
+    blocks: Vec<Vec<T>>,
+    block_cap: usize,
+    len: usize,
+}
+
+impl<T: Copy> Arena<T> {
+    /// Creates an arena whose blocks hold `block_cap` elements (rounded up
+    /// to at least one cache line's worth).
+    pub fn new(block_cap: usize) -> Self {
+        let min = (CACHE_LINE_BYTES / std::mem::size_of::<T>().max(1)).max(1);
+        Arena {
+            blocks: Vec::new(),
+            block_cap: block_cap.max(min),
+            len: 0,
+        }
+    }
+
+    /// Total elements stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing has been copied in.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copies `src` into the arena as one contiguous run and returns a
+    /// slice of it. Runs longer than the block capacity get a dedicated
+    /// block (still contiguous).
+    pub fn copy_in(&mut self, src: &[T]) -> &[T] {
+        let need = src.len();
+        let start_new = match self.blocks.last() {
+            None => true,
+            Some(b) => b.len() + need > b.capacity(),
+        };
+        if start_new {
+            self.blocks.push(Vec::with_capacity(self.block_cap.max(need)));
+        }
+        let block = self.blocks.last_mut().expect("block just ensured");
+        let at = block.len();
+        block.extend_from_slice(src);
+        self.len += need;
+        &block[at..at + need]
+    }
+
+    /// Drops all contents but keeps the allocated blocks for reuse —
+    /// projection loops call this once per recursion level.
+    pub fn reset(&mut self) {
+        for b in &mut self.blocks {
+            b.clear();
+        }
+        self.len = 0;
+        // Keep at most one (largest) block to bound idle memory.
+        if self.blocks.len() > 1 {
+            let max_cap = self.blocks.iter().map(|b| b.capacity()).max().unwrap_or(0);
+            self.blocks.retain(|b| b.capacity() == max_cap);
+            self.blocks.truncate(1);
+        }
+    }
+}
+
+/// Extracts the hot field selected by `get` from every element of
+/// `items` into one dense, contiguous vector — the compaction step.
+///
+/// ```
+/// use also::compact::{compact_by, scatter_back};
+/// struct Hdr { count: u32, _bulk: [u8; 28] }
+/// let mut hdrs = vec![Hdr { count: 1, _bulk: [0; 28] }, Hdr { count: 2, _bulk: [0; 28] }];
+/// let mut counts = compact_by(&hdrs, |h| h.count); // dense, cache-friendly
+/// counts.iter_mut().for_each(|c| *c += 10);
+/// scatter_back(&mut hdrs, &counts, |h, v| h.count = v);
+/// assert_eq!(hdrs[1].count, 12);
+/// ```
+pub fn compact_by<S, T, F: FnMut(&S) -> T>(items: &[S], mut get: F) -> Vec<T> {
+    items.iter().map(|s| get(s)).collect()
+}
+
+/// Writes a compacted field vector back into the array of structs —
+/// the inverse of [`compact_by`].
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn scatter_back<S, T: Copy, F: FnMut(&mut S, T)>(items: &mut [S], compacted: &[T], mut set: F) {
+    assert_eq!(items.len(), compacted.len(), "compacted field length mismatch");
+    for (s, &v) in items.iter_mut().zip(compacted) {
+        set(s, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_copies_are_contiguous_and_stable() {
+        let mut a: Arena<u32> = Arena::new(8);
+        let r1: Vec<u32> = a.copy_in(&[1, 2, 3]).to_vec();
+        let r2: Vec<u32> = a.copy_in(&[4, 5]).to_vec();
+        assert_eq!(r1, vec![1, 2, 3]);
+        assert_eq!(r2, vec![4, 5]);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn arena_handles_oversized_runs() {
+        let mut a: Arena<u8> = Arena::new(4);
+        let big: Vec<u8> = (0..100).collect();
+        let r = a.copy_in(&big).to_vec();
+        assert_eq!(r, big);
+    }
+
+    #[test]
+    fn arena_reset_reuses_storage() {
+        let mut a: Arena<u64> = Arena::new(1024);
+        for _ in 0..10 {
+            a.copy_in(&[1; 100]);
+        }
+        a.reset();
+        assert!(a.is_empty());
+        a.copy_in(&[7, 8, 9]);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn compact_and_scatter_roundtrip() {
+        #[derive(Clone)]
+        struct Hdr {
+            count: u32,
+            _payload: [u8; 40],
+        }
+        let mut hdrs: Vec<Hdr> = (0..50)
+            .map(|i| Hdr {
+                count: i,
+                _payload: [0; 40],
+            })
+            .collect();
+        let mut counts = compact_by(&hdrs, |h| h.count);
+        for c in &mut counts {
+            *c *= 2;
+        }
+        scatter_back(&mut hdrs, &counts, |h, v| h.count = v);
+        for (i, h) in hdrs.iter().enumerate() {
+            assert_eq!(h.count, i as u32 * 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn scatter_back_length_mismatch_panics() {
+        let mut items = vec![0u32; 3];
+        scatter_back(&mut items, &[1u32, 2], |s, v| *s = v);
+    }
+}

@@ -1,0 +1,53 @@
+//! # `also` — Architecture-Level Software Optimization tuning patterns
+//!
+//! This crate is a reusable implementation of the *ALSO tuning patterns*
+//! catalogued by Wei, Jiang & Snir, *"Programming Patterns for
+//! Architecture-Level Software Optimizations on Frequent Pattern Mining"*
+//! (ICDE 2007). Each pattern is a general, repeatable solution to a
+//! performance problem that recurs across frequent-pattern-mining kernels
+//! (and other pointer/array-intensive codes), and is beyond the reach of
+//! compiler optimization because it needs application-level knowledge.
+//!
+//! | id   | pattern                      | module |
+//! |------|------------------------------|--------|
+//! | P1   | Lexicographic ordering       | [`lexorder`] |
+//! | P2   | Data structure adaptation    | [`adapt`] |
+//! | P3   | Aggregation (supernodes)     | [`aggregate`] |
+//! | P4   | Compaction                   | [`compact`] |
+//! | P5   | Prefetch pointers            | [`prefetch`] |
+//! | P6.1 | Tiling for sparse structures | [`tiling`] |
+//! | P7   | Software prefetch (P7.1 wave-front) | [`prefetch`] |
+//! | P8   | SIMDization                  | [`simd`], [`bits`] |
+//!
+//! A machine-readable catalogue of the patterns — which locality or
+//! latency problem each one attacks (Table 2 of the paper) and which
+//! mining kernel each applies to (Table 4) — lives in [`catalog`].
+//!
+//! The pattern implementations are deliberately independent of the mining
+//! kernels: the sibling crates `fpm-lcm`, `fpm-eclat` and `fpm-fpgrowth`
+//! compose them into tuned miner variants, exactly as the paper's case
+//! studies do.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod adapt;
+pub mod advisor;
+pub mod aggregate;
+pub mod bits;
+pub mod catalog;
+pub mod compact;
+pub mod lexorder;
+pub mod prefetch;
+pub mod radix;
+pub mod simd;
+pub mod tiling;
+
+pub use catalog::{Pattern, PatternBenefit};
+
+/// Size in bytes of one cache line on every platform this crate targets.
+///
+/// The aggregation pattern ([`aggregate`]) sizes supernodes to this and the
+/// compaction arena ([`compact`]) aligns to it; the paper found one cache
+/// line to be the optimal supernode size (§3.3, P3).
+pub const CACHE_LINE_BYTES: usize = 64;

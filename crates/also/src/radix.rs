@@ -1,0 +1,252 @@
+//! MSD radix sorting for transaction lists — the production backend of
+//! the lexicographic-ordering pattern (P1).
+//!
+//! `lex_order` must sort hundreds of thousands of variable-length
+//! rank-id sequences; a comparison sort pays `O(n log n)` full-sequence
+//! comparisons, while most-significant-digit radix sorting buckets on
+//! one item position at a time and only recurses into groups that are
+//! still tied — `O(total items)` for typical rank distributions. This
+//! is also the access pattern the original LCM's `rm_dup_trans` uses
+//! (bucket lists per item value), so the module doubles as the
+//! radix-bucket machinery referenced in §4.1.
+//!
+//! The sort is **stable** (ties keep input order), matching the
+//! documented contract of [`crate::lexorder::lex_permutation`].
+
+/// Sentinel digit for "sequence ended here" — sorts before every item,
+/// giving the prefix-first order lexicographic comparison produces.
+const END: u32 = u32::MAX;
+
+/// Computes the stable lexicographic permutation of `transactions` by
+/// MSD radix sort on item ranks. Equivalent to (but typically faster
+/// than) sorting indices with a comparison sort; the equivalence is
+/// property-tested.
+pub fn lex_permutation_radix<T: AsRef<[u32]>>(transactions: &[T]) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..transactions.len() as u32).collect();
+    let mut scratch: Vec<u32> = vec![0; transactions.len()];
+    sort_range(transactions, &mut perm, &mut scratch, 0, 0, transactions.len());
+    perm
+}
+
+/// Sorts `perm[lo..hi]` by the item at `depth`, recursing into ties.
+fn sort_range<T: AsRef<[u32]>>(
+    ts: &[T],
+    perm: &mut [u32],
+    scratch: &mut [u32],
+    depth: usize,
+    lo: usize,
+    hi: usize,
+) {
+    if hi - lo < 2 {
+        return;
+    }
+    // Small groups: insertion sort on the remaining suffixes beats
+    // bucket setup.
+    if hi - lo <= 16 {
+        let key = |i: u32| {
+            let t = ts[i as usize].as_ref();
+            &t[depth.min(t.len())..]
+        };
+        // stable insertion sort
+        for i in lo + 1..hi {
+            let mut j = i;
+            while j > lo && key(perm[j - 1]) > key(perm[j]) {
+                perm.swap(j - 1, j);
+                j -= 1;
+            }
+        }
+        return;
+    }
+    let digit = |i: u32| -> u32 {
+        let t = ts[i as usize].as_ref();
+        if depth < t.len() {
+            t[depth]
+        } else {
+            END
+        }
+    };
+    // Find the digit range to size the counting array; fall back to
+    // sorting by digit when the alphabet is huge and the group small.
+    let mut min_d = u32::MAX;
+    let mut max_d = 0u32;
+    let mut any_item = false;
+    for &i in &perm[lo..hi] {
+        let d = digit(i);
+        if d != END {
+            any_item = true;
+            min_d = min_d.min(d);
+            max_d = max_d.max(d);
+        }
+    }
+    if !any_item {
+        return; // all sequences ended: fully tied
+    }
+    let span = (max_d - min_d) as usize + 1;
+    if span > 4 * (hi - lo) {
+        // Sparse digit range: counting would be mostly empty; sort this
+        // group by digit with a stable comparison sort, then recurse into
+        // equal-digit runs.
+        scratch[lo..hi].copy_from_slice(&perm[lo..hi]);
+        let group = &mut perm[lo..hi];
+        // END (sequence exhausted) must sort FIRST: a prefix precedes its
+        // extensions in lexicographic order.
+        group.sort_by_key(|&i| {
+            let d = digit(i);
+            if d == END {
+                0u64
+            } else {
+                d as u64 + 1
+            }
+        });
+        recurse_runs(ts, perm, scratch, depth, lo, hi, &digit);
+        return;
+    }
+    // Counting sort on digit (END bucket first).
+    let mut counts = vec![0usize; span + 1]; // bucket 0 = END
+    for &i in &perm[lo..hi] {
+        let d = digit(i);
+        let b = if d == END { 0 } else { (d - min_d) as usize + 1 };
+        counts[b] += 1;
+    }
+    let mut starts = vec![0usize; span + 1];
+    let mut acc = 0;
+    for (b, &c) in counts.iter().enumerate() {
+        starts[b] = acc;
+        acc += c;
+    }
+    let mut cursors = starts.clone();
+    scratch[lo..hi].copy_from_slice(&perm[lo..hi]);
+    for &i in &scratch[lo..hi] {
+        let d = digit(i);
+        let b = if d == END { 0 } else { (d - min_d) as usize + 1 };
+        perm[lo + cursors[b]] = i;
+        cursors[b] += 1;
+    }
+    // Recurse into every non-END bucket of size >= 2.
+    for b in 1..=span {
+        let (s, e) = (lo + starts[b], lo + starts[b] + counts[b]);
+        if e - s >= 2 {
+            sort_range(ts, perm, scratch, depth + 1, s, e);
+        }
+    }
+}
+
+/// After a comparison sort by digit, recurse into maximal equal-digit
+/// runs (skipping the END run, which is fully tied).
+fn recurse_runs<T: AsRef<[u32]>>(
+    ts: &[T],
+    perm: &mut [u32],
+    scratch: &mut [u32],
+    depth: usize,
+    lo: usize,
+    hi: usize,
+    digit: &impl Fn(u32) -> u32,
+) {
+    let mut s = lo;
+    while s < hi {
+        let d = digit(perm[s]);
+        let mut e = s + 1;
+        while e < hi && digit(perm[e]) == d {
+            e += 1;
+        }
+        if d != END && e - s >= 2 {
+            sort_range(ts, perm, scratch, depth + 1, s, e);
+        }
+        s = e;
+    }
+}
+
+/// Applies a permutation, producing the reordered transaction list.
+pub fn apply_permutation<T: Clone>(items: &[T], perm: &[u32]) -> Vec<T> {
+    perm.iter().map(|&i| items[i as usize].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexorder::lex_permutation;
+
+    fn assert_matches_comparison(db: &[Vec<u32>]) {
+        assert_eq!(
+            lex_permutation_radix(db),
+            lex_permutation(db),
+            "radix must equal comparison sort on {db:?}"
+        );
+    }
+
+    #[test]
+    fn matches_comparison_sort_on_paper_example() {
+        let db = vec![
+            vec![0u32, 1, 2],
+            vec![0, 1, 3],
+            vec![0, 1, 2],
+            vec![4, 5],
+            vec![0, 1, 2, 3, 4, 5],
+        ];
+        assert_matches_comparison(&db);
+    }
+
+    #[test]
+    fn prefix_sorts_before_extension() {
+        let db = vec![vec![0u32, 1, 2], vec![0, 1]];
+        let p = lex_permutation_radix(&db);
+        assert_eq!(p, vec![1, 0]);
+    }
+
+    #[test]
+    fn stability_on_duplicates() {
+        let db = vec![vec![1u32], vec![0], vec![1], vec![0], vec![1]];
+        let p = lex_permutation_radix(&db);
+        assert_eq!(p, vec![1, 3, 0, 2, 4]);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        assert_eq!(lex_permutation_radix(&Vec::<Vec<u32>>::new()), Vec::<u32>::new());
+        assert_eq!(lex_permutation_radix(&[vec![5u32]]), vec![0]);
+        let db = vec![Vec::<u32>::new(), vec![0], Vec::new()];
+        assert_eq!(lex_permutation_radix(&db), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn sparse_alphabet_falls_back_gracefully() {
+        // huge item ids in a tiny group trigger the sparse-digit path
+        let db = vec![
+            vec![4_000_000_000u32],
+            vec![17],
+            vec![4_000_000_000, 1],
+            vec![900_000],
+        ];
+        assert_matches_comparison(&db);
+    }
+
+    #[test]
+    fn matches_comparison_on_pseudorandom() {
+        let mut s = 41u64;
+        let mut rnd = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for n_items in [5u32, 50, 100_000] {
+            let db: Vec<Vec<u32>> = (0..500)
+                .map(|_| {
+                    let len = (rnd() % 8) as usize;
+                    let mut t: Vec<u32> =
+                        (0..len).map(|_| (rnd() % n_items as u64) as u32).collect();
+                    t.sort_unstable();
+                    t.dedup();
+                    t
+                })
+                .collect();
+            assert_matches_comparison(&db);
+        }
+    }
+
+    #[test]
+    fn apply_permutation_reorders() {
+        let items = vec!["a", "b", "c"];
+        assert_eq!(apply_permutation(&items, &[2, 0, 1]), vec!["c", "a", "b"]);
+    }
+}

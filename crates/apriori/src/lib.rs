@@ -1,0 +1,276 @@
+//! # `fpm-apriori` — breadth-first Apriori miner
+//!
+//! The classical level-wise algorithm of Agrawal & Srikant (VLDB'94): the
+//! paper cites it as the baseline family it deliberately does *not* tune
+//! ("we did not cover breadth-first search algorithms … because the
+//! depth-first search algorithms are generally considered to be more
+//! efficient", §4). This workspace keeps an implementation anyway, for
+//! two jobs:
+//!
+//! 1. **oracle** — a structurally different algorithm whose output the
+//!    depth-first kernels are cross-checked against in the integration
+//!    tests;
+//! 2. **baseline** — the reference point that lets benchmarks show why
+//!    the paper starts from depth-first kernels at all.
+//!
+//! The implementation is the textbook one: generate candidate k-itemsets
+//! by joining frequent (k−1)-itemsets that share a (k−2)-prefix, prune
+//! candidates with an infrequent subset, then count supports in one pass
+//! over the database per level (with a hash join from transactions to
+//! candidates).
+
+#![warn(missing_docs)]
+
+use fpm::{remap, PatternSink, TransactionDb, TranslateSink};
+use std::collections::HashMap;
+
+/// Mines every frequent itemset of `db` at `minsup`, delivering patterns
+/// (in original item ids, sorted) to `sink`.
+pub fn mine<S: PatternSink>(db: &TransactionDb, minsup: u64, sink: &mut S) {
+    let ranked = remap(db, minsup);
+    let mut translate = TranslateSink::new(&ranked.map, PassThrough(sink));
+    mine_ranked(&ranked.transactions, ranked.n_ranks(), minsup, &ranked, &mut translate);
+}
+
+struct PassThrough<'a, S>(&'a mut S);
+impl<S: PatternSink> PatternSink for PassThrough<'_, S> {
+    fn emit(&mut self, itemset: &[u32], support: u64) {
+        self.0.emit(itemset, support);
+    }
+}
+
+fn mine_ranked<S: PatternSink>(
+    transactions: &[Vec<u32>],
+    n_ranks: usize,
+    minsup: u64,
+    ranked: &fpm::RankedDb,
+    sink: &mut S,
+) {
+    let minsup = minsup.max(1);
+    // Level 1: the remapper already counted singleton supports.
+    let mut frequent: Vec<Vec<u32>> = Vec::new();
+    for r in 0..n_ranks as u32 {
+        let s = ranked.map.support(r);
+        debug_assert!(s >= minsup);
+        sink.emit(&[r], s);
+        frequent.push(vec![r]);
+    }
+    let mut k = 2usize;
+    while !frequent.is_empty() {
+        let candidates = generate_candidates(&frequent);
+        if candidates.is_empty() {
+            break;
+        }
+        let counts = count_supports(transactions, &candidates, k);
+        let mut next = Vec::new();
+        for (c, s) in candidates.into_iter().zip(counts) {
+            if s >= minsup {
+                sink.emit(&c, s);
+                next.push(c);
+            }
+        }
+        frequent = next;
+        k += 1;
+    }
+}
+
+/// Joins frequent (k−1)-itemsets sharing a (k−2)-prefix and prunes
+/// candidates with an infrequent (k−1)-subset. `frequent` must be sorted
+/// (it is, by construction: ranks ascend within sets and sets are
+/// generated in lexicographic order).
+fn generate_candidates(frequent: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let set: std::collections::HashSet<&[u32]> =
+        frequent.iter().map(|f| f.as_slice()).collect();
+    let mut out = Vec::new();
+    // Group by shared prefix: frequent is lexicographically sorted, so
+    // same-prefix runs are contiguous.
+    let mut start = 0;
+    while start < frequent.len() {
+        let prefix = &frequent[start][..frequent[start].len() - 1];
+        let mut end = start + 1;
+        while end < frequent.len() && &frequent[end][..prefix.len()] == prefix {
+            end += 1;
+        }
+        for i in start..end {
+            for j in i + 1..end {
+                let mut cand = frequent[i].clone();
+                cand.push(*frequent[j].last().expect("nonempty"));
+                // Apriori prune: every (k-1)-subset must be frequent. The
+                // two parents are; check the rest.
+                let prune = (0..cand.len() - 2).any(|drop| {
+                    let mut sub = cand.clone();
+                    sub.remove(drop);
+                    !set.contains(sub.as_slice())
+                });
+                if !prune {
+                    out.push(cand);
+                }
+            }
+        }
+        start = end;
+    }
+    out
+}
+
+/// Counts candidate supports in one database pass: for each transaction,
+/// enumerate its k-subsets only when the transaction is short, otherwise
+/// probe each candidate against the transaction (both via a hash map from
+/// candidate to index).
+fn count_supports(transactions: &[Vec<u32>], candidates: &[Vec<u32>], k: usize) -> Vec<u64> {
+    let index: HashMap<&[u32], usize> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.as_slice(), i))
+        .collect();
+    let mut counts = vec![0u64; candidates.len()];
+    let mut subset = vec![0u32; k];
+    for t in transactions {
+        if t.len() < k {
+            continue;
+        }
+        // Enumerating C(|t|, k) subsets explodes for long transactions;
+        // cap the work by probing candidates instead when cheaper.
+        let n_subsets = binomial_capped(t.len(), k, candidates.len() * 4);
+        if n_subsets <= candidates.len() * 4 {
+            enumerate_subsets(t, k, &mut subset, 0, 0, &mut |s: &[u32]| {
+                if let Some(&ci) = index.get(s) {
+                    counts[ci] += 1;
+                }
+            });
+        } else {
+            for (ci, c) in candidates.iter().enumerate() {
+                if is_subset(c, t) {
+                    counts[ci] += 1;
+                }
+            }
+        }
+    }
+    counts
+}
+
+fn binomial_capped(n: usize, k: usize, cap: usize) -> usize {
+    let mut acc: usize = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul(n - i) / (i + 1);
+        if acc > cap {
+            return cap + 1;
+        }
+    }
+    acc
+}
+
+fn enumerate_subsets(
+    t: &[u32],
+    k: usize,
+    buf: &mut Vec<u32>,
+    depth: usize,
+    from: usize,
+    f: &mut impl FnMut(&[u32]),
+) {
+    if depth == k {
+        f(&buf[..k]);
+        return;
+    }
+    // leave room for the remaining picks
+    for i in from..=t.len() - (k - depth) {
+        buf[depth] = t[i];
+        enumerate_subsets(t, k, buf, depth + 1, i + 1, f);
+    }
+}
+
+fn is_subset(small: &[u32], big: &[u32]) -> bool {
+    // both sorted: linear merge
+    let mut bi = 0;
+    'outer: for &s in small {
+        while bi < big.len() {
+            match big[bi].cmp(&s) {
+                std::cmp::Ordering::Less => bi += 1,
+                std::cmp::Ordering::Equal => {
+                    bi += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpm::types::canonicalize;
+    use fpm::CollectSink;
+
+    fn run(db: &TransactionDb, minsup: u64) -> Vec<fpm::ItemsetCount> {
+        let mut sink = CollectSink::default();
+        mine(db, minsup, &mut sink);
+        canonicalize(sink.patterns)
+    }
+
+    fn toy() -> TransactionDb {
+        TransactionDb::from_transactions(vec![
+            vec![0, 2, 5],
+            vec![1, 2, 5],
+            vec![0, 2, 5],
+            vec![3, 4],
+            vec![0, 1, 2, 3, 4, 5],
+        ])
+    }
+
+    #[test]
+    fn matches_naive_on_toy() {
+        for minsup in 1..=5u64 {
+            let got = run(&toy(), minsup);
+            let expect = canonicalize(fpm::naive::mine(&toy(), minsup));
+            assert_eq!(got, expect, "minsup={minsup}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_long_transactions() {
+        // long transactions exercise the probe-side of count_supports
+        let db = TransactionDb::from_transactions(vec![
+            (0..20).collect(),
+            (0..20).collect(),
+            (5..25).collect(),
+            vec![1, 2, 3],
+        ]);
+        let got = run(&db, 2);
+        let expect = canonicalize(fpm::naive::mine(&db, 2));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        assert!(run(&TransactionDb::default(), 1).is_empty());
+        let single = TransactionDb::from_transactions(vec![vec![3]]);
+        let got = run(&single, 1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].items, vec![3]);
+        assert_eq!(got[0].support, 1);
+    }
+
+    #[test]
+    fn minsup_above_everything_yields_nothing() {
+        assert!(run(&toy(), 6).is_empty());
+    }
+
+    #[test]
+    fn is_subset_merge() {
+        assert!(is_subset(&[1, 3], &[0, 1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[0, 1, 2, 3]));
+        assert!(is_subset(&[], &[1]));
+        assert!(!is_subset(&[1], &[]));
+    }
+
+    #[test]
+    fn candidate_generation_prunes() {
+        // frequent 2-sets: {0,1},{0,2},{1,2},{1,3} → join gives {0,1,2}
+        // (kept: all subsets frequent) and {1,2,3} (pruned: {2,3} missing).
+        let frequent = vec![vec![0, 1], vec![0, 2], vec![1, 2], vec![1, 3]];
+        let cands = generate_candidates(&frequent);
+        assert_eq!(cands, vec![vec![0, 1, 2]]);
+    }
+}

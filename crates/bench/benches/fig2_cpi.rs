@@ -1,0 +1,34 @@
+//! Figure 2 bench: native wall time of each kernel's hottest function
+//! (the drivers behind the simulated CPI table). Prints the simulated
+//! M1 CPI table once before the timed runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpm_bench::fig2;
+use memsim::{Machine, NullProbe};
+use quest::{Dataset, Scale};
+
+fn bench(c: &mut Criterion) {
+    let rows = fig2::run(Dataset::Ds1, Scale::Smoke, Machine::m1());
+    eprintln!("\n{}", fig2::render(&rows, &Machine::m1()));
+
+    let db = Dataset::Ds1.generate(Scale::Smoke);
+    let minsup = Dataset::Ds1.support(Scale::Smoke);
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("lcm_calc_freq", |b| {
+        b.iter(|| fig2::drive_lcm_calc_freq(&db, minsup, &mut NullProbe))
+    });
+    g.bench_function("lcm_rm_dup_trans", |b| {
+        b.iter(|| fig2::drive_lcm_rm_dup(&db, minsup, &mut NullProbe))
+    });
+    g.bench_function("eclat_and_count", |b| {
+        b.iter(|| fig2::drive_eclat_and_count(&db, minsup, &mut NullProbe))
+    });
+    g.bench_function("fpgrowth_traverse", |b| {
+        b.iter(|| fig2::drive_fpg_traverse(&db, minsup, &mut NullProbe))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

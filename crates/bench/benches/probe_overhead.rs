@@ -1,0 +1,75 @@
+//! Verifies the zero-cost claim of the probe instrumentation: a kernel
+//! compiled with `NullProbe` must run at the speed of the same loop with
+//! no probe parameter at all (DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpm::CountSink;
+use memsim::{NullProbe, Probe};
+use quest::{Dataset, Scale};
+
+/// The calc_freq-shaped loop, hand-written without any probe.
+fn bare_loop(occ: &[(u32, u32)], heads: &[(u32, u32, u32)], items: &[u32]) -> u64 {
+    let mut sum = 0u64;
+    for &(tid, pos) in occ {
+        let (off, len, w) = heads[tid as usize];
+        for &it in &items[pos as usize + 1..(off + len) as usize] {
+            sum = sum.wrapping_add((it as u64).wrapping_mul(w as u64));
+        }
+    }
+    sum
+}
+
+/// The same loop, probed with `NullProbe` (all calls must compile away).
+fn probed_loop<P: Probe>(
+    occ: &[(u32, u32)],
+    heads: &[(u32, u32, u32)],
+    items: &[u32],
+    probe: &mut P,
+) -> u64 {
+    let mut sum = 0u64;
+    for &(tid, pos) in occ {
+        probe.read(occ.as_ptr() as usize, 8);
+        let (off, len, w) = heads[tid as usize];
+        probe.read_dep(&heads[tid as usize] as *const _ as usize, 12);
+        for &it in &items[pos as usize + 1..(off + len) as usize] {
+            probe.instr(3);
+            probe.write(&sum as *const _ as usize, 8);
+            sum = sum.wrapping_add((it as u64).wrapping_mul(w as u64));
+        }
+    }
+    sum
+}
+
+fn bench(c: &mut Criterion) {
+    // synthetic arrays shaped like a projected database
+    let n = 50_000usize;
+    let len = 12u32;
+    let items: Vec<u32> = (0..n as u32 * len).map(|i| i % 97).collect();
+    let heads: Vec<(u32, u32, u32)> = (0..n as u32).map(|t| (t * len, len, 1)).collect();
+    let occ: Vec<(u32, u32)> = (0..n as u32).map(|t| (t, t * len)).collect();
+
+    let mut g = c.benchmark_group("probe_overhead");
+    g.sample_size(30);
+    g.bench_function("bare", |b| b.iter(|| bare_loop(&occ, &heads, &items)));
+    g.bench_function("null_probe", |b| {
+        b.iter(|| probed_loop(&occ, &heads, &items, &mut NullProbe))
+    });
+    g.finish();
+
+    // And at the whole-miner level: mine() IS the NullProbe build.
+    let db = Dataset::Ds1.generate(Scale::Smoke);
+    let minsup = Dataset::Ds1.support(Scale::Smoke);
+    let mut g = c.benchmark_group("miner_nullprobe");
+    g.sample_size(10);
+    g.bench_function("lcm_base", |b| {
+        b.iter(|| {
+            let mut sink = CountSink::default();
+            lcm::mine(&db, minsup, &lcm::LcmConfig::baseline(), &mut sink);
+            sink.count
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,247 @@
+//! Figure 2 — CPI of the most time-consuming functions of the three
+//! kernels, on the simulated M1 (Pentium D).
+//!
+//! The paper measured these with hardware counters; we drive each hot
+//! function in isolation against the trace simulator (DESIGN.md
+//! substitution #2). Drivers are generic over [`memsim::Probe`], so the
+//! same code is Criterion-timed natively (`NullProbe`) and CPI-profiled
+//! (`CacheProbe`).
+//!
+//! | paper function           | driver |
+//! |--------------------------|--------|
+//! | LCM `CALC_FREQ` (54.4%)  | [`drive_lcm_calc_freq`] |
+//! | LCM `RM_DUP_TRANS` (25.5%)| [`drive_lcm_rm_dup`] |
+//! | Eclat AND + count (98%)  | [`drive_eclat_and_count`] |
+//! | FP-Growth link traversal | [`drive_fpg_traverse`] |
+
+use also::simd::{and_count_words, Popcount};
+use fpm::vertical::VerticalBitDb;
+use fpm::TransactionDb;
+use lcm::projdb::ProjDb;
+use lcm::rmdup::{rm_dup_trans, BucketImpl};
+use memsim::{CacheProbe, Machine, MemReport, Probe};
+use quest::{Dataset, Scale};
+
+/// Builds the root projected database (baseline path: no lex ordering).
+fn root_pdb<P: Probe>(db: &TransactionDb, minsup: u64, probe: &mut P) -> (ProjDb, usize) {
+    let ranked = fpm::remap(db, minsup);
+    let mut pdb = ProjDb::from_ranked(&ranked.transactions);
+    pdb.heads = rm_dup_trans(&pdb.items, std::mem::take(&mut pdb.heads), BucketImpl::Linked, probe);
+    pdb.build_occ(ranked.n_ranks(), probe);
+    (pdb, ranked.n_ranks())
+}
+
+/// One full `calc_freq` sweep: for every item column, walk the
+/// occurrences, dereference the transaction header, and count every
+/// suffix item into baseline-layout (32-byte slot) counters. Returns a
+/// checksum so the optimizer cannot elide the walk.
+pub fn drive_lcm_calc_freq<P: Probe>(db: &TransactionDb, minsup: u64, probe: &mut P) -> u64 {
+    let (pdb, n_ranks) = root_pdb(db, minsup, &mut memsim::NullProbe);
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct Slot {
+        count: u32,
+        _pad: [u32; 7],
+    }
+    let mut slots = vec![Slot { count: 0, _pad: [0; 7] }; n_ranks];
+    let mut sum = 0u64;
+    for j in 0..n_ranks as u32 {
+        let col = pdb.occ(j);
+        for (k, &e) in col.iter().enumerate() {
+            probe.read(memsim::addr_of(&col[k]), 8);
+            let h = &pdb.heads[e.tid as usize];
+            probe.read_dep(memsim::addr_of(h), 12);
+            let w = h.weight;
+            let suffix = pdb.suffix(e);
+            let (sa, sl) = memsim::slice_span(suffix);
+            probe.read(sa, sl);
+            probe.instr(10);
+            for &it in suffix {
+                probe.instr(4);
+                probe.write(memsim::addr_of(&slots[it as usize]), 8);
+                slots[it as usize].count = slots[it as usize].count.wrapping_add(w);
+            }
+        }
+        sum = sum.wrapping_add(slots[j as usize].count as u64);
+    }
+    std::hint::black_box(sum)
+}
+
+/// One `rm_dup_trans` pass over the root database with the baseline
+/// linked-bucket structure.
+pub fn drive_lcm_rm_dup<P: Probe>(db: &TransactionDb, minsup: u64, probe: &mut P) -> usize {
+    let ranked = fpm::remap(db, minsup);
+    let pdb = ProjDb::from_ranked(&ranked.transactions);
+    let merged = rm_dup_trans(&pdb.items, pdb.heads.clone(), BucketImpl::Linked, probe);
+    std::hint::black_box(merged.len())
+}
+
+/// Pairwise AND + popcount over the densest columns of the vertical bit
+/// matrix, with the baseline 16-bit-table popcount — Eclat's 98% loop.
+pub fn drive_eclat_and_count<P: Probe>(db: &TransactionDb, minsup: u64, probe: &mut P) -> u64 {
+    let ranked = fpm::remap(db, minsup);
+    let vdb = VerticalBitDb::from_ranked(&ranked.transactions, ranked.n_ranks());
+    let top = ranked.n_ranks().min(48);
+    let mut total = 0u64;
+    for i in 0..top as u32 {
+        for j in i + 1..top as u32 {
+            let a = vdb.column(i).as_words();
+            let b = vdb.column(j).as_words();
+            let words = a.len().min(b.len());
+            let (pa, _) = memsim::slice_span(&a[..words]);
+            let (pb, _) = memsim::slice_span(&b[..words]);
+            probe.read(pa, words * 8);
+            probe.read(pb, words * 8);
+            probe.instr(words as u64 * 15);
+            eclat::probe_table_lookups(probe, words as u64);
+            total += and_count_words(&a[..words], &b[..words], Popcount::Table16);
+        }
+    }
+    std::hint::black_box(total)
+}
+
+/// FP-Growth's dominant access pattern: follow every header node-link
+/// chain and walk each node's path to the root (baseline AoS nodes).
+pub fn drive_fpg_traverse<P: Probe>(db: &TransactionDb, minsup: u64, probe: &mut P) -> u64 {
+    use fpgrowth::tree::{FpTree, TreeRepr};
+    let ranked = fpm::remap(db, minsup);
+    let mut tree = FpTree::new(
+        ranked.n_ranks(),
+        TreeRepr {
+            adapt: false,
+            aggregate: false,
+            jump_pointers: false,
+        },
+    );
+    for t in &ranked.transactions {
+        tree.insert(t, 1, &mut memsim::NullProbe);
+    }
+    tree.finalize();
+    let mut levels = 0u64;
+    let mut chain: Vec<(u32, u32)> = Vec::new();
+    let mut path: Vec<u32> = Vec::new();
+    for item in 0..ranked.n_ranks() as u32 {
+        chain.clear();
+        tree.for_each_chain_node(item, probe, |n, c| chain.push((n, c)));
+        for &(n, _) in &chain {
+            path.clear();
+            tree.path_to_root(n, item, probe, &mut path);
+            levels += path.len() as u64;
+        }
+    }
+    std::hint::black_box(levels)
+}
+
+/// A Figure 2 row: the function name and its simulated report.
+pub struct Fig2Row {
+    /// Driver label.
+    pub label: &'static str,
+    /// Which kernel it belongs to.
+    pub kernel: &'static str,
+    /// Simulated memory report.
+    pub report: MemReport,
+}
+
+/// Runs all four drivers on `machine` and returns the CPI table.
+pub fn run(dataset: Dataset, scale: Scale, machine: Machine) -> Vec<Fig2Row> {
+    let db = quest::generate_cached(dataset, scale);
+    let minsup = dataset.support(scale);
+    let mut rows = Vec::new();
+    {
+        let mut p = CacheProbe::new(machine);
+        drive_lcm_calc_freq(&db, minsup, &mut p);
+        rows.push(Fig2Row {
+            label: "LCM::calc_freq",
+            kernel: "LCM",
+            report: p.report("LCM::calc_freq"),
+        });
+    }
+    {
+        let mut p = CacheProbe::new(machine);
+        drive_lcm_rm_dup(&db, minsup, &mut p);
+        rows.push(Fig2Row {
+            label: "LCM::rm_dup_trans",
+            kernel: "LCM",
+            report: p.report("LCM::rm_dup_trans"),
+        });
+    }
+    {
+        let mut p = CacheProbe::new(machine);
+        drive_eclat_and_count(&db, minsup, &mut p);
+        rows.push(Fig2Row {
+            label: "Eclat::and_count",
+            kernel: "Eclat",
+            report: p.report("Eclat::and_count"),
+        });
+    }
+    {
+        let mut p = CacheProbe::new(machine);
+        drive_fpg_traverse(&db, minsup, &mut p);
+        rows.push(Fig2Row {
+            label: "FPGrowth::traverse",
+            kernel: "FP-Growth",
+            report: p.report("FPGrowth::traverse"),
+        });
+    }
+    rows
+}
+
+/// Formats the Figure 2 table.
+pub fn render(rows: &[Fig2Row], machine: &Machine) -> String {
+    let mut out = format!(
+        "Figure 2: CPI of the most time-consuming functions ({}; optimum CPI 0.33)\n{}\n",
+        machine.name,
+        MemReport::header()
+    );
+    for r in rows {
+        out.push_str(&r.report.row());
+        out.push('\n');
+    }
+    out.push_str(
+        "\n(memory-bound kernels sit far above the 0.33 optimum; Eclat sits near it)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_shape_holds() {
+        // The paper's claim: LCM and FP-Growth are memory bound (high
+        // CPI), Eclat is computation bound (CPI near the optimum).
+        let rows = run(Dataset::Ds1, Scale::Smoke, Machine::m1());
+        let cpi = |label: &str| {
+            rows.iter()
+                .find(|r| r.label == label)
+                .map(|r| r.report.cpi())
+                .unwrap()
+        };
+        let eclat = cpi("Eclat::and_count");
+        let lcm = cpi("LCM::calc_freq");
+        let fpg = cpi("FPGrowth::traverse");
+        assert!(eclat < 1.0, "eclat CPI {eclat}");
+        assert!(lcm > 1.5 * eclat, "lcm {lcm} vs eclat {eclat}");
+        assert!(fpg > 1.5 * eclat, "fpg {fpg} vs eclat {eclat}");
+    }
+
+    #[test]
+    fn drivers_return_nonzero_work() {
+        let db = Dataset::Ds1.generate(Scale::Smoke);
+        let s = Dataset::Ds1.support(Scale::Smoke);
+        assert!(drive_lcm_calc_freq(&db, s, &mut memsim::NullProbe) > 0);
+        assert!(drive_lcm_rm_dup(&db, s, &mut memsim::NullProbe) > 0);
+        assert!(drive_eclat_and_count(&db, s, &mut memsim::NullProbe) > 0);
+        assert!(drive_fpg_traverse(&db, s, &mut memsim::NullProbe) > 0);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let rows = run(Dataset::Ds1, Scale::Smoke, Machine::m1());
+        let s = render(&rows, &Machine::m1());
+        for r in &rows {
+            assert!(s.contains(r.label));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro table1 … table6          # the static/derived tables
+//! repro fig2 [--machine m1|m2] [--scale …] [--dataset …]
+//! repro fig8 [--kernel lcm|eclat|fpgrowth] [--machine native|m1|m2]
+//!            [--scale smoke|ci|full] [--exhaustive] [--runs N]
+//! repro claims [--scale …] [--runs N]
+//! repro all   [--scale …]        # everything, in paper order
+//! ```
+
+use fpm_bench::{claims, fig2, fig8, tables};
+use memsim::Machine;
+use quest::{Dataset, Scale};
+
+struct Opts {
+    scale: Scale,
+    machine: String,
+    kernel: Option<String>,
+    dataset: Dataset,
+    exhaustive: bool,
+    runs: usize,
+    csv: bool,
+}
+
+fn parse(args: &[String]) -> Opts {
+    let mut o = Opts {
+        scale: Scale::Smoke,
+        machine: "native".into(),
+        kernel: None,
+        dataset: Dataset::Ds1,
+        exhaustive: false,
+        runs: 3,
+        csv: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                o.scale = Scale::by_label(&args[i]).expect("bad --scale");
+            }
+            "--machine" => {
+                i += 1;
+                o.machine = args[i].clone();
+            }
+            "--kernel" => {
+                i += 1;
+                o.kernel = Some(args[i].clone());
+            }
+            "--dataset" => {
+                i += 1;
+                o.dataset = Dataset::by_label(&args[i]).expect("bad --dataset");
+            }
+            "--exhaustive" => o.exhaustive = true,
+            "--csv" => o.csv = true,
+            "--runs" => {
+                i += 1;
+                o.runs = args[i].parse().expect("bad --runs");
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    o
+}
+
+fn fig8_timing(o: &Opts) -> fig8::Timing {
+    match o.machine.as_str() {
+        "native" => fig8::Timing::Native { runs: o.runs },
+        m => fig8::Timing::Simulated(Machine::by_label(m).expect("bad --machine")),
+    }
+}
+
+fn do_fig8(o: &Opts) {
+    let kernels: Vec<String> = match &o.kernel {
+        Some(k) => vec![k.clone()],
+        None => vec!["lcm".into(), "eclat".into(), "fpgrowth".into()],
+    };
+    for k in kernels {
+        let clusters: Vec<fig8::Cluster> = Dataset::ALL
+            .iter()
+            .map(|&d| fig8::run_cluster(&k, d, o.scale, fig8_timing(o), o.exhaustive))
+            .collect();
+        if o.csv {
+            print!("{}", fig8::render_csv(&k, &clusters));
+        } else {
+            print!("{}", fig8::render(&k, &clusters, fig8_timing(o)));
+            println!();
+        }
+    }
+}
+
+fn do_fig2(o: &Opts) {
+    let machine = if o.machine == "native" {
+        Machine::m1()
+    } else {
+        Machine::by_label(&o.machine).expect("bad --machine")
+    };
+    let rows = fig2::run(o.dataset, o.scale, machine);
+    print!("{}", fig2::render(&rows, &machine));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!(
+            "usage: repro <table1|table2|table3|table4|table5|table6|fig2|fig8|claims|all> [options]"
+        );
+        std::process::exit(2);
+    };
+    let o = parse(rest);
+    match cmd.as_str() {
+        "table1" => print!("{}", tables::table1()),
+        "table2" => print!("{}", tables::table2()),
+        "table3" => print!("{}", tables::table3()),
+        "table4" => print!("{}", tables::table4()),
+        "table5" => print!("{}", tables::table5()),
+        "table6" => print!("{}", tables::table6(o.scale)),
+        "fig2" => do_fig2(&o),
+        "fig8" => do_fig8(&o),
+        "claims" => print!("{}", claims::render(&claims::check(o.scale, o.runs))),
+        "all" => {
+            print!("{}", tables::table1());
+            println!();
+            print!("{}", tables::table2());
+            println!();
+            print!("{}", tables::table3());
+            println!();
+            print!("{}", tables::table4());
+            println!();
+            print!("{}", tables::table5());
+            println!();
+            print!("{}", tables::table6(o.scale));
+            println!();
+            do_fig2(&o);
+            println!();
+            do_fig8(&o);
+            print!("{}", claims::render(&claims::check(o.scale, o.runs)));
+        }
+        other => {
+            eprintln!("unknown command {other}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! `fpm-mine` — command-line frequent itemset miner.
+//!
+//! ```text
+//! fpm-mine --input db.dat --minsup 100 --kernel lcm --variant all
+//! fpm-mine --dataset ds1 --scale smoke --kernel eclat --variant simd --out patterns.txt
+//! fpm-mine --dataset ds3 --scale ci --kernel fpgrowth --variant base --count-only
+//! fpm-mine --input db.dat --minsup 50 --kernel lcm --advise
+//! ```
+//!
+//! Kernels: `lcm` (default), `eclat`, `fpgrowth`, `apriori`, `hmine`.
+//! Variants: each kernel's Figure 8 columns (`base`, `lex`, …, `all`);
+//! `--advise` lets the input-profile advisor pick the pattern set.
+
+use fpm::{CollectSink, CountSink, PatternSink, TransactionDb};
+use quest::{Dataset, Scale};
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    input: Option<String>,
+    dataset: Option<Dataset>,
+    scale: Scale,
+    minsup: Option<u64>,
+    kernel: String,
+    variant: String,
+    out: Option<String>,
+    count_only: bool,
+    advise: bool,
+    profile: bool,
+    kind: fpm::MineKind,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fpm-mine (--input FILE.dat | --dataset ds1..ds4 [--scale smoke|ci|full])
+                [--minsup N] [--kernel lcm|eclat|fpgrowth|apriori|hmine]
+                [--variant base|lex|reorg|pref|tile|simd|all] [--advise]
+                [--kind all|closed|maximal] [--out FILE] [--count-only] [--profile]
+
+  --minsup defaults to the dataset's Table 6 support (required for --input)
+  --advise lets the input profile choose the pattern set (overrides --variant)
+  --profile prints the input profile and the advisor's recommendation"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        input: None,
+        dataset: None,
+        scale: Scale::Ci,
+        minsup: None,
+        kernel: "lcm".into(),
+        variant: "all".into(),
+        out: None,
+        count_only: false,
+        advise: false,
+        profile: false,
+        kind: fpm::MineKind::All,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--input" => a.input = Some(value(&mut i)),
+            "--dataset" => {
+                a.dataset = Some(Dataset::by_label(&value(&mut i)).unwrap_or_else(|| usage()))
+            }
+            "--scale" => a.scale = Scale::by_label(&value(&mut i)).unwrap_or_else(|| usage()),
+            "--minsup" => a.minsup = value(&mut i).parse().ok(),
+            "--kernel" => a.kernel = value(&mut i),
+            "--variant" => a.variant = value(&mut i),
+            "--out" => a.out = Some(value(&mut i)),
+            "--count-only" => a.count_only = true,
+            "--kind" => {
+                a.kind = match value(&mut i).as_str() {
+                    "all" => fpm::MineKind::All,
+                    "closed" => fpm::MineKind::Closed,
+                    "maximal" => fpm::MineKind::Maximal,
+                    _ => usage(),
+                }
+            }
+            "--advise" => a.advise = true,
+            "--profile" => a.profile = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    if a.input.is_none() && a.dataset.is_none() {
+        usage();
+    }
+    a
+}
+
+fn load(a: &Args) -> (TransactionDb, u64) {
+    if let Some(path) = &a.input {
+        let db = fpm::io::read_dat_file(path).unwrap_or_else(|e| {
+            eprintln!("error reading {path}: {e}");
+            std::process::exit(1);
+        });
+        let minsup = a.minsup.unwrap_or_else(|| {
+            eprintln!("--minsup is required with --input");
+            std::process::exit(2);
+        });
+        (db, minsup)
+    } else {
+        let ds = a.dataset.expect("checked in parse_args");
+        let db = ds.generate(a.scale);
+        (db, a.minsup.unwrap_or_else(|| ds.support(a.scale)))
+    }
+}
+
+fn advised_variant(db: &TransactionDb, minsup: u64, kernel: &str) -> String {
+    use also::catalog::Kernel;
+    let k = match kernel {
+        "lcm" => Kernel::Lcm,
+        "eclat" => Kernel::Eclat,
+        "fpgrowth" => Kernel::FpGrowth,
+        _ => return "all".into(),
+    };
+    let profile = fpm::metrics::profile(db, minsup);
+    let picks = also::advisor::advise(&profile, k, &also::advisor::AdvisorConfig::default());
+    // map the advised pattern set onto the closest named variant
+    use also::catalog::Pattern::*;
+    let has = |p| picks.contains(&p);
+    match k {
+        Kernel::Lcm => {
+            if has(LexicographicOrdering) && has(Tiling) {
+                "all".into()
+            } else if has(Tiling) {
+                "tile".into()
+            } else if has(LexicographicOrdering) {
+                "lex".into()
+            } else {
+                "reorg".into()
+            }
+        }
+        Kernel::Eclat => {
+            if has(LexicographicOrdering) {
+                "all".into()
+            } else {
+                "simd".into()
+            }
+        }
+        Kernel::FpGrowth => {
+            if has(LexicographicOrdering) && has(SoftwarePrefetch) {
+                "all".into()
+            } else if has(SoftwarePrefetch) {
+                "pref".into()
+            } else {
+                "reorg".into()
+            }
+        }
+    }
+}
+
+fn mine_with<S: PatternSink>(
+    kernel: &str,
+    variant: &str,
+    db: &TransactionDb,
+    minsup: u64,
+    sink: &mut S,
+) -> Result<(), String> {
+    match kernel {
+        "lcm" => {
+            let cfg = lcm::variants()
+                .into_iter()
+                .find(|(n, _)| *n == variant)
+                .map(|(_, c)| c)
+                .ok_or_else(|| format!("lcm has no variant {variant:?}"))?;
+            lcm::mine(db, minsup, &cfg, sink);
+        }
+        "eclat" => {
+            let cfg = eclat::variants()
+                .into_iter()
+                .find(|(n, _)| *n == variant)
+                .map(|(_, c)| c)
+                .ok_or_else(|| format!("eclat has no variant {variant:?}"))?;
+            eclat::mine(db, minsup, &cfg, sink);
+        }
+        "fpgrowth" => {
+            let cfg = fpgrowth::variants()
+                .into_iter()
+                .find(|(n, _)| *n == variant)
+                .map(|(_, c)| c)
+                .ok_or_else(|| format!("fpgrowth has no variant {variant:?}"))?;
+            fpgrowth::mine(db, minsup, &cfg, sink);
+        }
+        "apriori" => apriori::mine(db, minsup, sink),
+        "hmine" => fpm::hmine::mine(db, minsup, sink),
+        other => return Err(format!("unknown kernel {other:?}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let (db, minsup) = load(&args);
+    eprintln!(
+        "database: {} transactions, {} items, mean length {:.1}; minsup {}",
+        db.len(),
+        db.n_items(),
+        db.mean_len(),
+        minsup
+    );
+
+    if args.profile {
+        let p = fpm::metrics::profile(&db, minsup);
+        eprintln!(
+            "profile: density {:.5}, scatter {:.3}, mean ranked length {:.1}, {} frequent items",
+            p.density, p.scatter, p.mean_len, p.n_items
+        );
+    }
+
+    let variant = if args.advise {
+        let v = advised_variant(&db, minsup, &args.kernel);
+        eprintln!("advisor picked variant {v:?} for kernel {}", args.kernel);
+        v
+    } else {
+        args.variant.clone()
+    };
+
+    let start = Instant::now();
+    let result = if args.count_only && matches!(args.kind, fpm::MineKind::All) {
+        let mut sink = CountSink::default();
+        mine_with(&args.kernel, &variant, &db, minsup, &mut sink).map(|()| {
+            eprintln!(
+                "{} frequent itemsets in {:.3}s",
+                sink.count,
+                start.elapsed().as_secs_f64()
+            );
+        })
+    } else {
+        let mut sink = CollectSink::default();
+        mine_with(&args.kernel, &variant, &db, minsup, &mut sink).map(|()| {
+            let filtered = match args.kind {
+                fpm::MineKind::All => sink.patterns,
+                fpm::MineKind::Closed => fpm::postfilter::closed(sink.patterns),
+                fpm::MineKind::Maximal => fpm::postfilter::maximal(sink.patterns),
+            };
+            let patterns = fpm::types::canonicalize(filtered);
+            eprintln!(
+                "{} {} itemsets in {:.3}s",
+                patterns.len(),
+                args.kind.name(),
+                start.elapsed().as_secs_f64()
+            );
+            if args.count_only {
+                return;
+            }
+            match &args.out {
+                Some(path) => {
+                    let f = std::fs::File::create(path).expect("create output file");
+                    fpm::io::write_patterns(f, &patterns).expect("write patterns");
+                }
+                None => {
+                    let stdout = std::io::stdout();
+                    let mut lock = stdout.lock();
+                    fpm::io::write_patterns(&mut lock, &patterns).expect("write patterns");
+                    lock.flush().ok();
+                }
+            }
+        })
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

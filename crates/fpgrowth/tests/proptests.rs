@@ -1,0 +1,48 @@
+//! Property tests: every FP-Growth tree representation mines identically
+//! on arbitrary inputs, and conditional-tree recursion respects the
+//! frequent-itemset contract.
+
+use fpm_fpgrowth as fpgrowth;
+use fpm::types::canonicalize;
+use fpm::{CollectSink, TransactionDb};
+use proptest::prelude::*;
+
+fn run(db: &TransactionDb, minsup: u64, cfg: &fpgrowth::FpConfig) -> Vec<fpm::ItemsetCount> {
+    let mut s = CollectSink::default();
+    fpgrowth::mine(db, minsup, cfg, &mut s);
+    canonicalize(s.patterns)
+}
+
+fn arb_db() -> impl Strategy<Value = TransactionDb> {
+    prop::collection::vec(
+        prop::collection::btree_set(0u32..16, 0..10)
+            .prop_map(|s| s.into_iter().collect::<Vec<u32>>()),
+        0..60,
+    )
+    .prop_map(TransactionDb::from_transactions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn representations_agree(db in arb_db(), minsup in 1u64..8) {
+        let expect = run(&db, minsup, &fpgrowth::FpConfig::baseline());
+        for (name, cfg) in fpgrowth::variants() {
+            prop_assert_eq!(run(&db, minsup, &cfg), expect.clone(), "{}", name);
+        }
+    }
+
+    #[test]
+    fn supports_are_exact(db in arb_db(), minsup in 1u64..8) {
+        for p in run(&db, minsup, &fpgrowth::FpConfig::all()) {
+            let scan = db
+                .transactions()
+                .iter()
+                .filter(|t| p.items.iter().all(|i| t.binary_search(i).is_ok()))
+                .count() as u64;
+            prop_assert_eq!(p.support, scan);
+            prop_assert!(p.support >= minsup);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! The raw transactional database: what comes off disk or out of a
+//! generator, before any mining-oriented restructuring.
+
+use crate::types::Item;
+
+/// A raw transaction database: a bag of item-set transactions over
+/// external item identifiers.
+///
+/// Invariants maintained by the constructors: each transaction's items are
+/// sorted ascending with duplicates removed; `n_items` is one past the
+/// largest item id (0 when empty).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransactionDb {
+    transactions: Vec<Vec<Item>>,
+    n_items: usize,
+}
+
+impl TransactionDb {
+    /// Builds a database from raw transactions, sorting and deduplicating
+    /// the items of each. Empty transactions are kept (they carry no
+    /// items but still count toward `len`, matching FIMI file semantics
+    /// where blank lines are dropped by the reader instead).
+    pub fn from_transactions(raw: Vec<Vec<Item>>) -> Self {
+        let mut n_items = 0usize;
+        let transactions: Vec<Vec<Item>> = raw
+            .into_iter()
+            .map(|mut t| {
+                t.sort_unstable();
+                t.dedup();
+                if let Some(&max) = t.last() {
+                    n_items = n_items.max(max as usize + 1);
+                }
+                t
+            })
+            .collect();
+        TransactionDb {
+            transactions,
+            n_items,
+        }
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// `true` when the database has no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// One past the largest item identifier.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// The transactions (each sorted ascending, deduplicated).
+    pub fn transactions(&self) -> &[Vec<Item>] {
+        &self.transactions
+    }
+
+    /// Total item occurrences across all transactions.
+    pub fn nnz(&self) -> u64 {
+        self.transactions.iter().map(|t| t.len() as u64).sum()
+    }
+
+    /// Mean transaction length.
+    pub fn mean_len(&self) -> f64 {
+        if self.transactions.is_empty() {
+            0.0
+        } else {
+            self.nnz() as f64 / self.transactions.len() as f64
+        }
+    }
+
+    /// The support of a single item, by scan (used by tests; miners use
+    /// the counted supports from [`crate::remap`]).
+    pub fn item_support(&self, item: Item) -> u64 {
+        self.transactions
+            .iter()
+            .filter(|t| t.binary_search(&item).is_ok())
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_normalizes() {
+        let db = TransactionDb::from_transactions(vec![vec![3, 1, 3], vec![], vec![0, 2]]);
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.n_items(), 4);
+        assert_eq!(db.transactions()[0], vec![1, 3]);
+        assert_eq!(db.nnz(), 4);
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = TransactionDb::default();
+        assert!(db.is_empty());
+        assert_eq!(db.n_items(), 0);
+        assert_eq!(db.mean_len(), 0.0);
+    }
+
+    #[test]
+    fn item_support_by_scan() {
+        let db = TransactionDb::from_transactions(vec![vec![0, 1], vec![1], vec![2, 1], vec![0]]);
+        assert_eq!(db.item_support(1), 3);
+        assert_eq!(db.item_support(0), 2);
+        assert_eq!(db.item_support(9), 0);
+    }
+}

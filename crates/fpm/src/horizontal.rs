@@ -1,0 +1,182 @@
+//! The horizontal sparse representation (paper Figure 3, middle): each
+//! transaction stored as the array of its item ids, all transactions
+//! flattened into one CSR-like arena. This is the structure the LCM
+//! kernel traverses; the occurrence array (`occ`) on top of it — one list
+//! of transaction indices per item — is what `calc_freq` walks.
+
+use crate::types::{Item, Tid};
+
+/// A flattened, weighted horizontal database over rank ids.
+///
+/// `weights[t]` is the multiplicity of transaction `t` (duplicate
+/// transactions merged upstream sum their weights); supports are weighted
+/// counts throughout.
+#[derive(Debug, Clone, Default)]
+pub struct HorizontalDb {
+    items: Vec<Item>,
+    offsets: Vec<u32>,
+    weights: Vec<u32>,
+}
+
+impl HorizontalDb {
+    /// Flattens ranked transactions, each with weight 1.
+    pub fn from_ranked(transactions: &[Vec<u32>]) -> Self {
+        Self::from_weighted(transactions.iter().map(|t| (t.as_slice(), 1)))
+    }
+
+    /// Flattens `(items, weight)` pairs.
+    pub fn from_weighted<'a>(rows: impl Iterator<Item = (&'a [u32], u32)>) -> Self {
+        let mut db = HorizontalDb {
+            items: Vec::new(),
+            offsets: vec![0],
+            weights: Vec::new(),
+        };
+        for (t, w) in rows {
+            db.items.extend_from_slice(t);
+            db.offsets.push(db.items.len() as u32);
+            db.weights.push(w);
+        }
+        db
+    }
+
+    /// Number of (merged) transactions.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` when there are no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The items of transaction `t`.
+    #[inline]
+    pub fn transaction(&self, t: Tid) -> &[Item] {
+        let (lo, hi) = (self.offsets[t as usize], self.offsets[t as usize + 1]);
+        &self.items[lo as usize..hi as usize]
+    }
+
+    /// The weight (multiplicity) of transaction `t`.
+    #[inline]
+    pub fn weight(&self, t: Tid) -> u32 {
+        self.weights[t as usize]
+    }
+
+    /// Total weighted transaction count.
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().map(|&w| w as u64).sum()
+    }
+
+    /// Total stored item occurrences.
+    pub fn nnz(&self) -> usize {
+        self.items.len()
+    }
+
+    /// The flat item arena (all transactions concatenated) — exposed so
+    /// the memory simulator can attribute addresses.
+    pub fn items_raw(&self) -> &[Item] {
+        &self.items
+    }
+}
+
+/// The occurrence array: for each item, the ascending list of transaction
+/// indices containing it — the shaded `occ` columns of the paper's
+/// Figure 6.
+#[derive(Debug, Clone, Default)]
+pub struct OccArray {
+    lists: Vec<Vec<Tid>>,
+}
+
+impl OccArray {
+    /// Builds occurrence lists for items `0..n_items` over `db`.
+    pub fn build(db: &HorizontalDb, n_items: usize) -> Self {
+        let mut lists = vec![Vec::new(); n_items];
+        for t in 0..db.len() as u32 {
+            for &i in db.transaction(t) {
+                lists[i as usize].push(t);
+            }
+        }
+        OccArray { lists }
+    }
+
+    /// The transactions containing `item`, ascending.
+    #[inline]
+    pub fn occ(&self, item: Item) -> &[Tid] {
+        &self.lists[item as usize]
+    }
+
+    /// Number of items covered.
+    pub fn n_items(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Weighted support of `item` under `db`.
+    pub fn support(&self, db: &HorizontalDb, item: Item) -> u64 {
+        self.occ(item).iter().map(|&t| db.weight(t) as u64).sum()
+    }
+
+    /// Borrowed slices of every list, for the tiling traversal
+    /// ([`also::tiling::TiledLists`] takes `&[&[u32]]`).
+    pub fn as_slices(&self) -> Vec<&[Tid]> {
+        self.lists.iter().map(|l| l.as_slice()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranked_toy() -> Vec<Vec<u32>> {
+        vec![
+            vec![0, 1, 2],
+            vec![0, 1, 2],
+            vec![0, 1, 2, 3, 4, 5],
+            vec![0, 1, 3],
+            vec![4, 5],
+        ]
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let db = HorizontalDb::from_ranked(&ranked_toy());
+        assert_eq!(db.len(), 5);
+        assert_eq!(db.transaction(2), &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(db.transaction(4), &[4, 5]);
+        assert_eq!(db.weight(0), 1);
+        assert_eq!(db.total_weight(), 5);
+        assert_eq!(db.nnz(), 17);
+    }
+
+    #[test]
+    fn weighted_rows() {
+        let rows: Vec<(Vec<u32>, u32)> = vec![(vec![0, 1], 3), (vec![1], 2)];
+        let db = HorizontalDb::from_weighted(rows.iter().map(|(t, w)| (t.as_slice(), *w)));
+        assert_eq!(db.total_weight(), 5);
+        assert_eq!(db.weight(0), 3);
+    }
+
+    #[test]
+    fn occ_lists_ascending_and_complete() {
+        let db = HorizontalDb::from_ranked(&ranked_toy());
+        let occ = OccArray::build(&db, 6);
+        assert_eq!(occ.occ(0), &[0, 1, 2, 3]);
+        assert_eq!(occ.occ(3), &[2, 3]);
+        assert_eq!(occ.occ(5), &[2, 4]);
+        assert_eq!(occ.support(&db, 0), 4);
+        for i in 0..6u32 {
+            assert!(occ.occ(i).windows(2).all(|w| w[0] < w[1]));
+        }
+        // every occurrence accounted for
+        let total: usize = (0..6u32).map(|i| occ.occ(i).len()).sum();
+        assert_eq!(total, db.nnz());
+    }
+
+    #[test]
+    fn empty_db_occ() {
+        let db = HorizontalDb::from_ranked(&[]);
+        assert!(db.is_empty());
+        let occ = OccArray::build(&db, 4);
+        assert_eq!(occ.n_items(), 4);
+        assert!(occ.occ(0).is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! Input characterization: bridges [`TransactionDb`] to the advisor's
+//! [`InputProfile`](also::advisor::InputProfile) and adds the
+//! dataset-shape statistics the evaluation section reasons with (density,
+//! mean length, scatter of the frequent items).
+
+use crate::db::TransactionDb;
+use crate::remap::remap;
+use also::advisor::InputProfile;
+
+/// Measures the profile of a raw database at a given support threshold:
+/// the database is rank-remapped first (so "frequent items" means
+/// post-threshold ranks) and the profile is taken over the ranked
+/// transactions — the form every miner actually sees.
+pub fn profile(db: &TransactionDb, minsup: u64) -> InputProfile {
+    let ranked = remap(db, minsup);
+    InputProfile::measure(&ranked.transactions, ranked.n_ranks())
+}
+
+/// The fraction of distinct transactions, `0..=1` — the prefix-sharing
+/// signal [`also::adapt::choose_repr`] consumes (low ratio ⇒ heavy
+/// duplication ⇒ a prefix tree compresses well).
+pub fn distinct_ratio(db: &TransactionDb) -> f64 {
+    if db.is_empty() {
+        return 1.0;
+    }
+    let mut sorted: Vec<&Vec<u32>> = db.transactions().iter().collect();
+    sorted.sort();
+    let mut distinct = 1usize;
+    for w in sorted.windows(2) {
+        if w[0] != w[1] {
+            distinct += 1;
+        }
+    }
+    distinct as f64 / db.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_reflects_threshold() {
+        let db = TransactionDb::from_transactions(vec![
+            vec![0, 1],
+            vec![0, 1],
+            vec![0, 2],
+            vec![3],
+        ]);
+        let p_all = profile(&db, 1);
+        assert_eq!(p_all.n_items, 4);
+        let p_thresh = profile(&db, 2);
+        assert_eq!(p_thresh.n_items, 2); // only items 0 and 1 survive
+        assert!(p_thresh.nnz < p_all.nnz);
+    }
+
+    #[test]
+    fn distinct_ratio_bounds() {
+        let db = TransactionDb::from_transactions(vec![vec![0], vec![0], vec![0], vec![1]]);
+        assert!((distinct_ratio(&db) - 0.5).abs() < 1e-9);
+        let all_same = TransactionDb::from_transactions(vec![vec![7, 8]; 10]);
+        assert!((distinct_ratio(&all_same) - 0.1).abs() < 1e-9);
+        assert_eq!(distinct_ratio(&TransactionDb::default()), 1.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! A brute-force reference miner: enumerates the itemset lattice by
+//! depth-first extension and counts each candidate's support with a full
+//! database scan. Exponential and proud of it — its only job is to be
+//! *obviously correct* so the real miners (and the Apriori oracle itself)
+//! can be validated against it on small inputs.
+
+use crate::db::TransactionDb;
+use crate::types::{Item, ItemsetCount, MineKind};
+
+/// Mines every frequent itemset of `db` at threshold `minsup`
+/// (`minsup == 0` is treated as 1, matching [`crate::remap`]).
+///
+/// Only use on small inputs: the candidate space is pruned by the Apriori
+/// property (an infrequent itemset has no frequent extensions) but support
+/// counting is a full scan per candidate.
+pub fn mine(db: &TransactionDb, minsup: u64) -> Vec<ItemsetCount> {
+    mine_kind(db, minsup, MineKind::All)
+}
+
+/// Mines with an output family filter; `Closed` and `Maximal` are
+/// computed by post-filtering the full frequent set (quadratic, fine for
+/// an oracle).
+pub fn mine_kind(db: &TransactionDb, minsup: u64, kind: MineKind) -> Vec<ItemsetCount> {
+    let minsup = minsup.max(1);
+    let items: Vec<Item> = (0..db.n_items() as u32).collect();
+    let mut out = Vec::new();
+    let mut prefix = Vec::new();
+    extend(db, minsup, &items, 0, &mut prefix, &mut out);
+    match kind {
+        MineKind::All => out,
+        MineKind::Closed => filter_closed(out),
+        MineKind::Maximal => filter_maximal(out),
+    }
+}
+
+fn support(db: &TransactionDb, itemset: &[Item]) -> u64 {
+    db.transactions()
+        .iter()
+        .filter(|t| itemset.iter().all(|i| t.binary_search(i).is_ok()))
+        .count() as u64
+}
+
+fn extend(
+    db: &TransactionDb,
+    minsup: u64,
+    items: &[Item],
+    from: usize,
+    prefix: &mut Vec<Item>,
+    out: &mut Vec<ItemsetCount>,
+) {
+    for k in from..items.len() {
+        prefix.push(items[k]);
+        let s = support(db, prefix);
+        if s >= minsup {
+            out.push(ItemsetCount {
+                items: prefix.clone(),
+                support: s,
+            });
+            extend(db, minsup, items, k + 1, prefix, out);
+        }
+        prefix.pop();
+    }
+}
+
+fn filter_closed(all: Vec<ItemsetCount>) -> Vec<ItemsetCount> {
+    all.iter()
+        .filter(|p| {
+            !all.iter().any(|q| {
+                q.support == p.support
+                    && q.items.len() > p.items.len()
+                    && is_subset(&p.items, &q.items)
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+fn filter_maximal(all: Vec<ItemsetCount>) -> Vec<ItemsetCount> {
+    all.iter()
+        .filter(|p| {
+            !all.iter()
+                .any(|q| q.items.len() > p.items.len() && is_subset(&p.items, &q.items))
+        })
+        .cloned()
+        .collect()
+}
+
+fn is_subset(small: &[Item], big: &[Item]) -> bool {
+    small.iter().all(|i| big.binary_search(i).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::canonicalize;
+
+    fn toy() -> TransactionDb {
+        // The paper's Table 1 database (a=0..f=5).
+        TransactionDb::from_transactions(vec![
+            vec![0, 2, 5],
+            vec![1, 2, 5],
+            vec![0, 2, 5],
+            vec![3, 4],
+            vec![0, 1, 2, 3, 4, 5],
+        ])
+    }
+
+    #[test]
+    fn singleton_supports() {
+        let out = mine(&toy(), 1);
+        let find = |items: &[Item]| {
+            out.iter()
+                .find(|p| p.items == items)
+                .map(|p| p.support)
+        };
+        assert_eq!(find(&[2]), Some(4)); // c
+        assert_eq!(find(&[5]), Some(4)); // f
+        assert_eq!(find(&[0]), Some(3)); // a
+        assert_eq!(find(&[2, 5]), Some(4)); // {c,f}
+        assert_eq!(find(&[0, 2, 5]), Some(3)); // {a,c,f}
+        assert_eq!(find(&[3, 4]), Some(2)); // {d,e}
+    }
+
+    #[test]
+    fn threshold_prunes() {
+        let all = mine(&toy(), 1);
+        let some = mine(&toy(), 3);
+        assert!(some.len() < all.len());
+        assert!(some.iter().all(|p| p.support >= 3));
+        // {c}, {f}, {a}, {c,f}, {a,c}, {a,f}, {a,c,f} — 7 sets with sup >= 3
+        assert_eq!(some.len(), 7);
+    }
+
+    #[test]
+    fn closed_and_maximal_nest() {
+        let all = canonicalize(mine_kind(&toy(), 2, MineKind::All));
+        let closed = canonicalize(mine_kind(&toy(), 2, MineKind::Closed));
+        let maximal = canonicalize(mine_kind(&toy(), 2, MineKind::Maximal));
+        assert!(maximal.len() <= closed.len());
+        assert!(closed.len() <= all.len());
+        // every maximal is closed; every closed is frequent
+        for m in &maximal {
+            assert!(closed.contains(m));
+        }
+        for c in &closed {
+            assert!(all.contains(c));
+        }
+        // {d,e} with support 2 is maximal (no frequent superset)
+        assert!(maximal.iter().any(|p| p.items == vec![3, 4]));
+    }
+
+    #[test]
+    fn closed_drops_subsumed_equal_support() {
+        // {c,f} sup 4 and {c} sup 4, {f} sup 4: the singletons are not
+        // closed, {c,f} is.
+        let closed = mine_kind(&toy(), 2, MineKind::Closed);
+        assert!(!closed.iter().any(|p| p.items == vec![2]));
+        assert!(!closed.iter().any(|p| p.items == vec![5]));
+        assert!(closed.iter().any(|p| p.items == vec![2, 5]));
+    }
+
+    #[test]
+    fn empty_db_mines_nothing() {
+        assert!(mine(&TransactionDb::default(), 1).is_empty());
+    }
+
+    #[test]
+    fn output_count_matches_lattice_on_dense_toy() {
+        // 3 transactions {0,1}, {0,1}, {0,1}: frequent itemsets at minsup 3
+        // are {0}, {1}, {0,1}.
+        let db = TransactionDb::from_transactions(vec![vec![0, 1]; 3]);
+        let out = mine(&db, 3);
+        assert_eq!(out.len(), 3);
+    }
+}

@@ -1,0 +1,156 @@
+//! Closed- and maximal-itemset post-filters — the LCM-family output
+//! variants (DESIGN.md §7 extension; LCM is, after all, the *closed*
+//! itemset miner).
+//!
+//! Both filters run in `O(Σ|Q|)` hash operations over the frequent set,
+//! using the one-step structure of the lattice:
+//!
+//! * `P` is **not closed** iff some one-item extension `Q = P ∪ {e}` is
+//!   frequent with `sup(Q) == sup(P)` — larger supersets cannot have
+//!   equal support unless a one-step one does (support is
+//!   anti-monotone along any chain between them).
+//! * `P` is **not maximal** iff *any* one-item extension is frequent.
+//!
+//! So marking, for every frequent `Q`, each of its `|Q|` one-item-removed
+//! subsets suffices.
+
+use crate::types::ItemsetCount;
+use std::collections::HashMap;
+
+/// Filters a complete frequent set down to the closed itemsets.
+pub fn closed(patterns: Vec<ItemsetCount>) -> Vec<ItemsetCount> {
+    filter(patterns, true)
+}
+
+/// Filters a complete frequent set down to the maximal itemsets.
+pub fn maximal(patterns: Vec<ItemsetCount>) -> Vec<ItemsetCount> {
+    filter(patterns, false)
+}
+
+fn filter(patterns: Vec<ItemsetCount>, closed: bool) -> Vec<ItemsetCount> {
+    // index by sorted itemset
+    let index: HashMap<Vec<u32>, usize> = patterns
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mut k = p.items.clone();
+            k.sort_unstable();
+            (k, i)
+        })
+        .collect();
+    let mut keep = vec![true; patterns.len()];
+    let mut sub = Vec::new();
+    for q in &patterns {
+        let mut items = q.items.clone();
+        items.sort_unstable();
+        if items.len() < 2 {
+            // the empty set is not represented; a 1-itemset's only
+            // sub-pattern is ∅, which the output convention omits
+            continue;
+        }
+        for drop in 0..items.len() {
+            sub.clear();
+            sub.extend_from_slice(&items[..drop]);
+            sub.extend_from_slice(&items[drop + 1..]);
+            if let Some(&pi) = index.get(&sub) {
+                if !closed || patterns[pi].support == q.support {
+                    keep[pi] = false;
+                }
+            }
+        }
+    }
+    patterns
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(p, k)| k.then_some(p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::TransactionDb;
+    use crate::naive;
+    use crate::types::{canonicalize, MineKind};
+
+    fn toy() -> TransactionDb {
+        TransactionDb::from_transactions(vec![
+            vec![0, 2, 5],
+            vec![1, 2, 5],
+            vec![0, 2, 5],
+            vec![3, 4],
+            vec![0, 1, 2, 3, 4, 5],
+        ])
+    }
+
+    #[test]
+    fn matches_naive_filters_on_toy() {
+        for minsup in 1..=4u64 {
+            let all = naive::mine(&toy(), minsup);
+            assert_eq!(
+                canonicalize(closed(all.clone())),
+                canonicalize(naive::mine_kind(&toy(), minsup, MineKind::Closed)),
+                "closed minsup={minsup}"
+            );
+            assert_eq!(
+                canonicalize(maximal(all)),
+                canonicalize(naive::mine_kind(&toy(), minsup, MineKind::Maximal)),
+                "maximal minsup={minsup}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_pseudorandom() {
+        let mut s = 11u64;
+        let mut rnd = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let db = TransactionDb::from_transactions(
+            (0..60)
+                .map(|_| (0..10u32).filter(|_| rnd() % 3 == 0).collect::<Vec<_>>())
+                .collect(),
+        );
+        let all = naive::mine(&db, 4);
+        assert_eq!(
+            canonicalize(closed(all.clone())),
+            canonicalize(naive::mine_kind(&db, 4, MineKind::Closed))
+        );
+        assert_eq!(
+            canonicalize(maximal(all)),
+            canonicalize(naive::mine_kind(&db, 4, MineKind::Maximal))
+        );
+    }
+
+    #[test]
+    fn maximal_subset_of_closed_subset_of_all() {
+        let all = naive::mine(&toy(), 2);
+        let c = closed(all.clone());
+        let m = maximal(all.clone());
+        assert!(m.len() <= c.len() && c.len() <= all.len());
+        let cset: std::collections::HashSet<_> =
+            c.iter().map(|p| p.items.clone()).collect();
+        for p in &m {
+            assert!(cset.contains(&p.items), "maximal must be closed");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(closed(vec![]).is_empty());
+        assert!(maximal(vec![]).is_empty());
+    }
+
+    #[test]
+    fn singletons_only() {
+        let ps = vec![
+            ItemsetCount { items: vec![0], support: 3 },
+            ItemsetCount { items: vec![1], support: 2 },
+        ];
+        assert_eq!(closed(ps.clone()).len(), 2);
+        assert_eq!(maximal(ps).len(), 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Frequency-rank remapping: the preprocessing step every miner shares.
+//!
+//! Items below the support threshold can never appear in a frequent
+//! itemset (the Apriori property), so they are dropped up front; the
+//! surviving items are renumbered by **decreasing frequency** — rank 0 is
+//! the most frequent item. Under this encoding the paper's P1 alphabet
+//! ("items in decreasing frequency order") is the natural integer order,
+//! transactions sorted ascending are already frequency-ordered, and the
+//! FP-tree's "parent rank < child rank" invariant that the differential
+//! byte encoding (P2) exploits holds by construction.
+
+use crate::db::TransactionDb;
+use crate::types::Item;
+
+/// The item-id translation produced by [`remap`].
+#[derive(Debug, Clone)]
+pub struct RankMap {
+    to_orig: Vec<Item>,
+    supports: Vec<u64>,
+}
+
+impl RankMap {
+    /// Number of frequent items (the ranked alphabet size).
+    pub fn n_ranks(&self) -> usize {
+        self.to_orig.len()
+    }
+
+    /// Translates a rank back to the original item id.
+    pub fn original(&self, rank: u32) -> Item {
+        self.to_orig[rank as usize]
+    }
+
+    /// The support of the item at `rank` (non-increasing in rank).
+    pub fn support(&self, rank: u32) -> u64 {
+        self.supports[rank as usize]
+    }
+
+    /// Translates a rank-space itemset into original ids, sorted.
+    pub fn translate(&self, ranks: &[u32]) -> Vec<Item> {
+        let mut v: Vec<Item> = ranks.iter().map(|&r| self.original(r)).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// A database after remapping: transactions over rank ids, each sorted
+/// ascending (= decreasing frequency), with infrequent items and empty
+/// transactions removed.
+#[derive(Debug, Clone)]
+pub struct RankedDb {
+    /// Transactions over rank ids, each sorted ascending.
+    pub transactions: Vec<Vec<u32>>,
+    /// The rank ↔ original translation and per-rank supports.
+    pub map: RankMap,
+    /// Number of transactions in the *original* database (empty and
+    /// all-infrequent transactions still count toward supports' domain).
+    pub original_len: usize,
+}
+
+impl RankedDb {
+    /// The ranked alphabet size.
+    pub fn n_ranks(&self) -> usize {
+        self.map.n_ranks()
+    }
+}
+
+/// Counts item frequencies, drops items with support < `minsup`, and
+/// renumbers the survivors by decreasing frequency (ties broken by
+/// original id, ascending, for determinism).
+pub fn remap(db: &TransactionDb, minsup: u64) -> RankedDb {
+    let mut freq = vec![0u64; db.n_items()];
+    for t in db.transactions() {
+        for &i in t {
+            freq[i as usize] += 1;
+        }
+    }
+    let mut frequent: Vec<Item> = (0..db.n_items() as u32)
+        .filter(|&i| freq[i as usize] >= minsup.max(1))
+        .collect();
+    frequent.sort_by(|&a, &b| {
+        freq[b as usize]
+            .cmp(&freq[a as usize])
+            .then(a.cmp(&b))
+    });
+    let mut to_rank = vec![u32::MAX; db.n_items()];
+    for (rank, &orig) in frequent.iter().enumerate() {
+        to_rank[orig as usize] = rank as u32;
+    }
+    let supports: Vec<u64> = frequent.iter().map(|&i| freq[i as usize]).collect();
+    let transactions: Vec<Vec<u32>> = db
+        .transactions()
+        .iter()
+        .filter_map(|t| {
+            let mut mapped: Vec<u32> = t
+                .iter()
+                .filter_map(|&i| {
+                    let r = to_rank[i as usize];
+                    (r != u32::MAX).then_some(r)
+                })
+                .collect();
+            if mapped.is_empty() {
+                None
+            } else {
+                mapped.sort_unstable();
+                Some(mapped)
+            }
+        })
+        .collect();
+    RankedDb {
+        transactions,
+        map: RankMap {
+            to_orig: frequent,
+            supports,
+        },
+        original_len: db.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> TransactionDb {
+        // Table 1 of the paper: items a=0 b=1 c=2 d=3 e=4 f=5
+        TransactionDb::from_transactions(vec![
+            vec![0, 2, 5],
+            vec![1, 2, 5],
+            vec![0, 2, 5],
+            vec![3, 4],
+            vec![0, 1, 2, 3, 4, 5],
+        ])
+    }
+
+    #[test]
+    fn ranks_are_frequency_descending() {
+        let r = remap(&toy(), 1);
+        // freqs: a=3 b=2 c=4 d=2 e=2 f=4 → ranks c(2),f(5),a(0),b(1),d(3),e(4)
+        assert_eq!(r.map.n_ranks(), 6);
+        assert_eq!(r.map.original(0), 2); // c
+        assert_eq!(r.map.original(1), 5); // f
+        assert_eq!(r.map.original(2), 0); // a
+        assert_eq!(r.map.original(3), 1); // b (tie with d,e broken by id)
+        assert_eq!(r.map.original(4), 3);
+        assert_eq!(r.map.original(5), 4);
+        assert_eq!(r.map.support(0), 4);
+        assert_eq!(r.map.support(5), 2);
+        // supports are non-increasing
+        for w in r.map.supports.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn transactions_become_rank_sorted() {
+        let r = remap(&toy(), 1);
+        assert_eq!(r.transactions[0], vec![0, 1, 2]); // {c,f,a}
+        assert_eq!(r.transactions[4], vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn infrequent_items_dropped() {
+        let r = remap(&toy(), 3);
+        // only c(4), f(4), a(3) survive
+        assert_eq!(r.map.n_ranks(), 3);
+        // transaction {d,e} vanishes entirely
+        assert_eq!(r.transactions.len(), 4);
+        assert_eq!(r.original_len, 5);
+        for t in &r.transactions {
+            assert!(t.iter().all(|&x| x < 3));
+        }
+    }
+
+    #[test]
+    fn minsup_zero_treated_as_one() {
+        let db = TransactionDb::from_transactions(vec![vec![7]]);
+        let r = remap(&db, 0);
+        // item ids 0..6 never occur: only item 7 is ranked
+        assert_eq!(r.map.n_ranks(), 1);
+        assert_eq!(r.map.original(0), 7);
+    }
+
+    #[test]
+    fn translate_restores_original_ids() {
+        let r = remap(&toy(), 1);
+        let orig = r.map.translate(&[2, 0, 1]);
+        assert_eq!(orig, vec![0, 2, 5]); // {a, c, f}
+    }
+
+    #[test]
+    fn empty_db_remaps_to_empty() {
+        let r = remap(&TransactionDb::default(), 1);
+        assert_eq!(r.map.n_ranks(), 0);
+        assert!(r.transactions.is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! Pattern sinks: where miners deliver their output.
+//!
+//! Mining a realistic dataset can emit millions of itemsets; forcing every
+//! miner to materialize a `Vec` would turn every benchmark into an
+//! allocator benchmark. Miners are therefore generic over a [`PatternSink`]:
+//! benches use [`CountSink`]/[`StatsSink`] (no allocation), tests use
+//! [`CollectSink`] behind a [`TranslateSink`] that maps rank ids back to
+//! original item ids for cross-miner comparison.
+
+use crate::remap::RankMap;
+use crate::types::{Item, ItemsetCount};
+
+/// Receives mined patterns. `itemset` is in the miner's working id space
+/// (rank ids unless documented otherwise) and is only valid for the
+/// duration of the call.
+pub trait PatternSink {
+    /// Deliver one pattern with its support.
+    fn emit(&mut self, itemset: &[Item], support: u64);
+}
+
+/// Counts patterns; the cheapest sink.
+#[derive(Debug, Default, Clone)]
+pub struct CountSink {
+    /// Number of patterns emitted.
+    pub count: u64,
+}
+
+impl PatternSink for CountSink {
+    #[inline]
+    fn emit(&mut self, _itemset: &[Item], _support: u64) {
+        self.count += 1;
+    }
+}
+
+/// Collects every pattern into memory. Test-sized inputs only.
+#[derive(Debug, Default, Clone)]
+pub struct CollectSink {
+    /// The collected patterns, in emission order.
+    pub patterns: Vec<ItemsetCount>,
+}
+
+impl PatternSink for CollectSink {
+    fn emit(&mut self, itemset: &[Item], support: u64) {
+        self.patterns.push(ItemsetCount {
+            items: itemset.to_vec(),
+            support,
+        });
+    }
+}
+
+/// Order-insensitive aggregate statistics — used to compare two miners'
+/// outputs cheaply on large inputs (equal stats is a strong, allocation-
+/// free signal; the exact-equality tests run on smaller inputs).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct StatsSink {
+    /// Number of patterns.
+    pub count: u64,
+    /// Sum of supports.
+    pub support_sum: u64,
+    /// Sum of itemset lengths.
+    pub len_sum: u64,
+    /// Longest itemset seen.
+    pub max_len: usize,
+    /// Order-insensitive hash of the (itemset, support) multiset.
+    pub hash: u64,
+}
+
+impl PatternSink for StatsSink {
+    #[inline]
+    fn emit(&mut self, itemset: &[Item], support: u64) {
+        self.count += 1;
+        self.support_sum += support;
+        self.len_sum += itemset.len() as u64;
+        self.max_len = self.max_len.max(itemset.len());
+        // FNV over the sorted itemset, combined commutatively (wrapping
+        // add) so emission order is irrelevant.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &i in itemset {
+            h ^= i as u64 + 1;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= support;
+        h = h.wrapping_mul(0x100_0000_01b3);
+        self.hash = self.hash.wrapping_add(h);
+    }
+}
+
+/// Adapter that translates rank-space itemsets back to original item ids
+/// before forwarding to the inner sink.
+pub struct TranslateSink<'a, S> {
+    map: &'a RankMap,
+    inner: S,
+    scratch: Vec<Item>,
+}
+
+impl<'a, S: PatternSink> TranslateSink<'a, S> {
+    /// Wraps `inner` with the translation of `map`.
+    pub fn new(map: &'a RankMap, inner: S) -> Self {
+        TranslateSink {
+            map,
+            inner,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Unwraps the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: PatternSink> PatternSink for TranslateSink<'_, S> {
+    fn emit(&mut self, itemset: &[Item], support: u64) {
+        self.scratch.clear();
+        self.scratch
+            .extend(itemset.iter().map(|&r| self.map.original(r)));
+        self.scratch.sort_unstable();
+        self.inner.emit(&self.scratch, support);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::TransactionDb;
+    use crate::remap::remap;
+
+    #[test]
+    fn count_sink_counts() {
+        let mut s = CountSink::default();
+        s.emit(&[1, 2], 5);
+        s.emit(&[3], 2);
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn stats_sink_is_order_insensitive() {
+        let mut a = StatsSink::default();
+        a.emit(&[1, 2], 5);
+        a.emit(&[3], 2);
+        let mut b = StatsSink::default();
+        b.emit(&[3], 2);
+        b.emit(&[1, 2], 5);
+        assert_eq!(a, b);
+        let mut c = StatsSink::default();
+        c.emit(&[3], 3); // different support
+        c.emit(&[1, 2], 5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stats_sink_distinguishes_itemsets_from_concatenations() {
+        let mut a = StatsSink::default();
+        a.emit(&[1], 1);
+        a.emit(&[2], 1);
+        let mut b = StatsSink::default();
+        b.emit(&[1, 2], 1);
+        b.emit(&[], 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn translate_sink_restores_original_ids() {
+        let db = TransactionDb::from_transactions(vec![vec![10, 20], vec![20], vec![20, 30]]);
+        let ranked = remap(&db, 1);
+        // rank 0 = item 20 (freq 3)
+        let mut ts = TranslateSink::new(&ranked.map, CollectSink::default());
+        ts.emit(&[0], 3);
+        ts.emit(&[1, 0], 1);
+        let collected = ts.into_inner().patterns;
+        assert_eq!(collected[0].items, vec![20]);
+        assert_eq!(collected[1].items.len(), 2);
+        assert!(collected[1].items.contains(&20));
+        assert!(collected[1].items.windows(2).all(|w| w[0] < w[1]));
+    }
+}

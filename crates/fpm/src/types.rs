@@ -1,0 +1,81 @@
+//! Core identifier and result types shared by every miner.
+
+use serde::{Deserialize, Serialize};
+
+/// An item identifier. In *raw* databases this is the external label; in
+/// *ranked* databases (after [`crate::remap`]) it is the frequency rank,
+/// with `0` the most frequent item — which makes "decreasing frequency
+/// order" plain ascending integer order everywhere downstream.
+pub type Item = u32;
+
+/// A transaction identifier (its index in the database).
+pub type Tid = u32;
+
+/// One mined pattern: the itemset (sorted ascending) and its support.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ItemsetCount {
+    /// The items, sorted ascending.
+    pub items: Vec<Item>,
+    /// Number of transactions (weighted) subsuming the itemset.
+    pub support: u64,
+}
+
+/// Which family of patterns to emit.
+///
+/// `All` is the paper's setting; `Closed` and `Maximal` are the LCM
+/// extensions (LCM is, after all, the *closed* itemset miner) implemented
+/// as the workspace's future-work deliverable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MineKind {
+    /// Every frequent itemset.
+    All,
+    /// Frequent itemsets with no superset of equal support.
+    Closed,
+    /// Frequent itemsets with no frequent superset.
+    Maximal,
+}
+
+impl MineKind {
+    /// Display label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MineKind::All => "all",
+            MineKind::Closed => "closed",
+            MineKind::Maximal => "maximal",
+        }
+    }
+}
+
+/// Canonicalizes a result set for comparison: sorts each itemset's items
+/// and then the list of patterns. Every cross-miner equivalence test goes
+/// through this.
+pub fn canonicalize(mut patterns: Vec<ItemsetCount>) -> Vec<ItemsetCount> {
+    for p in &mut patterns {
+        p.items.sort_unstable();
+    }
+    patterns.sort();
+    patterns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalize_sorts_items_and_patterns() {
+        let raw = vec![
+            ItemsetCount { items: vec![3, 1], support: 2 },
+            ItemsetCount { items: vec![1], support: 5 },
+        ];
+        let c = canonicalize(raw);
+        assert_eq!(c[0].items, vec![1]);
+        assert_eq!(c[1].items, vec![1, 3]);
+    }
+
+    #[test]
+    fn mine_kind_names() {
+        assert_eq!(MineKind::All.name(), "all");
+        assert_eq!(MineKind::Closed.name(), "closed");
+        assert_eq!(MineKind::Maximal.name(), "maximal");
+    }
+}

@@ -1,0 +1,137 @@
+//! The vertical dense bit-matrix representation (paper Figure 3, top):
+//! one bit vector per item, bit `t` set iff transaction `t` contains the
+//! item. This is Eclat's working structure; the per-column
+//! [`OneRange`]s are the 0-escaping bookkeeping the lexicographic
+//! ordering makes effective (§4.2).
+
+use also::bits::{BitVec, OneRange};
+use crate::types::Item;
+
+/// A vertical bit-matrix database over rank ids.
+#[derive(Debug)]
+pub struct VerticalBitDb {
+    n_transactions: usize,
+    columns: Vec<BitVec>,
+    ranges: Vec<OneRange>,
+}
+
+impl VerticalBitDb {
+    /// Builds the bit matrix from ranked transactions: column `r` gets bit
+    /// `t` for every transaction `t` containing rank `r`.
+    pub fn from_ranked(transactions: &[Vec<u32>], n_ranks: usize) -> Self {
+        let n = transactions.len();
+        let mut columns: Vec<BitVec> = (0..n_ranks).map(|_| BitVec::zeros(n)).collect();
+        for (t, items) in transactions.iter().enumerate() {
+            for &r in items {
+                columns[r as usize].set(t);
+            }
+        }
+        let ranges = columns.iter().map(|c| c.one_range()).collect();
+        VerticalBitDb {
+            n_transactions: n,
+            columns,
+            ranges,
+        }
+    }
+
+    /// Number of transactions (bits per column).
+    pub fn n_transactions(&self) -> usize {
+        self.n_transactions
+    }
+
+    /// Number of item columns.
+    pub fn n_items(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The bit column of `item`.
+    #[inline]
+    pub fn column(&self, item: Item) -> &BitVec {
+        &self.columns[item as usize]
+    }
+
+    /// The initial (tight) 1-range of `item`'s column.
+    #[inline]
+    pub fn range(&self, item: Item) -> OneRange {
+        self.ranges[item as usize]
+    }
+
+    /// Support of a single item (popcount of its column).
+    pub fn support(&self, item: Item) -> u64 {
+        self.columns[item as usize].count_ones()
+    }
+
+    /// Bytes of bit-matrix storage.
+    pub fn bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.words() * 8).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> VerticalBitDb {
+        VerticalBitDb::from_ranked(
+            &[
+                vec![0, 1, 2],
+                vec![0, 1, 2],
+                vec![0, 1, 2, 3, 4, 5],
+                vec![0, 1, 3],
+                vec![4, 5],
+            ],
+            6,
+        )
+    }
+
+    #[test]
+    fn columns_match_occurrences() {
+        let v = toy();
+        assert_eq!(v.n_transactions(), 5);
+        assert_eq!(v.n_items(), 6);
+        assert_eq!(v.column(0).iter_ones().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(v.column(4).iter_ones().collect::<Vec<_>>(), vec![2, 4]);
+        assert_eq!(v.support(0), 4);
+        assert_eq!(v.support(5), 2);
+    }
+
+    #[test]
+    fn ranges_are_tight_initially() {
+        let v = toy();
+        for i in 0..6u32 {
+            assert_eq!(v.range(i), v.column(i).one_range());
+        }
+        // every column of the toy fits in word 0
+        assert_eq!(v.range(0), OneRange { first: 0, last: 0 });
+    }
+
+    #[test]
+    fn lexicographic_ordering_shortens_ranges() {
+        // 1000 transactions; item 0 in every 10th one (scattered), vs the
+        // same database lexicographically ordered (item-0 transactions
+        // first). The scattered column spans ~16 words; the clustered one
+        // spans ~2 — the effect §4.2 banks on.
+        let scattered: Vec<Vec<u32>> = (0..1000u32)
+            .map(|t| if t % 10 == 0 { vec![0, 1] } else { vec![1] })
+            .collect();
+        let mut ordered = scattered.clone();
+        also::lexorder::lex_order(&mut ordered);
+        let vs = VerticalBitDb::from_ranked(&scattered, 2);
+        let vo = VerticalBitDb::from_ranked(&ordered, 2);
+        assert_eq!(vs.support(0), vo.support(0));
+        assert!(
+            vo.range(0).width() < vs.range(0).width() / 4,
+            "ordered range {} should be far shorter than scattered {}",
+            vo.range(0).width(),
+            vs.range(0).width()
+        );
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let v = VerticalBitDb::from_ranked(&[], 0);
+        assert_eq!(v.n_transactions(), 0);
+        assert_eq!(v.n_items(), 0);
+        assert_eq!(v.bytes(), 0);
+    }
+}

@@ -1,0 +1,439 @@
+//! The LCM recursion: `calc_freq` (occurrence-column walks computing
+//! child supports — 54% of the paper's profile), projection with
+//! database reduction, and `rm_dup_trans` between levels.
+//!
+//! The ALSO patterns hook in at exactly the places §4.1 describes:
+//!
+//! * **P1** — the initial database is lexicographically reordered before
+//!   the root arena is built;
+//! * **P4** — child-support counters live either embedded in 32-byte
+//!   occ-header slots (baseline: scattered, one cache line per few
+//!   counters) or compacted into a dense array;
+//! * **P7.1** — the occ-column walk prefetches transaction headers a
+//!   configurable wave-front distance ahead;
+//! * **P6.1** — the per-candidate column walks are restructured into an
+//!   outer loop over transaction-range tiles and an inner loop over
+//!   candidates, giving header/arena reuse within a tile;
+//! * **P3** — the duplicate-removal bucket lists aggregate into
+//!   supernodes (see [`crate::rmdup`]).
+
+use crate::projdb::{OccEntry, ProjDb, TransHead};
+use crate::rmdup::{rm_dup_trans, BucketImpl};
+use crate::LcmConfig;
+use fpm::PatternSink;
+use memsim::Probe;
+
+/// Work counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LcmStats {
+    /// Recursion nodes visited (= itemsets with a non-trivial projection).
+    pub nodes: u64,
+    /// Occurrence entries processed by `calc_freq`.
+    pub occ_entries: u64,
+    /// Items counted by `calc_freq`.
+    pub items_counted: u64,
+    /// Transactions merged away by `rm_dup_trans`.
+    pub trans_merged: u64,
+    /// Patterns emitted.
+    pub emitted: u64,
+}
+
+/// Counter storage: the P4 toggle. The baseline embeds each counter in a
+/// 32-byte occ-header-like slot (so counters are scattered across cache
+/// lines, 2 per line); the compacted form is a dense `u32` array (16 per
+/// line). Epoch stamps avoid O(n) resets in both layouts.
+struct Counters {
+    compact: bool,
+    slots: Vec<Slot>,
+    counts: Vec<u32>,
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+/// The baseline layout's slot, mimicking LCM's occ headers where the
+/// frequency counter is "structured with the OccArray" (§4.1).
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct Slot {
+    count: u32,
+    stamp: u32,
+    _occ_start: u32,
+    _occ_len: u32,
+    _pad: [u32; 4],
+}
+
+impl Counters {
+    fn new(n: usize, compact: bool) -> Self {
+        Counters {
+            compact,
+            slots: if compact {
+                Vec::new()
+            } else {
+                vec![
+                    Slot {
+                        count: 0,
+                        stamp: 0,
+                        _occ_start: 0,
+                        _occ_len: 0,
+                        _pad: [0; 4],
+                    };
+                    n
+                ]
+            },
+            counts: if compact { vec![0; n] } else { Vec::new() },
+            stamps: if compact { vec![0; n] } else { Vec::new() },
+            epoch: 0,
+        }
+    }
+
+    #[inline]
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // extremely rare wrap: hard reset keeps stamps sound
+            if self.compact {
+                self.stamps.fill(0);
+            } else {
+                for s in &mut self.slots {
+                    s.stamp = 0;
+                }
+            }
+            self.epoch = 1;
+        }
+    }
+
+    /// Adds `w` to `item`'s counter; returns `true` on first touch this
+    /// epoch. Probes the counter's real address so the layouts' locality
+    /// difference is visible to the simulator.
+    #[inline]
+    fn bump<P: Probe>(&mut self, item: u32, w: u32, probe: &mut P) -> bool {
+        if self.compact {
+            let i = item as usize;
+            probe.write(memsim::addr_of(&self.counts[i]), 4);
+            if self.stamps[i] != self.epoch {
+                self.stamps[i] = self.epoch;
+                self.counts[i] = w;
+                true
+            } else {
+                self.counts[i] += w;
+                false
+            }
+        } else {
+            let s = &mut self.slots[item as usize];
+            probe.write(memsim::addr_of(s), 8);
+            if s.stamp != self.epoch {
+                s.stamp = self.epoch;
+                s.count = w;
+                true
+            } else {
+                s.count += w;
+                false
+            }
+        }
+    }
+
+    #[inline]
+    fn get(&self, item: u32) -> u32 {
+        if self.compact {
+            if self.stamps[item as usize] == self.epoch {
+                self.counts[item as usize]
+            } else {
+                0
+            }
+        } else {
+            let s = &self.slots[item as usize];
+            if s.stamp == self.epoch {
+                s.count
+            } else {
+                0
+            }
+        }
+    }
+}
+
+pub(crate) struct Miner<'a, P, S> {
+    pub cfg: LcmConfig,
+    pub minsup: u64,
+    pub n_ranks: usize,
+    pub probe: &'a mut P,
+    pub sink: &'a mut S,
+    pub stats: LcmStats,
+    prefix: Vec<u32>,
+    counters: Counters,
+    /// Frequent-child marks for projection (epoch-stamped).
+    fmark: Vec<u32>,
+    fmark_epoch: u32,
+    touched: Vec<u32>,
+}
+
+/// A candidate extension with its (weighted) support.
+type Children = Vec<(u32, u64)>;
+
+impl<'a, P: Probe, S: PatternSink> Miner<'a, P, S> {
+    pub fn new(
+        cfg: LcmConfig,
+        minsup: u64,
+        n_ranks: usize,
+        probe: &'a mut P,
+        sink: &'a mut S,
+    ) -> Self {
+        Miner {
+            cfg,
+            minsup: minsup.max(1),
+            n_ranks,
+            probe,
+            sink,
+            stats: LcmStats::default(),
+            prefix: Vec::new(),
+            counters: Counters::new(n_ranks, cfg.compact_counters),
+            fmark: vec![0; n_ranks],
+            fmark_epoch: 0,
+            touched: Vec::new(),
+        }
+    }
+
+    fn bucket_impl(&self) -> BucketImpl {
+        if self.cfg.aggregate {
+            BucketImpl::Aggregated
+        } else {
+            BucketImpl::Linked
+        }
+    }
+
+    /// Entry point: dedup the root database, build its occurrence lists,
+    /// compute root candidate supports, recurse.
+    pub fn run(&mut self, transactions: &[Vec<u32>]) {
+        let mut root = ProjDb::from_ranked(transactions);
+        let before = root.heads.len();
+        root.heads = rm_dup_trans(&root.items, std::mem::take(&mut root.heads), self.bucket_impl(), self.probe);
+        self.stats.trans_merged += (before - root.heads.len()) as u64;
+        root.build_occ(self.n_ranks, self.probe);
+        let children: Children = (0..self.n_ranks as u32)
+            .filter_map(|r| {
+                let s = root.support(r);
+                (s >= self.minsup).then_some((r, s))
+            })
+            .collect();
+        self.node(&root, &children);
+    }
+
+    /// Entry point for the parallel driver: processes an explicit subset
+    /// of root children against a shared, pre-built root projection.
+    pub(crate) fn run_children(&mut self, root: &ProjDb, children: &[(u32, u64)]) {
+        self.node(root, &children.to_vec());
+    }
+
+    /// Processes one recursion node: `pdb` holds every transaction that
+    /// contains the current prefix; `children` are the frequent extension
+    /// items with their supports.
+    fn node(&mut self, pdb: &ProjDb, children: &Children) {
+        self.stats.nodes += 1;
+        // Tiled variant: compute every child's grandchild counts up front,
+        // tile by tile (P6.1). Untiled: per child, on demand. A projection
+        // that fits inside a single tile gains nothing from the extra
+        // loop nest, so small (deep) nodes fall back to the per-child
+        // walk — in the paper, too, tiling restructures the large
+        // top-level scans.
+        let precomputed: Option<Vec<Children>> = match self.resolved_tile_rows(pdb) {
+            Some(t) if pdb.heads.len() > t => Some(self.calc_freq_tiled(pdb, children, t)),
+            _ => None,
+        };
+        for (ci, &(j, sup)) in children.iter().enumerate() {
+            self.prefix.push(j);
+            self.sink.emit(&self.prefix, sup);
+            self.stats.emitted += 1;
+            let grand = match &precomputed {
+                Some(rows) => rows[ci].clone(),
+                None => self.calc_freq(pdb, j),
+            };
+            if !grand.is_empty() {
+                let child = self.project(pdb, j, &grand);
+                self.node(&child, &grand);
+            }
+            self.prefix.pop();
+        }
+    }
+
+    /// `calc_freq` — the paper's hottest function: walk `occ[j]`, follow
+    /// each entry to its transaction header (dependent load), and count
+    /// every suffix item with the transaction's weight. Returns the
+    /// frequent children, ascending.
+    fn calc_freq(&mut self, pdb: &ProjDb, j: u32) -> Children {
+        self.counters.begin();
+        self.touched.clear();
+        let col = pdb.occ(j);
+        let pf = self.cfg.prefetch;
+        for (k, &e) in col.iter().enumerate() {
+            if pf > 0 {
+                // P7.1 wave-front: headers (and the occ entries leading to
+                // them) of the next few occurrences are in flight while
+                // this one is processed.
+                if let Some(ahead) = col.get(k + pf) {
+                    let h = &pdb.heads[ahead.tid as usize];
+                    also::prefetch::prefetch_read(h as *const TransHead);
+                    self.probe.prefetch(memsim::addr_of(h));
+                    also::prefetch::prefetch_read(&pdb.items[ahead.pos as usize] as *const u32);
+                    self.probe.prefetch(memsim::addr_of(&pdb.items[ahead.pos as usize]));
+                }
+            }
+            self.probe.read(memsim::addr_of(&col[k]), 8);
+            let h = &pdb.heads[e.tid as usize];
+            self.probe.read_dep(memsim::addr_of(h), 12);
+            let w = h.weight;
+            let suffix = pdb.suffix(e);
+            let (sa, sl) = memsim::slice_span(suffix);
+            self.probe.read(sa, sl);
+            self.probe.instr(10);
+            self.stats.occ_entries += 1;
+            self.stats.items_counted += suffix.len() as u64;
+            for &it in suffix {
+                self.probe.instr(4);
+                if self.counters.bump(it, w, self.probe) {
+                    self.touched.push(it);
+                }
+            }
+        }
+        self.touched.sort_unstable();
+        let minsup = self.minsup;
+        let counters = &self.counters;
+        self.touched
+            .iter()
+            .filter_map(|&it| {
+                let c = counters.get(it) as u64;
+                (c >= minsup).then_some((it, c))
+            })
+            .collect()
+    }
+
+    /// P6.1 — the tiled `calc_freq`: outer loop over transaction-range
+    /// tiles, inner loop over the candidate columns, each advancing a
+    /// cursor through its occurrences. Within a tile, headers and arena
+    /// lines are reused across *all* candidates before being evicted.
+    /// Costs: per-candidate dense count rows (memory) and the extra loop
+    /// nest — "the overhead for the added level of loop nesting" (§3.4).
+    /// Resolves the configured tile size against this node's projection
+    /// (`Some(0)` = auto-size to L1).
+    fn resolved_tile_rows(&self, pdb: &ProjDb) -> Option<usize> {
+        match self.cfg.tile_rows {
+            None => None,
+            Some(0) => {
+                // auto: tile sized to half of a 32 KiB L1 given the mean
+                // bytes touched per transaction
+                let mean_len = (pdb.items.len() / pdb.heads.len().max(1)).max(1);
+                Some(also::tiling::tile_rows_for_cache(12 + 4 * mean_len, 32 * 1024))
+            }
+            Some(t) => Some(t),
+        }
+    }
+
+    fn calc_freq_tiled(
+        &mut self,
+        pdb: &ProjDb,
+        children: &Children,
+        tile_rows: usize,
+    ) -> Vec<Children> {
+        let n_cands = children.len();
+        let mut rows: Vec<Vec<u32>> = vec![vec![0u32; self.n_ranks]; n_cands];
+        let mut touched: Vec<Vec<u32>> = vec![Vec::new(); n_cands];
+        let mut cursors = vec![0usize; n_cands];
+        for tile in also::tiling::tiles(pdb.heads.len(), tile_rows) {
+            let end = tile.end as u32;
+            for (ci, &(j, _)) in children.iter().enumerate() {
+                let col = pdb.occ(j);
+                let row = &mut rows[ci];
+                let touch = &mut touched[ci];
+                let cur = &mut cursors[ci];
+                while *cur < col.len() && col[*cur].tid < end {
+                    let e = col[*cur];
+                    *cur += 1;
+                    self.probe.read(memsim::addr_of(&col[*cur - 1]), 8);
+                    let h = &pdb.heads[e.tid as usize];
+                    self.probe.read_dep(memsim::addr_of(h), 12);
+                    let w = h.weight;
+                    let suffix = {
+                        let end_off = h.end() as usize;
+                        &pdb.items[e.pos as usize + 1..end_off]
+                    };
+                    let (sa, sl) = memsim::slice_span(suffix);
+                    self.probe.read(sa, sl);
+                    self.probe.instr(11);
+                    self.stats.occ_entries += 1;
+                    self.stats.items_counted += suffix.len() as u64;
+                    for &it in suffix {
+                        self.probe.instr(4);
+                        self.probe.write(memsim::addr_of(&row[it as usize]), 4);
+                        if row[it as usize] == 0 {
+                            touch.push(it);
+                        }
+                        row[it as usize] += w;
+                    }
+                }
+            }
+        }
+        rows.into_iter()
+            .zip(touched)
+            .map(|(row, mut touch)| {
+                touch.sort_unstable();
+                touch
+                    .into_iter()
+                    .filter_map(|it| {
+                        let c = row[it as usize] as u64;
+                        (c >= self.minsup).then_some((it, c))
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Builds the projection of `pdb` onto candidate `j`: every
+    /// transaction containing `j`, trimmed to its frequent children
+    /// (database reduction), duplicates merged, occurrence lists rebuilt.
+    fn project(&mut self, pdb: &ProjDb, j: u32, children: &Children) -> ProjDb {
+        // mark frequent children for O(1) filtering
+        self.fmark_epoch = self.fmark_epoch.wrapping_add(1);
+        if self.fmark_epoch == 0 {
+            self.fmark.fill(0);
+            self.fmark_epoch = 1;
+        }
+        for &(it, _) in children {
+            self.fmark[it as usize] = self.fmark_epoch;
+        }
+        let mut child = ProjDb::default();
+        for &e in pdb.occ(j) {
+            let h = &pdb.heads[e.tid as usize];
+            let off = child.items.len() as u32;
+            for &it in pdb.suffix_raw(e, h) {
+                if self.fmark[it as usize] == self.fmark_epoch {
+                    child.items.push(it);
+                }
+            }
+            let len = child.items.len() as u32 - off;
+            if len > 0 {
+                child.heads.push(TransHead {
+                    off,
+                    len,
+                    weight: h.weight,
+                });
+            }
+        }
+        let before = child.heads.len();
+        child.heads = rm_dup_trans(
+            &child.items,
+            std::mem::take(&mut child.heads),
+            self.bucket_impl(),
+            self.probe,
+        );
+        self.stats.trans_merged += (before - child.heads.len()) as u64;
+        child.build_occ(self.n_ranks, self.probe);
+        child
+    }
+}
+
+impl ProjDb {
+    /// Suffix via a pre-fetched header (avoids the double bounds lookup
+    /// inside the projection loop).
+    #[inline]
+    pub(crate) fn suffix_raw(&self, e: OccEntry, h: &TransHead) -> &[u32] {
+        &self.items[e.pos as usize + 1..h.end() as usize]
+    }
+}

@@ -1,0 +1,150 @@
+//! Parallel mining over independent first-item subtrees — the
+//! demonstration (DESIGN.md §7) that the ALSO patterns compose with
+//! thread-level parallelism: the lattice below two different extension
+//! items is disjoint, so workers share the *read-only* root projection
+//! and nothing else.
+//!
+//! Work is dealt round-robin in rank order: low ranks (frequent items)
+//! own the biggest subtrees, so interleaving balances better than
+//! contiguous splitting.
+
+use crate::miner::Miner;
+use crate::projdb::ProjDb;
+use crate::rmdup::{rm_dup_trans, BucketImpl};
+use crate::LcmConfig;
+use fpm::{remap, CollectSink, ItemsetCount, TransactionDb, TranslateSink};
+use memsim::NullProbe;
+
+/// Mines every frequent itemset using `n_threads` workers, returning the
+/// canonicalized patterns (original item ids). Results are identical to
+/// the sequential [`crate::mine`] for every configuration.
+pub fn mine_parallel(
+    db: &TransactionDb,
+    minsup: u64,
+    cfg: &LcmConfig,
+    n_threads: usize,
+) -> Vec<ItemsetCount> {
+    let ranked = remap(db, minsup);
+    let mut transactions = ranked.transactions.clone();
+    if cfg.lex {
+        also::lexorder::lex_order(&mut transactions);
+    }
+    let n_ranks = ranked.n_ranks();
+    // Build the shared root once (sequentially — it is a small fraction
+    // of total work and the workers only read it).
+    let mut root = ProjDb::from_ranked(&transactions);
+    root.heads = rm_dup_trans(
+        &root.items,
+        std::mem::take(&mut root.heads),
+        if cfg.aggregate {
+            BucketImpl::Aggregated
+        } else {
+            BucketImpl::Linked
+        },
+        &mut NullProbe,
+    );
+    root.build_occ(n_ranks, &mut NullProbe);
+    let children: Vec<(u32, u64)> = (0..n_ranks as u32)
+        .filter_map(|r| {
+            let s = root.support(r);
+            (s >= minsup.max(1)).then_some((r, s))
+        })
+        .collect();
+
+    let n_threads = n_threads.max(1).min(children.len().max(1));
+    let root_ref = &root;
+    let map_ref = &ranked.map;
+    let mut results: Vec<Vec<ItemsetCount>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|w| {
+                // round-robin deal
+                let mine: Vec<(u32, u64)> = children
+                    .iter()
+                    .skip(w)
+                    .step_by(n_threads)
+                    .copied()
+                    .collect();
+                let cfg = *cfg;
+                scope.spawn(move |_| {
+                    let mut probe = NullProbe;
+                    let mut sink = TranslateSink::new(map_ref, CollectSink::default());
+                    let mut miner =
+                        Miner::new(cfg, minsup, n_ranks, &mut probe, &mut sink);
+                    miner.run_children(root_ref, &mine);
+                    sink.into_inner().patterns
+                })
+            })
+            .collect();
+        results = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+    })
+    .expect("thread scope");
+    fpm::types::canonicalize(results.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpm::types::canonicalize;
+
+    fn toy() -> TransactionDb {
+        TransactionDb::from_transactions(vec![
+            vec![0, 2, 5],
+            vec![1, 2, 5],
+            vec![0, 2, 5],
+            vec![3, 4],
+            vec![0, 1, 2, 3, 4, 5],
+        ])
+    }
+
+    fn sequential(db: &TransactionDb, minsup: u64, cfg: &LcmConfig) -> Vec<ItemsetCount> {
+        let mut sink = CollectSink::default();
+        crate::mine(db, minsup, cfg, &mut sink);
+        canonicalize(sink.patterns)
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_toy() {
+        for threads in [1usize, 2, 3, 8] {
+            for (name, cfg) in crate::variants() {
+                assert_eq!(
+                    mine_parallel(&toy(), 2, &cfg, threads),
+                    sequential(&toy(), 2, &cfg),
+                    "{name} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_pseudorandom() {
+        let mut s = 3u64;
+        let mut rnd = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let db = TransactionDb::from_transactions(
+            (0..400)
+                .map(|_| (0..20u32).filter(|_| rnd() % 4 == 0).collect::<Vec<_>>())
+                .collect(),
+        );
+        let expect = sequential(&db, 10, &LcmConfig::all());
+        assert!(!expect.is_empty());
+        assert_eq!(mine_parallel(&db, 10, &LcmConfig::all(), 4), expect);
+    }
+
+    #[test]
+    fn degenerate_thread_counts() {
+        let db = toy();
+        let expect = sequential(&db, 1, &LcmConfig::baseline());
+        assert_eq!(mine_parallel(&db, 1, &LcmConfig::baseline(), 0), expect);
+        assert_eq!(mine_parallel(&db, 1, &LcmConfig::baseline(), 100), expect);
+        // empty database
+        assert!(mine_parallel(&TransactionDb::default(), 1, &LcmConfig::all(), 4).is_empty());
+    }
+}

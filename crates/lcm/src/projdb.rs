@@ -1,0 +1,213 @@
+//! The projected-database representation of Figure 6 in the paper: a
+//! transaction-major sparse arena (all transaction item arrays
+//! concatenated), per-transaction headers carrying the merged weight, and
+//! the item-major *occurrence array* (`occ`) whose columns `calc_freq`
+//! walks.
+//!
+//! An occurrence entry stores both the transaction index (for the header
+//! dereference — the pointer chase of the paper's Figure 6) and the
+//! position of the occurrence in the arena, so the *suffix* of a
+//! transaction after item `j` is directly addressable: items are stored
+//! in ascending rank order, hence everything after `pos` is `> j`.
+
+use memsim::Probe;
+
+/// Per-transaction header: where its items live, and its multiplicity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransHead {
+    /// Offset of the first item in the arena.
+    pub off: u32,
+    /// Number of items.
+    pub len: u32,
+    /// Multiplicity (duplicate transactions merged by `rm_dup_trans`).
+    pub weight: u32,
+}
+
+impl TransHead {
+    /// One-past-the-end arena offset.
+    #[inline]
+    pub fn end(&self) -> u32 {
+        self.off + self.len
+    }
+}
+
+/// One occurrence of an item: which transaction, and where in the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccEntry {
+    /// Transaction index (ascending within a column).
+    pub tid: u32,
+    /// Arena position of the occurrence.
+    pub pos: u32,
+}
+
+/// A projected database (the root database is the projection on the empty
+/// prefix).
+#[derive(Debug, Default)]
+pub struct ProjDb {
+    /// Flattened transaction items (ascending rank within a transaction).
+    pub items: Vec<u32>,
+    /// Transaction headers, in arena order.
+    pub heads: Vec<TransHead>,
+    /// Flattened occurrence columns.
+    pub occ_data: Vec<OccEntry>,
+    /// Per rank: `(start, len)` of its column in `occ_data`.
+    pub occ_index: Vec<(u32, u32)>,
+}
+
+impl ProjDb {
+    /// Builds the root projected database from ranked transactions (each
+    /// weight 1). Occurrence lists are **not** built; call
+    /// [`ProjDb::build_occ`] after duplicate removal.
+    pub fn from_ranked(transactions: &[Vec<u32>]) -> Self {
+        let mut db = ProjDb::default();
+        for t in transactions {
+            let off = db.items.len() as u32;
+            db.items.extend_from_slice(t);
+            db.heads.push(TransHead {
+                off,
+                len: t.len() as u32,
+                weight: 1,
+            });
+        }
+        db
+    }
+
+    /// The occurrence column of `item`.
+    #[inline]
+    pub fn occ(&self, item: u32) -> &[OccEntry] {
+        let (s, l) = self.occ_index[item as usize];
+        &self.occ_data[s as usize..(s + l) as usize]
+    }
+
+    /// The item suffix of the occurrence `e` — everything *after* the
+    /// occurrence position, i.e. exactly the items greater than the
+    /// occurring item.
+    #[inline]
+    pub fn suffix(&self, e: OccEntry) -> &[u32] {
+        let h = &self.heads[e.tid as usize];
+        &self.items[e.pos as usize + 1..h.end() as usize]
+    }
+
+    /// (Re)builds the occurrence columns by a transaction-major scan —
+    /// the "occurrence deliver" step. `n_ranks` bounds the item universe.
+    ///
+    /// Probes: one streamed read per transaction's item slice, one write
+    /// per occurrence scattered into its column.
+    pub fn build_occ<P: Probe>(&mut self, n_ranks: usize, probe: &mut P) {
+        let mut counts = vec![0u32; n_ranks];
+        for h in &self.heads {
+            for &it in &self.items[h.off as usize..h.end() as usize] {
+                counts[it as usize] += 1;
+            }
+        }
+        let mut starts = vec![0u32; n_ranks];
+        let mut acc = 0u32;
+        for (r, &c) in counts.iter().enumerate() {
+            starts[r] = acc;
+            acc += c;
+        }
+        self.occ_index = counts
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| (starts[r], c))
+            .collect();
+        self.occ_data.clear();
+        self.occ_data.resize(
+            acc as usize,
+            OccEntry { tid: 0, pos: 0 },
+        );
+        let mut cursors = starts;
+        for (tid, h) in self.heads.iter().enumerate() {
+            let span = &self.items[h.off as usize..h.end() as usize];
+            let (pa, pl) = memsim::slice_span(span);
+            probe.read(pa, pl);
+            for (k, &it) in span.iter().enumerate() {
+                let at = cursors[it as usize];
+                cursors[it as usize] = at + 1;
+                self.occ_data[at as usize] = OccEntry {
+                    tid: tid as u32,
+                    pos: h.off + k as u32,
+                };
+                probe.write(memsim::addr_of(&self.occ_data[at as usize]), 8);
+                probe.instr(4);
+            }
+        }
+    }
+
+    /// Weighted support of `item` from its occurrence column.
+    pub fn support(&self, item: u32) -> u64 {
+        self.occ(item)
+            .iter()
+            .map(|e| self.heads[e.tid as usize].weight as u64)
+            .sum()
+    }
+
+    /// Total weighted transactions.
+    pub fn total_weight(&self) -> u64 {
+        self.heads.iter().map(|h| h.weight as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::NullProbe;
+
+    fn toy() -> ProjDb {
+        let mut db = ProjDb::from_ranked(&[
+            vec![0, 1, 2],
+            vec![0, 1, 2],
+            vec![0, 1, 2, 3, 4, 5],
+            vec![0, 1, 3],
+            vec![4, 5],
+        ]);
+        db.build_occ(6, &mut NullProbe);
+        db
+    }
+
+    #[test]
+    fn occ_columns_ascend_and_cover() {
+        let db = toy();
+        for r in 0..6u32 {
+            let col = db.occ(r);
+            assert!(col.windows(2).all(|w| w[0].tid < w[1].tid), "item {r}");
+            for e in col {
+                assert_eq!(db.items[e.pos as usize], r);
+            }
+        }
+        let total: usize = (0..6u32).map(|r| db.occ(r).len()).sum();
+        assert_eq!(total, db.items.len());
+    }
+
+    #[test]
+    fn suffix_is_strictly_greater() {
+        let db = toy();
+        for r in 0..6u32 {
+            for &e in db.occ(r) {
+                assert!(db.suffix(e).iter().all(|&k| k > r));
+            }
+        }
+        // transaction 3 = [0,1,3]: suffix of the occurrence of 1 is [3]
+        let e = db.occ(1)[3];
+        assert_eq!(e.tid, 3);
+        assert_eq!(db.suffix(e), &[3]);
+    }
+
+    #[test]
+    fn weighted_support() {
+        let mut db = toy();
+        db.heads[0].weight = 3; // transaction 0 now counts 3×
+        db.build_occ(6, &mut NullProbe);
+        assert_eq!(db.support(0), 3 + 1 + 1 + 1);
+        assert_eq!(db.support(4), 2);
+        assert_eq!(db.total_weight(), 7);
+    }
+
+    #[test]
+    fn empty_db() {
+        let mut db = ProjDb::from_ranked(&[]);
+        db.build_occ(4, &mut NullProbe);
+        assert!(db.occ(0).is_empty());
+        assert_eq!(db.total_weight(), 0);
+    }
+}

@@ -1,0 +1,329 @@
+//! The [`Probe`] instrumentation trait and its two implementations:
+//! [`NullProbe`] (native runs, compiles to nothing) and [`CacheProbe`]
+//! (simulated runs, drives the cache model and the cycle accounting).
+
+use crate::cache::SetAssocCache;
+use crate::machine::Machine;
+use crate::report::MemReport;
+
+/// Address of a value, for probing.
+#[inline(always)]
+pub fn addr_of<T>(x: &T) -> usize {
+    x as *const T as usize
+}
+
+/// `(address, byte length)` of a slice, for probing bulk accesses.
+#[inline(always)]
+pub fn slice_span<T>(s: &[T]) -> (usize, usize) {
+    (s.as_ptr() as usize, std::mem::size_of_val(s))
+}
+
+/// Memory-access instrumentation. Kernels are generic over this; the
+/// calls in their hot loops describe what the machine would do:
+///
+/// * [`Probe::read`] — a read whose address does not depend on a just-
+///   loaded value (array streaming); overlappable by the core.
+/// * [`Probe::read_dep`] — a *dependent* read (pointer chase); serialized
+///   behind the previous load, pays full latency on a miss.
+/// * [`Probe::write`] — a store (modelled like an independent read:
+///   allocate-on-write caches).
+/// * [`Probe::instr`] — `n` retired instructions of pure computation.
+/// * [`Probe::prefetch`] — a software prefetch hint (P7): installs the
+///   line without a demand stall.
+pub trait Probe {
+    /// Independent read of `len` bytes at `addr`.
+    fn read(&mut self, addr: usize, len: usize);
+    /// Dependent (pointer-chasing) read of `len` bytes at `addr`.
+    fn read_dep(&mut self, addr: usize, len: usize);
+    /// Write of `len` bytes at `addr`.
+    fn write(&mut self, addr: usize, len: usize);
+    /// `n` instructions of computation retired.
+    fn instr(&mut self, n: u64);
+    /// Software prefetch of the line at `addr`.
+    fn prefetch(&mut self, addr: usize);
+}
+
+/// The zero-cost probe: every method is an empty `#[inline(always)]`
+/// body, so natively-built kernels contain no trace of the
+/// instrumentation (the `probe_overhead` bench pins this down).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {
+    #[inline(always)]
+    fn read(&mut self, _addr: usize, _len: usize) {}
+    #[inline(always)]
+    fn read_dep(&mut self, _addr: usize, _len: usize) {}
+    #[inline(always)]
+    fn write(&mut self, _addr: usize, _len: usize) {}
+    #[inline(always)]
+    fn instr(&mut self, _n: u64) {}
+    #[inline(always)]
+    fn prefetch(&mut self, _addr: usize) {}
+}
+
+/// The simulating probe: L1 + L2 + TLB with a next-line L2 hardware
+/// prefetcher and an overlap-aware cycle model.
+///
+/// Cycle accounting per line touched:
+/// `tlb_miss·tlb_lat + l1_miss·(l2_lat or mem_lat)·f`, where `f = 1` for
+/// dependent reads and `1 − overlap` for independent ones — out-of-order
+/// cores hide much of an independent miss behind other work, but a
+/// pointer chase exposes the full latency (the effect P3/P5/P7 attack).
+#[derive(Debug, Clone)]
+pub struct CacheProbe {
+    machine: Machine,
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    tlb: SetAssocCache,
+    instructions: u64,
+    reads: u64,
+    writes: u64,
+    sw_prefetches: u64,
+    cycles: f64,
+    last_l2_miss_line: usize,
+    /// Enable the next-line L2 hardware prefetcher (on by default; both
+    /// evaluation machines had one).
+    pub hw_prefetch: bool,
+}
+
+impl CacheProbe {
+    /// Creates a cold simulator for `machine`.
+    pub fn new(machine: Machine) -> Self {
+        CacheProbe {
+            machine,
+            l1: SetAssocCache::new(machine.l1),
+            l2: SetAssocCache::new(machine.l2),
+            tlb: SetAssocCache::new(machine.tlb),
+            instructions: 0,
+            reads: 0,
+            writes: 0,
+            sw_prefetches: 0,
+            cycles: 0.0,
+            last_l2_miss_line: usize::MAX - 1,
+            hw_prefetch: true,
+        }
+    }
+
+    /// The machine being modelled.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn access_lines(&mut self, addr: usize, len: usize, dependent: bool) {
+        let line_bytes = self.machine.l1.line_bytes();
+        let factor = if dependent {
+            1.0
+        } else {
+            1.0 - self.machine.overlap
+        };
+        let first = addr >> self.machine.l1.line_shift;
+        let last = (addr + len.max(1) - 1) >> self.machine.l1.line_shift;
+        let mut a = first << self.machine.l1.line_shift;
+        for _ in first..=last {
+            if !self.tlb.access(a) {
+                self.cycles += self.machine.tlb_latency * factor;
+            }
+            if !self.l1.access(a) {
+                if self.l2.access(a) {
+                    self.cycles += self.machine.l2_latency * factor;
+                } else {
+                    self.cycles += self.machine.mem_latency * factor;
+                    // Next-line hardware prefetcher: a second sequential
+                    // demand miss triggers a fill of the following line.
+                    let line = a >> self.machine.l2.line_shift;
+                    if self.hw_prefetch && line == self.last_l2_miss_line + 1 {
+                        let next = (line + 1) << self.machine.l2.line_shift;
+                        self.l2.install(next);
+                        self.l1.install(next);
+                    }
+                    self.last_l2_miss_line = line;
+                }
+            }
+            a += line_bytes;
+        }
+    }
+
+    /// Emits the accumulated statistics under `label` (the simulator keeps
+    /// counting afterwards; callers reset by constructing a new probe).
+    pub fn report(&self, label: impl Into<String>) -> MemReport {
+        MemReport {
+            label: label.into(),
+            machine: self.machine.name.to_string(),
+            instructions: self.instructions,
+            cycles: self.cycles + self.instructions as f64 * self.machine.base_cpi,
+            reads: self.reads,
+            writes: self.writes,
+            sw_prefetches: self.sw_prefetches,
+            l1: self.l1.stats(),
+            l2: self.l2.stats(),
+            tlb: self.tlb.stats(),
+            freq_ghz: self.machine.freq_ghz,
+        }
+    }
+}
+
+impl Probe for CacheProbe {
+    fn read(&mut self, addr: usize, len: usize) {
+        self.reads += 1;
+        self.instructions += 1; // the load itself
+        self.access_lines(addr, len, false);
+    }
+
+    fn read_dep(&mut self, addr: usize, len: usize) {
+        self.reads += 1;
+        self.instructions += 1;
+        self.access_lines(addr, len, true);
+    }
+
+    fn write(&mut self, addr: usize, len: usize) {
+        self.writes += 1;
+        self.instructions += 1;
+        self.access_lines(addr, len, false);
+    }
+
+    fn instr(&mut self, n: u64) {
+        self.instructions += n;
+    }
+
+    fn prefetch(&mut self, addr: usize) {
+        self.sw_prefetches += 1;
+        self.instructions += 1; // the prefetch instruction issues
+        // Fill the hierarchy without demand-stall cycles.
+        self.tlb.install(addr);
+        self.l2.install(addr);
+        self.l1.install(addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    #[test]
+    fn null_probe_is_free_to_call() {
+        let mut p = NullProbe;
+        p.read(0, 8);
+        p.read_dep(0, 8);
+        p.write(0, 8);
+        p.instr(100);
+        p.prefetch(0);
+    }
+
+    #[test]
+    fn streaming_has_low_miss_rate_per_byte() {
+        let mut p = CacheProbe::new(Machine::m1());
+        let data = vec![0u64; 64 * 1024]; // 512 KiB, fits L2 not L1
+        // touch every u64 sequentially
+        for x in &data {
+            p.read(addr_of(x), 8);
+            p.instr(2);
+        }
+        let r = p.report("stream");
+        // one L1 miss per 8 u64 (64-byte line): miss rate ≈ 1/8
+        assert!(r.l1.miss_rate() < 0.2, "l1 miss rate {}", r.l1.miss_rate());
+        assert!(r.l1.miss_rate() > 0.05);
+    }
+
+    #[test]
+    fn pointer_chase_costs_more_than_stream() {
+        let m = Machine::m1();
+        let n = 1 << 16;
+        let data = vec![0u8; n * 64];
+        // Stream: sequential lines, independent.
+        let mut ps = CacheProbe::new(m);
+        for i in 0..n {
+            ps.read(data.as_ptr() as usize + i * 64, 8);
+            ps.instr(2);
+        }
+        // Chase: strided lines defeating the next-line prefetcher,
+        // dependent.
+        let mut pc = CacheProbe::new(m);
+        for i in 0..n {
+            let j = (i * 97) % n;
+            pc.read_dep(data.as_ptr() as usize + j * 64, 8);
+            pc.instr(2);
+        }
+        let (rs, rc) = (ps.report("s"), pc.report("c"));
+        assert!(
+            rc.cpi() > 2.0 * rs.cpi(),
+            "chase CPI {} should dwarf stream CPI {}",
+            rc.cpi(),
+            rs.cpi()
+        );
+    }
+
+    #[test]
+    fn software_prefetch_removes_demand_misses() {
+        let m = Machine::m1();
+        let data = vec![0u8; 1 << 20];
+        let base = data.as_ptr() as usize;
+        let stride = 8 * 64; // defeat the next-line prefetcher
+        let mut plain = CacheProbe::new(m);
+        for i in 0..2048 {
+            plain.read_dep(base + i * stride, 8);
+            plain.instr(4);
+        }
+        let mut pf = CacheProbe::new(m);
+        for i in 0..2048 {
+            pf.prefetch(base + (i + 8) * stride % (1 << 20));
+            pf.read_dep(base + i * stride, 8);
+            pf.instr(4);
+        }
+        let (rp, rf) = (plain.report("p"), pf.report("f"));
+        assert!(
+            rf.cycles < rp.cycles * 0.5,
+            "prefetched {} vs plain {}",
+            rf.cycles,
+            rp.cycles
+        );
+    }
+
+    #[test]
+    fn tlb_misses_show_up_for_page_strides() {
+        let m = Machine::m1();
+        let mut p = CacheProbe::new(m);
+        let data = vec![0u8; 4096 * 1024]; // 1024 pages > 64-entry TLB
+        for round in 0..4 {
+            let _ = round;
+            for page in 0..1024 {
+                p.read(data.as_ptr() as usize + page * 4096, 4);
+            }
+        }
+        let r = p.report("pages");
+        assert!(r.tlb.misses as f64 > 0.9 * r.tlb.accesses() as f64);
+    }
+
+    #[test]
+    fn multi_line_access_touches_every_line() {
+        let m = Machine::m1();
+        let mut p = CacheProbe::new(m);
+        let data = vec![0u8; 4096];
+        p.read(data.as_ptr() as usize, 4096); // 64 lines (65 if unaligned)
+        let r = p.report("span");
+        assert!(
+            (64..=65).contains(&r.l1.accesses()),
+            "expected 64-65 line accesses, got {}",
+            r.l1.accesses()
+        );
+    }
+
+    #[test]
+    fn cpi_floor_is_base_cpi() {
+        let m = Machine::m1();
+        let mut p = CacheProbe::new(m);
+        p.instr(3_000_000);
+        let r = p.report("compute-only");
+        assert!((r.cpi() - m.base_cpi).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_seconds_uses_frequency() {
+        let m = Machine::m1();
+        let mut p = CacheProbe::new(m);
+        p.instr(3_000_000_000);
+        let r = p.report("one second-ish");
+        assert!((r.seconds() - 1.0 / 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,73 @@
+//! On-disk dataset cache: generation is deterministic, so each
+//! `(dataset, scale)` pair is generated once and memoized as a binary
+//! file ([`fpm::io::write_bin_file`]). CI-scale DS4 takes seconds to
+//! generate; the bench harness reads it back in milliseconds.
+//!
+//! The cache directory defaults to `<tmp>/also-fpm-cache` and can be
+//! redirected with the `FPM_DATA_DIR` environment variable. Files are
+//! keyed by dataset label, scale and generator version — bump
+//! [`CACHE_VERSION`] whenever a generator changes so stale files are
+//! ignored.
+
+use crate::dataset::{Dataset, Scale};
+use fpm::TransactionDb;
+use std::path::PathBuf;
+
+/// Bump when any generator's output changes for the same parameters.
+pub const CACHE_VERSION: u32 = 1;
+
+/// The cache directory (created on demand).
+pub fn cache_dir() -> PathBuf {
+    match std::env::var_os("FPM_DATA_DIR") {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join("also-fpm-cache"),
+    }
+}
+
+fn cache_path(dataset: Dataset, scale: Scale) -> PathBuf {
+    cache_dir().join(format!(
+        "{}-{:?}-v{}.fpmdb",
+        dataset.label(),
+        scale,
+        CACHE_VERSION
+    ))
+}
+
+/// Like [`Dataset::generate`], but memoized on disk. Falls back to plain
+/// generation when the cache directory is unusable (read-only CI etc.).
+pub fn generate_cached(dataset: Dataset, scale: Scale) -> TransactionDb {
+    let path = cache_path(dataset, scale);
+    if let Ok(db) = fpm::io::read_bin_file(&path) {
+        return db;
+    }
+    let db = dataset.generate(scale);
+    if std::fs::create_dir_all(cache_dir()).is_ok() {
+        // write through a temp name so concurrent readers never see a
+        // partial file
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        if fpm::io::write_bin_file(&tmp, &db).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_equals_generated() {
+        // isolate this test's cache
+        let dir = std::env::temp_dir().join(format!("fpm-cache-test-{}", std::process::id()));
+        std::env::set_var("FPM_DATA_DIR", &dir);
+        let fresh = Dataset::Ds1.generate(Scale::Smoke);
+        let first = generate_cached(Dataset::Ds1, Scale::Smoke); // miss → write
+        let second = generate_cached(Dataset::Ds1, Scale::Smoke); // hit → read
+        assert_eq!(first, fresh);
+        assert_eq!(second, fresh);
+        assert!(cache_path(Dataset::Ds1, Scale::Smoke).exists());
+        std::fs::remove_dir_all(&dir).ok();
+        std::env::remove_var("FPM_DATA_DIR");
+    }
+}

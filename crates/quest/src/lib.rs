@@ -1,0 +1,36 @@
+//! # `fpm-quest` — dataset generators for the paper's evaluation inputs
+//!
+//! Table 6 of the paper evaluates on four datasets:
+//!
+//! | id  | name        | transactions | support |
+//! |-----|-------------|--------------|---------|
+//! | DS1 | T60I10D300K | 300 K        | 3000    |
+//! | DS2 | T70I10D300K | 300 K        | 3000    |
+//! | DS3 | WebDocs     | 500 K        | 50000   |
+//! | DS4 | AP (TIPSTER)| 1.8 M        | 2000    |
+//!
+//! DS1/DS2 come from the **IBM Quest synthetic generator** (Agrawal &
+//! Srikant's `T..I..D..` parameterisation), reimplemented here in
+//! [`quest`]. DS3/DS4 are real corpora we cannot redistribute; the
+//! [`webdocs`] and [`ap`] modules generate statistical stand-ins that
+//! match the properties the paper's analysis actually depends on —
+//! WebDocs: long, heavily overlapping (topic-clustered) transactions over
+//! a Zipf vocabulary; AP: very many short, sparse, scattered transactions
+//! (the dataset on which tiling finds no reuse and lexicographic
+//! preprocessing costs too much).
+//!
+//! [`Dataset`] ties it together: each paper dataset at a chosen
+//! [`Scale`], with the support threshold scaled proportionally.
+
+#![warn(missing_docs)]
+
+pub mod ap;
+pub mod cache;
+pub mod dataset;
+pub mod dense;
+pub mod quest;
+pub mod webdocs;
+
+pub use cache::generate_cached;
+pub use dataset::{Dataset, Scale};
+pub use quest::{generate as quest_generate, QuestParams};

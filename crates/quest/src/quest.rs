@@ -1,0 +1,322 @@
+//! Reimplementation of the IBM Quest synthetic transaction generator
+//! (Agrawal & Srikant, VLDB'94 §Experiments), the source of the paper's
+//! DS1 (`T60I10D300K`) and DS2 (`T70I10D300K`).
+//!
+//! The model: a pool of `n_patterns` *maximal potentially large itemsets*
+//! is drawn first — sizes Poisson around `avg_pattern_len`, items partly
+//! inherited from the previous pattern (to model cross-pattern
+//! correlation), pattern weights exponential. Each transaction then has a
+//! Poisson length around `avg_transaction_len` and is assembled by
+//! drawing patterns by weight, *corrupting* each (dropping a random
+//! suffix of its items with per-pattern corruption level) before
+//! insertion; a pattern that overflows the remaining budget is kept
+//! anyway in half the cases and deferred otherwise.
+
+use fpm::TransactionDb;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters in the classic `T..I..D..` notation plus the pool knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuestParams {
+    /// `D` — number of transactions.
+    pub n_transactions: usize,
+    /// `T` — average transaction length.
+    pub avg_transaction_len: f64,
+    /// `I` — average size of the maximal potentially large itemsets.
+    pub avg_pattern_len: f64,
+    /// `N` — number of distinct items.
+    pub n_items: usize,
+    /// `L` — number of maximal potentially large itemsets in the pool.
+    pub n_patterns: usize,
+    /// Fraction of a pattern's items inherited from its predecessor.
+    pub correlation: f64,
+    /// Mean per-pattern corruption level.
+    pub corruption_mean: f64,
+    /// RNG seed — generation is fully deterministic given the parameters.
+    pub seed: u64,
+}
+
+impl Default for QuestParams {
+    fn default() -> Self {
+        QuestParams {
+            n_transactions: 10_000,
+            avg_transaction_len: 10.0,
+            avg_pattern_len: 4.0,
+            n_items: 1000,
+            n_patterns: 2000,
+            correlation: 0.5,
+            corruption_mean: 0.5,
+            seed: 20070415,
+        }
+    }
+}
+
+impl QuestParams {
+    /// The `TxxIyyDzzzK` name of this configuration.
+    pub fn name(&self) -> String {
+        format!(
+            "T{}I{}D{}K",
+            self.avg_transaction_len.round() as u64,
+            self.avg_pattern_len.round() as u64,
+            (self.n_transactions as f64 / 1000.0).round() as u64
+        )
+    }
+}
+
+/// Draws from Poisson(mean) by inversion (mean values here are small
+/// enough that the naive product method is fine and exact).
+fn poisson(rng: &mut StdRng, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean > 30.0 {
+        // Normal approximation for large means (transaction length 60/70).
+        let std = mean.sqrt();
+        let n: f64 = rng.sample(rand::distr::StandardUniform);
+        let m: f64 = rng.sample(rand::distr::StandardUniform);
+        // Box-Muller
+        let z = (-2.0 * n.max(1e-12).ln()).sqrt() * (2.0 * std::f64::consts::PI * m).cos();
+        return (mean + std * z).round().max(0.0) as usize;
+    }
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Exponential(1) variate.
+fn exponential(rng: &mut StdRng) -> f64 {
+    -(rng.random::<f64>().max(1e-300)).ln()
+}
+
+struct PatternPool {
+    items: Vec<Vec<u32>>,
+    /// Cumulative weights for roulette selection.
+    cum_weights: Vec<f64>,
+    corruption: Vec<f64>,
+}
+
+impl PatternPool {
+    fn generate(p: &QuestParams, rng: &mut StdRng) -> Self {
+        let mut items: Vec<Vec<u32>> = Vec::with_capacity(p.n_patterns);
+        let mut weights = Vec::with_capacity(p.n_patterns);
+        let mut corruption = Vec::with_capacity(p.n_patterns);
+        for k in 0..p.n_patterns {
+            let size = poisson(rng, p.avg_pattern_len).max(1).min(p.n_items);
+            let mut set = Vec::with_capacity(size);
+            if k > 0 {
+                // Inherit an exponentially-distributed fraction (mean =
+                // correlation) of items from the previous pattern.
+                let prev = items[k - 1].clone();
+                let frac = (exponential(rng) * p.correlation).min(1.0);
+                let inherit = ((size as f64 * frac).round() as usize).min(prev.len());
+                for _ in 0..inherit {
+                    let pick = prev[rng.random_range(0..prev.len())];
+                    if !set.contains(&pick) {
+                        set.push(pick);
+                    }
+                }
+            }
+            while set.len() < size {
+                let pick = rng.random_range(0..p.n_items as u32);
+                if !set.contains(&pick) {
+                    set.push(pick);
+                }
+            }
+            set.sort_unstable();
+            items.push(set);
+            weights.push(exponential(rng));
+            // Corruption level: normal(mean, 0.1) clamped to [0, 1].
+            let u1: f64 = rng.random::<f64>().max(1e-12);
+            let u2: f64 = rng.random();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            corruption.push((p.corruption_mean + 0.1 * z).clamp(0.0, 1.0));
+        }
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cum_weights = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        PatternPool {
+            items,
+            cum_weights,
+            corruption,
+        }
+    }
+
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random();
+        match self
+            .cum_weights
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) | Err(i) => i.min(self.items.len() - 1),
+        }
+    }
+}
+
+/// Generates a database from Quest parameters. Deterministic in
+/// `params.seed`.
+pub fn generate(params: &QuestParams) -> TransactionDb {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let pool = PatternPool::generate(params, &mut rng);
+    let mut transactions = Vec::with_capacity(params.n_transactions);
+    let mut scratch: Vec<u32> = Vec::new();
+    for _ in 0..params.n_transactions {
+        let budget = poisson(&mut rng, params.avg_transaction_len).max(1);
+        scratch.clear();
+        let mut attempts = 0;
+        while scratch.len() < budget && attempts < 4 * budget + 8 {
+            attempts += 1;
+            let pi = pool.pick(&mut rng);
+            let pattern = &pool.items[pi];
+            let c = pool.corruption[pi];
+            // Corrupt: repeatedly drop one random item while u < c.
+            let mut kept: Vec<u32> = pattern.clone();
+            while kept.len() > 1 && rng.random::<f64>() < c {
+                let at = rng.random_range(0..kept.len());
+                kept.swap_remove(at);
+            }
+            if scratch.len() + kept.len() > budget && rng.random::<bool>() {
+                continue; // defer oversize pattern half the time
+            }
+            scratch.extend_from_slice(&kept);
+        }
+        scratch.sort_unstable();
+        scratch.dedup();
+        transactions.push(scratch.clone());
+    }
+    TransactionDb::from_transactions(transactions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> QuestParams {
+        QuestParams {
+            n_transactions: 2000,
+            avg_transaction_len: 10.0,
+            avg_pattern_len: 4.0,
+            n_items: 200,
+            n_patterns: 100,
+            ..QuestParams::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a, b);
+        let mut other = small();
+        other.seed += 1;
+        assert_ne!(generate(&other), a);
+    }
+
+    #[test]
+    fn shape_matches_parameters() {
+        let db = generate(&small());
+        assert_eq!(db.len(), 2000);
+        assert!(db.n_items() <= 200);
+        let mean = db.mean_len();
+        assert!(
+            (6.0..14.0).contains(&mean),
+            "mean transaction length {mean} far from T=10"
+        );
+    }
+
+    #[test]
+    fn long_transactions_via_normal_approximation() {
+        let mut p = small();
+        p.n_transactions = 300;
+        p.avg_transaction_len = 60.0;
+        p.n_items = 1000;
+        let db = generate(&p);
+        let mean = db.mean_len();
+        assert!(
+            (40.0..80.0).contains(&mean),
+            "mean transaction length {mean} far from T=60"
+        );
+    }
+
+    #[test]
+    fn correlation_produces_frequent_co_occurrence() {
+        // A pattern-based generator must yield 2-itemsets whose support is
+        // far above the independence baseline.
+        let db = generate(&small());
+        let ranked = fpm::remap(&db, 1);
+        let top = 15u32.min(ranked.n_ranks() as u32);
+        let n = ranked.transactions.len() as f64;
+        let mut single = vec![0u64; top as usize];
+        let mut joint = vec![vec![0u64; top as usize]; top as usize];
+        for t in &ranked.transactions {
+            let present: Vec<u32> = t.iter().copied().filter(|&r| r < top).collect();
+            for &a in &present {
+                single[a as usize] += 1;
+            }
+            for (i, &a) in present.iter().enumerate() {
+                for &b in &present[i + 1..] {
+                    joint[a as usize][b as usize] += 1;
+                }
+            }
+        }
+        // The pattern pool guarantees that *some* frequent pair co-occurs
+        // far above independence (lift ≫ 1); find the best lift.
+        let mut best_lift = 0.0f64;
+        for a in 0..top as usize {
+            for b in a + 1..top as usize {
+                if single[a] > 0 && single[b] > 0 {
+                    let indep = single[a] as f64 * single[b] as f64 / n;
+                    if indep >= 5.0 {
+                        best_lift = best_lift.max(joint[a][b] as f64 / indep);
+                    }
+                }
+            }
+        }
+        assert!(best_lift > 1.5, "no correlated pair: best lift {best_lift:.2}");
+    }
+
+    #[test]
+    fn name_formatting() {
+        let p = QuestParams {
+            n_transactions: 300_000,
+            avg_transaction_len: 60.0,
+            avg_pattern_len: 10.0,
+            ..QuestParams::default()
+        };
+        assert_eq!(p.name(), "T60I10D300K");
+    }
+
+    #[test]
+    fn poisson_mean_sane() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for mean in [0.5f64, 4.0, 10.0, 60.0] {
+            let n = 3000;
+            let total: usize = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+            let got = total as f64 / n as f64;
+            assert!(
+                (got - mean).abs() < mean.max(1.0) * 0.15,
+                "poisson({mean}) sample mean {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_transactions() {
+        let mut p = small();
+        p.n_transactions = 0;
+        assert!(generate(&p).is_empty());
+    }
+}

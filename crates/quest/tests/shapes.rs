@@ -1,0 +1,80 @@
+//! Validates that the four datasets' *shapes* match what the paper's
+//! analysis assumes about them (DESIGN.md substitution #1): DS1/DS2 are
+//! long-transaction pattern data, DS3 is dense/clustered/Zipf-headed,
+//! DS4 is sparse/scattered with short transactions.
+
+use fpm::stats::shape;
+use fpm_quest::{Dataset, Scale};
+
+#[test]
+fn ds1_ds2_transaction_lengths_track_t_parameter() {
+    let s1 = shape(&Dataset::Ds1.generate(Scale::Smoke));
+    let s2 = shape(&Dataset::Ds2.generate(Scale::Smoke));
+    assert!(
+        (40.0..80.0).contains(&s1.mean_len),
+        "T60 mean {}",
+        s1.mean_len
+    );
+    assert!(
+        (48.0..92.0).contains(&s2.mean_len),
+        "T70 mean {}",
+        s2.mean_len
+    );
+    assert!(s2.mean_len > s1.mean_len);
+}
+
+#[test]
+fn ds3_is_dense_and_zipf_headed() {
+    let db = Dataset::Ds3.generate(Scale::Smoke);
+    let s = shape(&db);
+    // long-ish documents with a heavy tail
+    assert!(s.mean_len > 10.0, "mean {}", s.mean_len);
+    assert!(s.len_percentiles[2] > 2 * s.len_percentiles[0], "heavy tail");
+    // strong head dominance under Zipf
+    assert!(s.head_to_median > 20.0, "head/median {}", s.head_to_median);
+    assert!(s.item_gini > 0.5, "gini {}", s.item_gini);
+}
+
+#[test]
+fn ds4_is_sparse_short_and_scattered() {
+    let db = Dataset::Ds4.generate(Scale::Smoke);
+    let s = shape(&db);
+    assert!(s.mean_len < 15.0, "mean {}", s.mean_len);
+    let density = db.nnz() as f64 / (db.len() as f64 * db.n_items() as f64);
+    assert!(density < 0.005, "density {density}");
+    // DS4's defining property in the paper: occurrences scattered over
+    // the transaction sequence
+    let ranked = fpm::remap(&db, Dataset::Ds4.support(Scale::Smoke));
+    let p = also::advisor::InputProfile::measure(&ranked.transactions, ranked.n_ranks());
+    assert!(p.scatter > 0.3, "scatter {}", p.scatter);
+}
+
+#[test]
+fn ds3_is_more_clustered_than_ds4() {
+    // DS3's topical structure must show up as lower scatter than DS4 at
+    // comparable support percentile
+    let p3 = fpm::metrics::profile(
+        &Dataset::Ds3.generate(Scale::Smoke),
+        Dataset::Ds3.support(Scale::Smoke),
+    );
+    let p4 = fpm::metrics::profile(
+        &Dataset::Ds4.generate(Scale::Smoke),
+        Dataset::Ds4.support(Scale::Smoke),
+    );
+    assert!(
+        p3.density > 5.0 * p4.density,
+        "DS3 density {} vs DS4 {}",
+        p3.density,
+        p4.density
+    );
+}
+
+#[test]
+fn scales_are_proportional() {
+    let smoke = Dataset::Ds1.generate(Scale::Smoke);
+    let ci = Dataset::Ds1.generate(Scale::Ci);
+    assert_eq!(ci.len(), 10 * smoke.len());
+    let (s1, s2) = (shape(&smoke), shape(&ci));
+    // same generator shape at both scales
+    assert!((s1.mean_len - s2.mean_len).abs() < 6.0);
+}

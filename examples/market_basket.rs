@@ -1,0 +1,79 @@
+//! Market-basket analysis on IBM Quest synthetic data — the workload the
+//! frequent-pattern-mining literature was born from: generate a
+//! `T10I4D…` retail-like database, mine it, and derive association rules
+//! from the frequent itemsets.
+//!
+//! ```sh
+//! cargo run --release --example market_basket
+//! ```
+
+use also_fpm::fpm::{CollectSink, ItemsetCount};
+use also_fpm::quest::{quest_generate, QuestParams};
+use std::collections::HashMap;
+
+fn main() {
+    let params = QuestParams {
+        n_transactions: 20_000,
+        avg_transaction_len: 10.0,
+        avg_pattern_len: 4.0,
+        n_items: 500,
+        n_patterns: 300,
+        ..QuestParams::default()
+    };
+    let db = quest_generate(&params);
+    let minsup = 200; // 1% of transactions
+    println!(
+        "generated {} ({} transactions, {} items, mean length {:.1})",
+        params.name(),
+        db.len(),
+        db.n_items(),
+        db.mean_len()
+    );
+
+    let mut sink = CollectSink::default();
+    also_fpm::lcm::mine(&db, minsup, &also_fpm::lcm::LcmConfig::all(), &mut sink);
+    let patterns = sink.patterns;
+    println!("{} frequent itemsets at 1% support\n", patterns.len());
+
+    // Derive association rules  A → b  with confidence = sup(A ∪ b) / sup(A).
+    let support: HashMap<&[u32], u64> = patterns
+        .iter()
+        .map(|p| (p.items.as_slice(), p.support))
+        .collect();
+    let mut rules: Vec<(Vec<u32>, u32, f64, u64)> = Vec::new();
+    for p in &patterns {
+        if p.items.len() < 2 {
+            continue;
+        }
+        for (i, &conseq) in p.items.iter().enumerate() {
+            let mut antecedent = p.items.clone();
+            antecedent.remove(i);
+            if let Some(&sa) = support.get(antecedent.as_slice()) {
+                let conf = p.support as f64 / sa as f64;
+                if conf >= 0.8 {
+                    rules.push((antecedent, conseq, conf, p.support));
+                }
+            }
+        }
+    }
+    rules.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("no NaN"));
+    println!("top association rules (confidence ≥ 0.8):");
+    for (ante, conseq, conf, sup) in rules.iter().take(15) {
+        println!("  {ante:?} → {conseq}   confidence {conf:.2}, support {sup}");
+    }
+    if rules.is_empty() {
+        println!("  (none at this threshold — lower minsup or confidence)");
+    }
+
+    // sanity: the most frequent pair really co-occurs above independence
+    let pairs: Vec<&ItemsetCount> = patterns.iter().filter(|p| p.items.len() == 2).collect();
+    if let Some(best) = pairs.iter().max_by_key(|p| p.support) {
+        let s0 = support[&best.items[..1]] as f64;
+        let s1 = support[&[best.items[1]][..]] as f64;
+        let lift = best.support as f64 * db.len() as f64 / (s0 * s1);
+        println!(
+            "\nstrongest pair {:?}: support {}, lift {:.2}",
+            best.items, best.support, lift
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: mine a small transactional database with every kernel.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use also_fpm::fpm::{CollectSink, TransactionDb};
+
+fn main() {
+    // A grocery-flavoured toy database (items are just ids; pretend
+    // 0 = milk, 1 = bread, 2 = butter, 3 = beer, 4 = diapers).
+    let db = TransactionDb::from_transactions(vec![
+        vec![0, 1, 2],
+        vec![0, 1],
+        vec![1, 2],
+        vec![3, 4],
+        vec![0, 1, 2, 3],
+        vec![1, 2],
+        vec![3, 4],
+        vec![0, 1, 2],
+    ]);
+    let minsup = 3;
+
+    println!(
+        "{} transactions over {} items, minsup {minsup}\n",
+        db.len(),
+        db.n_items()
+    );
+
+    // LCM with every applicable ALSO pattern enabled.
+    let mut sink = CollectSink::default();
+    also_fpm::lcm::mine(&db, minsup, &also_fpm::lcm::LcmConfig::all(), &mut sink);
+    let patterns = also_fpm::fpm::types::canonicalize(sink.patterns);
+    println!("LCM (all patterns) found {} frequent itemsets:", patterns.len());
+    for p in &patterns {
+        println!("  {:?} support {}", p.items, p.support);
+    }
+
+    // The other kernels return exactly the same set — that's the
+    // workspace's central invariant.
+    let mut eclat_sink = CollectSink::default();
+    also_fpm::eclat::mine(
+        &db,
+        minsup,
+        &also_fpm::eclat::EclatConfig::all(),
+        &mut eclat_sink,
+    );
+    let mut fpg_sink = CollectSink::default();
+    also_fpm::fpgrowth::mine(
+        &db,
+        minsup,
+        &also_fpm::fpgrowth::FpConfig::all(),
+        &mut fpg_sink,
+    );
+    assert_eq!(
+        patterns,
+        also_fpm::fpm::types::canonicalize(eclat_sink.patterns)
+    );
+    assert_eq!(
+        patterns,
+        also_fpm::fpm::types::canonicalize(fpg_sink.patterns)
+    );
+    println!("\nEclat and FP-Growth agree on all {} patterns.", patterns.len());
+}

@@ -1,0 +1,106 @@
+//! Tuning lab: measure what each ALSO pattern buys on your machine.
+//!
+//! Runs every named variant of every kernel on one dataset and prints a
+//! Figure 8-style speedup cluster, then asks the input-profile advisor
+//! what it would have picked.
+//!
+//! ```sh
+//! cargo run --release --example tuning_lab            # DS1, smoke scale
+//! cargo run --release --example tuning_lab ds3 ci     # pick dataset/scale
+//! ```
+
+use also_fpm::also::advisor::{advise, AdvisorConfig};
+use also_fpm::also::catalog::Kernel;
+use also_fpm::fpm::CountSink;
+use also_fpm::quest::{Dataset, Scale};
+use std::time::Instant;
+
+fn time<R>(mut f: impl FnMut() -> R) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dataset = args
+        .first()
+        .and_then(|s| Dataset::by_label(s))
+        .unwrap_or(Dataset::Ds1);
+    let scale = args
+        .get(1)
+        .and_then(|s| Scale::by_label(s))
+        .unwrap_or(Scale::Smoke);
+
+    let db = dataset.generate(scale);
+    let minsup = dataset.support(scale);
+    println!(
+        "{} ({}) at {scale:?} scale: {} transactions, minsup {minsup}\n",
+        dataset.label(),
+        dataset.name(),
+        db.len()
+    );
+
+    println!("== LCM ==");
+    let mut base = 0.0;
+    for (name, cfg) in also_fpm::lcm::variants() {
+        let t = time(|| {
+            let mut s = CountSink::default();
+            also_fpm::lcm::mine(&db, minsup, &cfg, &mut s);
+            s.count
+        });
+        if name == "base" {
+            base = t;
+            println!("  {name:<8} {t:.4}s (baseline)");
+        } else {
+            println!("  {name:<8} {t:.4}s  → {:.2}× speedup", base / t);
+        }
+    }
+
+    println!("== Eclat ==");
+    for (name, cfg) in also_fpm::eclat::variants() {
+        let t = time(|| {
+            let mut s = CountSink::default();
+            also_fpm::eclat::mine(&db, minsup, &cfg, &mut s);
+            s.count
+        });
+        if name == "base" {
+            base = t;
+            println!("  {name:<8} {t:.4}s (baseline)");
+        } else {
+            println!("  {name:<8} {t:.4}s  → {:.2}× speedup", base / t);
+        }
+    }
+
+    println!("== FP-Growth ==");
+    for (name, cfg) in also_fpm::fpgrowth::variants() {
+        let t = time(|| {
+            let mut s = CountSink::default();
+            also_fpm::fpgrowth::mine(&db, minsup, &cfg, &mut s);
+            s.count
+        });
+        if name == "base" {
+            base = t;
+            println!("  {name:<8} {t:.4}s (baseline)");
+        } else {
+            println!("  {name:<8} {t:.4}s  → {:.2}× speedup", base / t);
+        }
+    }
+
+    // What would the advisor have recommended?
+    let profile = also_fpm::fpm::metrics::profile(&db, minsup);
+    println!(
+        "\ninput profile: density {:.5}, scatter {:.3}, mean ranked length {:.1}",
+        profile.density, profile.scatter, profile.mean_len
+    );
+    for k in [Kernel::Lcm, Kernel::Eclat, Kernel::FpGrowth] {
+        let picks = advise(&profile, k, &AdvisorConfig::default());
+        let names: Vec<&str> = picks.iter().map(|p| p.name()).collect();
+        println!("advisor for {:<10}: {}", k.name(), names.join(", "));
+    }
+}

@@ -1,0 +1,68 @@
+//! Text-corpus mining on the WebDocs and AP stand-ins (DS3/DS4): the two
+//! "real-data" workloads of the paper's Table 6, with the input-profile
+//! analysis that explains why the same patterns behave so differently on
+//! them.
+//!
+//! ```sh
+//! cargo run --release --example webdocs_sim
+//! ```
+
+use also_fpm::fpm::{CountSink, TransactionDb};
+use also_fpm::quest::{Dataset, Scale};
+use std::time::Instant;
+
+fn mine_both(label: &str, db: &TransactionDb, minsup: u64) {
+    println!("== {label}: {} transactions, mean length {:.1}, minsup {minsup} ==",
+        db.len(), db.mean_len());
+    let profile = also_fpm::fpm::metrics::profile(db, minsup);
+    println!(
+        "   profile: density {:.5}, scatter {:.3}, {} frequent items",
+        profile.density, profile.scatter, profile.n_items
+    );
+
+    let runners: Vec<(&str, Box<dyn Fn() -> u64 + '_>)> = vec![
+        (
+            "eclat/all",
+            Box::new(|| {
+                let mut s = CountSink::default();
+                also_fpm::eclat::mine(db, minsup, &also_fpm::eclat::EclatConfig::all(), &mut s);
+                s.count
+            }),
+        ),
+        (
+            "lcm/all",
+            Box::new(|| {
+                let mut s = CountSink::default();
+                also_fpm::lcm::mine(db, minsup, &also_fpm::lcm::LcmConfig::all(), &mut s);
+                s.count
+            }),
+        ),
+        (
+            "fpgrowth/all",
+            Box::new(|| {
+                let mut s = CountSink::default();
+                also_fpm::fpgrowth::mine(db, minsup, &also_fpm::fpgrowth::FpConfig::all(), &mut s);
+                s.count
+            }),
+        ),
+    ];
+    for (kernel, run) in &runners {
+        let t = Instant::now();
+        let n = run();
+        println!("   {kernel:<14} {n:>8} patterns in {:.3}s", t.elapsed().as_secs_f64());
+    }
+    println!();
+}
+
+fn main() {
+    let scale = Scale::Smoke;
+    let ds3 = Dataset::Ds3.generate(scale);
+    mine_both("DS3 (WebDocs-like: dense, topic-clustered)", &ds3, Dataset::Ds3.support(scale));
+    let ds4 = Dataset::Ds4.generate(scale);
+    mine_both("DS4 (AP-like: sparse, scattered)", &ds4, Dataset::Ds4.support(scale));
+
+    println!("The paper's §4.4 reading: on the dense, clustered DS3 the vertical");
+    println!("bit-matrix (Eclat) shines and tiling finds reuse; on the sparse,");
+    println!("scattered DS4 tiling adds nothing and lexicographic preprocessing");
+    println!("struggles to pay for itself. Compare the profiles above.");
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates every artifact recorded in EXPERIMENTS.md.
+# Usage: scripts/reproduce.sh [smoke|ci|full]   (default: smoke)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+SCALE="${1:-smoke}"
+
+echo "== build =="
+cargo build --workspace --release
+
+echo "== tests =="
+cargo test --workspace 2>&1 | tee test_output.txt
+
+echo "== tables & figures (native + simulated) =="
+./target/release/repro all --scale "$SCALE" | tee "repro_${SCALE}.txt"
+./target/release/repro fig8 --machine m1 --scale "$SCALE" | tee "fig8_m1_${SCALE}.txt"
+./target/release/repro fig8 --machine m2 --scale "$SCALE" | tee "fig8_m2_${SCALE}.txt"
+
+echo "== criterion benches =="
+cargo bench --workspace 2>&1 | tee bench_output.txt
+
+echo "done — see EXPERIMENTS.md for the paper-vs-measured reading"

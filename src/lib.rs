@@ -1,0 +1,32 @@
+//! # `also-fpm` — facade crate
+//!
+//! Re-exports the whole workspace: the ALSO tuning-pattern library
+//! ([`also`]), the mining substrate ([`fpm`]), the dataset generators
+//! ([`quest`]), the memory-hierarchy simulator ([`memsim`]) and the four
+//! miners ([`lcm`], [`eclat`], [`fpgrowth`], [`apriori`]).
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! system inventory; the runnable entry points live in `examples/`.
+//!
+//! ```
+//! use also_fpm::fpm::{CollectSink, TransactionDb};
+//!
+//! let db = TransactionDb::from_transactions(vec![
+//!     vec![1, 2, 3],
+//!     vec![1, 2],
+//!     vec![2, 3],
+//! ]);
+//! let mut sink = CollectSink::default();
+//! also_fpm::lcm::mine(&db, 2, &also_fpm::lcm::LcmConfig::all(), &mut sink);
+//! let patterns = also_fpm::fpm::types::canonicalize(sink.patterns);
+//! assert!(patterns.iter().any(|p| p.items == vec![1, 2] && p.support == 2));
+//! ```
+
+pub use also;
+pub use apriori;
+pub use eclat;
+pub use fpgrowth;
+pub use fpm;
+pub use lcm;
+pub use memsim;
+pub use quest;

@@ -1,0 +1,161 @@
+//! The central correctness property of the reproduction: four
+//! structurally unrelated miners (LCM's occurrence-deliver arrays,
+//! Eclat's vertical bit matrix, FP-Growth's prefix tree, Apriori's
+//! breadth-first join) and every ALSO-tuned variant of each must produce
+//! exactly the same frequent itemsets with the same supports.
+
+use fpm::types::canonicalize;
+use fpm::{CollectSink, ItemsetCount, TransactionDb};
+use proptest::prelude::*;
+
+fn mine_lcm(db: &TransactionDb, minsup: u64, cfg: &lcm::LcmConfig) -> Vec<ItemsetCount> {
+    let mut s = CollectSink::default();
+    lcm::mine(db, minsup, cfg, &mut s);
+    canonicalize(s.patterns)
+}
+
+fn mine_eclat(db: &TransactionDb, minsup: u64, cfg: &eclat::EclatConfig) -> Vec<ItemsetCount> {
+    let mut s = CollectSink::default();
+    eclat::mine(db, minsup, cfg, &mut s);
+    canonicalize(s.patterns)
+}
+
+fn mine_fpg(db: &TransactionDb, minsup: u64, cfg: &fpgrowth::FpConfig) -> Vec<ItemsetCount> {
+    let mut s = CollectSink::default();
+    fpgrowth::mine(db, minsup, cfg, &mut s);
+    canonicalize(s.patterns)
+}
+
+fn mine_apriori(db: &TransactionDb, minsup: u64) -> Vec<ItemsetCount> {
+    let mut s = CollectSink::default();
+    apriori::mine(db, minsup, &mut s);
+    canonicalize(s.patterns)
+}
+
+fn mine_hmine(db: &TransactionDb, minsup: u64) -> Vec<ItemsetCount> {
+    let mut s = CollectSink::default();
+    fpm::hmine::mine(db, minsup, &mut s);
+    canonicalize(s.patterns)
+}
+
+/// All kernels (tuned `all` variants) + Apriori against the brute-force
+/// reference.
+fn assert_all_agree(db: &TransactionDb, minsup: u64) {
+    let expect = canonicalize(fpm::naive::mine(db, minsup));
+    assert_eq!(mine_apriori(db, minsup), expect, "apriori");
+    assert_eq!(mine_hmine(db, minsup), expect, "hmine");
+    for (name, cfg) in lcm::variants() {
+        assert_eq!(mine_lcm(db, minsup, &cfg), expect, "lcm/{name}");
+    }
+    for (name, cfg) in eclat::variants() {
+        assert_eq!(mine_eclat(db, minsup, &cfg), expect, "eclat/{name}");
+    }
+    for (name, cfg) in fpgrowth::variants() {
+        assert_eq!(mine_fpg(db, minsup, &cfg), expect, "fpgrowth/{name}");
+    }
+}
+
+#[test]
+fn paper_toy_database() {
+    let db = TransactionDb::from_transactions(vec![
+        vec![0, 2, 5],
+        vec![1, 2, 5],
+        vec![0, 2, 5],
+        vec![3, 4],
+        vec![0, 1, 2, 3, 4, 5],
+    ]);
+    for minsup in 1..=5 {
+        assert_all_agree(&db, minsup);
+    }
+}
+
+#[test]
+fn pathological_shapes() {
+    // all transactions identical
+    assert_all_agree(
+        &TransactionDb::from_transactions(vec![vec![1, 2, 3]; 20]),
+        5,
+    );
+    // pairwise disjoint transactions
+    assert_all_agree(
+        &TransactionDb::from_transactions((0..10).map(|k| vec![2 * k, 2 * k + 1]).collect()),
+        1,
+    );
+    // one long transaction among singletons
+    let mut ts: Vec<Vec<u32>> = (0..10).map(|k| vec![k]).collect();
+    ts.push((0..10).collect());
+    assert_all_agree(&TransactionDb::from_transactions(ts), 2);
+    // empty transactions mixed in
+    assert_all_agree(
+        &TransactionDb::from_transactions(vec![vec![], vec![1], vec![], vec![1, 2]]),
+        1,
+    );
+}
+
+#[test]
+fn quest_generated_database() {
+    let db = quest::quest_generate(&quest::QuestParams {
+        n_transactions: 400,
+        avg_transaction_len: 8.0,
+        avg_pattern_len: 3.0,
+        n_items: 40,
+        n_patterns: 30,
+        ..quest::QuestParams::default()
+    });
+    // cross-check the depth-first kernels against Apriori (naive is too
+    // slow here)
+    let expect = mine_apriori(&db, 20);
+    assert!(expect.len() > 20, "workload must be non-trivial");
+    assert_eq!(mine_hmine(&db, 20), expect, "hmine");
+    for (name, cfg) in lcm::variants() {
+        assert_eq!(mine_lcm(&db, 20, &cfg), expect, "lcm/{name}");
+    }
+    for (name, cfg) in eclat::variants() {
+        assert_eq!(mine_eclat(&db, 20, &cfg), expect, "eclat/{name}");
+    }
+    for (name, cfg) in fpgrowth::variants() {
+        assert_eq!(mine_fpg(&db, 20, &cfg), expect, "fpgrowth/{name}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random small databases: every kernel × the `base` and `all`
+    /// variants agrees with the brute-force miner at a random threshold.
+    #[test]
+    fn random_databases(
+        db in prop::collection::vec(
+            prop::collection::btree_set(0u32..12, 0..7)
+                .prop_map(|s| s.into_iter().collect::<Vec<u32>>()),
+            0..40),
+        minsup in 1u64..6,
+    ) {
+        let db = TransactionDb::from_transactions(db);
+        let expect = canonicalize(fpm::naive::mine(&db, minsup));
+        prop_assert_eq!(mine_apriori(&db, minsup), expect.clone());
+        prop_assert_eq!(mine_lcm(&db, minsup, &lcm::LcmConfig::baseline()), expect.clone());
+        prop_assert_eq!(mine_lcm(&db, minsup, &lcm::LcmConfig::all()), expect.clone());
+        prop_assert_eq!(mine_eclat(&db, minsup, &eclat::EclatConfig::baseline()), expect.clone());
+        prop_assert_eq!(mine_eclat(&db, minsup, &eclat::EclatConfig::all()), expect.clone());
+        prop_assert_eq!(mine_fpg(&db, minsup, &fpgrowth::FpConfig::baseline()), expect.clone());
+        prop_assert_eq!(mine_fpg(&db, minsup, &fpgrowth::FpConfig::all()), expect);
+    }
+
+    /// Anti-monotonicity holds in every miner's output: raising the
+    /// threshold yields exactly the filtered subset.
+    #[test]
+    fn threshold_monotone(
+        db in prop::collection::vec(
+            prop::collection::btree_set(0u32..10, 0..6)
+                .prop_map(|s| s.into_iter().collect::<Vec<u32>>()),
+            0..30),
+    ) {
+        let db = TransactionDb::from_transactions(db);
+        let low = mine_lcm(&db, 1, &lcm::LcmConfig::all());
+        let high = mine_lcm(&db, 3, &lcm::LcmConfig::all());
+        let filtered: Vec<ItemsetCount> =
+            low.iter().filter(|p| p.support >= 3).cloned().collect();
+        prop_assert_eq!(high, filtered);
+    }
+}

@@ -1,0 +1,234 @@
+//! Semantic effect tests: each ALSO pattern must move the *measured*
+//! memory behaviour (on the simulated M1 machine) or work counters in the
+//! direction the paper claims — not just leave results unchanged.
+
+use fpm::{CountSink, TransactionDb};
+use memsim::{CacheProbe, Machine};
+use quest::{Dataset, Scale};
+
+fn ds1() -> (TransactionDb, u64) {
+    (
+        Dataset::Ds1.generate(Scale::Smoke),
+        Dataset::Ds1.support(Scale::Smoke),
+    )
+}
+
+fn lcm_cycles(db: &TransactionDb, minsup: u64, cfg: &lcm::LcmConfig) -> (f64, u64) {
+    let mut probe = CacheProbe::new(Machine::m1());
+    let mut sink = CountSink::default();
+    lcm::mine_probed(db, minsup, cfg, &mut probe, &mut sink);
+    (probe.report("lcm").cycles, sink.count)
+}
+
+fn fpg_report(db: &TransactionDb, minsup: u64, cfg: &fpgrowth::FpConfig) -> (memsim::MemReport, u64) {
+    let mut probe = CacheProbe::new(Machine::m1());
+    let mut sink = CountSink::default();
+    fpgrowth::mine_probed(db, minsup, cfg, &mut probe, &mut sink);
+    (probe.report("fpg"), sink.count)
+}
+
+/// P1 for Eclat: lexicographic ordering + 0-escaping cuts the words
+/// processed per intersection (§4.2).
+#[test]
+fn lex_zero_escaping_reduces_eclat_work() {
+    let (db, minsup) = ds1();
+    let mut s1 = CountSink::default();
+    let base = eclat::mine(&db, minsup, &eclat::EclatConfig::baseline(), &mut s1);
+    let mut s2 = CountSink::default();
+    let lex = eclat::mine(&db, minsup, &eclat::EclatConfig::lex(), &mut s2);
+    assert_eq!(s1.count, s2.count);
+    assert!(
+        (lex.words_processed as f64) < 0.9 * base.words_processed as f64,
+        "0-escaping saved too little: {} vs {}",
+        lex.words_processed,
+        base.words_processed
+    );
+}
+
+/// P1 for LCM: lexicographic ordering reduces simulated cycles on
+/// *short*-transaction scattered input — the case §3.2 singles out
+/// ("this reduction in cache misses will be most significant when the
+/// transactions are short; in long transactions most of the spatial
+/// locality is already captured" — on T60-long DS1 the effect is ≈0,
+/// which `repro fig8` shows).
+#[test]
+fn lex_reduces_lcm_cycles_on_short_transactions() {
+    let mut s = 2024u64;
+    let mut rnd = || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let db = TransactionDb::from_transactions(
+        (0..30_000)
+            .map(|_| {
+                (0..4).map(|_| (rnd() % 300) as u32).collect::<Vec<_>>()
+            })
+            .collect(),
+    );
+    let (base, n1) = lcm_cycles(&db, 300, &lcm::LcmConfig::baseline());
+    let (lex, n2) = lcm_cycles(&db, 300, &lcm::LcmConfig::lex());
+    assert_eq!(n1, n2);
+    assert!(
+        lex < base,
+        "lex must reduce simulated cycles on short transactions: {lex} vs {base}"
+    );
+}
+
+/// P4: compacted counters reduce simulated cycles vs the scattered
+/// 32-byte slot layout.
+#[test]
+fn compaction_reduces_counter_traffic() {
+    let (db, minsup) = ds1();
+    let compact_only = lcm::LcmConfig {
+        compact_counters: true,
+        ..lcm::LcmConfig::baseline()
+    };
+    let (base, n1) = lcm_cycles(&db, minsup, &lcm::LcmConfig::baseline());
+    let (compact, n2) = lcm_cycles(&db, minsup, &compact_only);
+    assert_eq!(n1, n2);
+    assert!(
+        compact < base,
+        "compaction must reduce simulated cycles: {compact} vs {base}"
+    );
+}
+
+/// P3: aggregated buckets reduce simulated cycles of duplicate removal
+/// (fewer dependent loads on a duplicate-heavy input).
+#[test]
+fn aggregation_reduces_rmdup_cycles() {
+    // duplicate-heavy database with long-ish transactions
+    let db = TransactionDb::from_transactions(
+        (0..6000u32)
+            .map(|k| match k % 5 {
+                0 => vec![0, 1, 2, 3],
+                1 => vec![0, 1, 2],
+                2 => vec![0, 1, 2, 3],
+                3 => vec![4, 5, 6],
+                _ => vec![0, 2, 4, 6],
+            })
+            .collect(),
+    );
+    use lcm::projdb::ProjDb;
+    use lcm::rmdup::{rm_dup_trans, BucketImpl};
+    let ranked = fpm::remap(&db, 2);
+    let pdb = ProjDb::from_ranked(&ranked.transactions);
+    let mut p1 = CacheProbe::new(Machine::m1());
+    let a = rm_dup_trans(&pdb.items, pdb.heads.clone(), BucketImpl::Linked, &mut p1);
+    let mut p2 = CacheProbe::new(Machine::m1());
+    let b = rm_dup_trans(&pdb.items, pdb.heads.clone(), BucketImpl::Aggregated, &mut p2);
+    assert_eq!(a.len(), b.len());
+    let (ca, cb) = (p1.report("l").cycles, p2.report("a").cycles);
+    assert!(cb < ca, "aggregation must cut rm_dup cycles: {cb} vs {ca}");
+}
+
+/// P7.1: wave-front prefetch reduces simulated cycles of the baseline
+/// LCM (latency hiding on the header chases).
+#[test]
+fn wavefront_prefetch_reduces_cycles() {
+    let (db, minsup) = ds1();
+    let (base, n1) = lcm_cycles(&db, minsup, &lcm::LcmConfig::baseline());
+    let (pref, n2) = lcm_cycles(&db, minsup, &lcm::LcmConfig::pref());
+    assert_eq!(n1, n2);
+    assert!(
+        pref < base,
+        "wave-front prefetch must reduce simulated cycles: {pref} vs {base}"
+    );
+}
+
+/// P2+P3 for FP-Growth: the reorganized tree (delta nodes + aggregation)
+/// reduces simulated cycles.
+#[test]
+fn fpgrowth_reorg_reduces_cycles() {
+    let (db, minsup) = ds1();
+    let (base, n1) = fpg_report(&db, minsup, &fpgrowth::FpConfig::baseline());
+    let (reorg, n2) = fpg_report(&db, minsup, &fpgrowth::FpConfig::reorg());
+    assert_eq!(n1, n2);
+    assert!(
+        reorg.cycles < base.cycles,
+        "reorg must reduce simulated cycles: {} vs {}",
+        reorg.cycles,
+        base.cycles
+    );
+}
+
+/// P8: the SIMD ladder is strictly faster than the table lookup on the
+/// host for L2-sized vectors (native wall-clock, not simulation).
+#[test]
+fn simd_beats_table_lookup_natively() {
+    use also::bits::BitVec;
+    use also::simd::{and_count, Popcount};
+    let n_bits = 1 << 21;
+    let a = BitVec::from_indices(n_bits, &(0..n_bits as u32).step_by(3).collect::<Vec<_>>());
+    let b = BitVec::from_indices(n_bits, &(0..n_bits as u32).step_by(7).collect::<Vec<_>>());
+    let words = a.words();
+    let time = |s: Popcount| {
+        let t = std::time::Instant::now();
+        for _ in 0..10 {
+            std::hint::black_box(and_count(&a, &b, 0..words, s));
+        }
+        t.elapsed().as_secs_f64()
+    };
+    time(Popcount::Table16); // warm both paths
+    let best = Popcount::best();
+    let t_table = time(Popcount::Table16);
+    let t_simd = time(best);
+    assert!(
+        t_simd < t_table,
+        "{} ({t_simd:.4}s) must beat table16 ({t_table:.4}s)",
+        best.label()
+    );
+}
+
+/// The paper's DS4 observation: on the sparse, scattered AP-like input,
+/// tiling yields (almost) nothing compared to its effect on DS1 — here
+/// checked through the advisor's scatter/density rules, which encode
+/// exactly that analysis.
+#[test]
+fn advisor_reflects_ds4_analysis() {
+    use also::advisor::{advise, AdvisorConfig};
+    use also::catalog::{Kernel, Pattern};
+    let ds1 = fpm::metrics::profile(&Dataset::Ds1.generate(Scale::Smoke), Dataset::Ds1.support(Scale::Smoke));
+    let ds4 = fpm::metrics::profile(&Dataset::Ds4.generate(Scale::Smoke), Dataset::Ds4.support(Scale::Smoke));
+    let cfg = AdvisorConfig::default();
+    let a1 = advise(&ds1, Kernel::Lcm, &cfg);
+    let a4 = advise(&ds4, Kernel::Lcm, &cfg);
+    assert!(a1.contains(&Pattern::Tiling), "DS1 is dense enough to tile");
+    assert!(
+        !a4.contains(&Pattern::Tiling),
+        "DS4 (density {:.6}) must not tile",
+        ds4.density
+    );
+}
+
+/// All-patterns never changes results on any smoke-scale dataset, for
+/// any kernel (the workhorse end-to-end equivalence).
+#[test]
+fn all_variants_agree_on_every_dataset() {
+    use fpm::StatsSink;
+    for ds in Dataset::ALL {
+        let db = ds.generate(Scale::Smoke);
+        let minsup = ds.support(Scale::Smoke);
+        let mut reference: Option<StatsSink> = None;
+        let mut check = |label: String, sink: StatsSink| match &reference {
+            None => reference = Some(sink),
+            Some(r) => assert_eq!(r, &sink, "{} {label}", ds.label()),
+        };
+        for (name, cfg) in lcm::variants() {
+            let mut s = StatsSink::default();
+            lcm::mine(&db, minsup, &cfg, &mut s);
+            check(format!("lcm/{name}"), s);
+        }
+        for (name, cfg) in eclat::variants() {
+            let mut s = StatsSink::default();
+            eclat::mine(&db, minsup, &cfg, &mut s);
+            check(format!("eclat/{name}"), s);
+        }
+        for (name, cfg) in fpgrowth::variants() {
+            let mut s = StatsSink::default();
+            fpgrowth::mine(&db, minsup, &cfg, &mut s);
+            check(format!("fpgrowth/{name}"), s);
+        }
+    }
+}
