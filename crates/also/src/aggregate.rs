@@ -314,7 +314,7 @@ mod tests {
     #[test]
     fn many_interleaved_lists_share_a_pool() {
         let mut pool: ChunkPool<u32, 4> = ChunkPool::new();
-        let mut lists = vec![ChunkedList::new(); 10];
+        let mut lists = [ChunkedList::new(); 10];
         for round in 0..30u32 {
             for (li, l) in lists.iter_mut().enumerate() {
                 l.push(&mut pool, round * 100 + li as u32);

@@ -97,8 +97,8 @@ impl<T: Copy> Arena<T> {
 /// scatter_back(&mut hdrs, &counts, |h, v| h.count = v);
 /// assert_eq!(hdrs[1].count, 12);
 /// ```
-pub fn compact_by<S, T, F: FnMut(&S) -> T>(items: &[S], mut get: F) -> Vec<T> {
-    items.iter().map(|s| get(s)).collect()
+pub fn compact_by<S, T, F: FnMut(&S) -> T>(items: &[S], get: F) -> Vec<T> {
+    items.iter().map(get).collect()
 }
 
 /// Writes a compacted field vector back into the array of structs —

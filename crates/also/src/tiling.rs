@@ -116,7 +116,7 @@ mod tests {
 
     #[test]
     fn tiles_cover_exactly_once() {
-        let mut covered = vec![0u8; 103];
+        let mut covered = [0u8; 103];
         for r in tiles(103, 10) {
             for i in r {
                 covered[i] += 1;

@@ -88,7 +88,7 @@ proptest! {
     #[test]
     fn chunked_list_preserves_sequences(ops in prop::collection::vec((0usize..5, any::<u32>()), 0..400)) {
         let mut pool: ChunkPool<u32, 14> = ChunkPool::new();
-        let mut lists = vec![ChunkedList::new(); 5];
+        let mut lists = [ChunkedList::new(); 5];
         let mut expect: Vec<Vec<u32>> = vec![Vec::new(); 5];
         for (li, v) in ops {
             lists[li].push(&mut pool, v);
@@ -147,7 +147,7 @@ proptest! {
     #[test]
     fn jump_pointers_distance(len in 1usize..200, dist in 0usize..8) {
         let chain: Vec<u32> = (0..len as u32).collect();
-        let jp = JumpPointers::build(len, &[chain.clone()], dist);
+        let jp = JumpPointers::build(len, std::slice::from_ref(&chain), dist);
         for (i, &n) in chain.iter().enumerate() {
             let expect = if dist > 0 && i + dist < len { chain[i + dist] } else { NO_JUMP };
             // dist == 0 means every node "jumps" to itself per build rule:

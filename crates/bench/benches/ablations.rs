@@ -4,11 +4,14 @@
 //!   line is optimal);
 //! * `tile_size` — LCM tile rows (paper: fit L1);
 //! * `wavefront_distance` — prefetch depth (paper Figure 5 uses 3);
-//! * `fptree_node_layout` — AoS vs delta-encoded traversal (P2).
+//! * `fptree_node_layout` — AoS vs delta-encoded traversal (P2);
+//! * `threads_{lcm,eclat,fpgrowth}` — worker count on the `fpm-par`
+//!   work-stealing runtime (thread-scaling of the shared scheduler).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use also::aggregate::{ChunkPool, ChunkedList};
 use fpm::CountSink;
+use par::ParConfig;
 use quest::{Dataset, Scale};
 
 /// Builds many short chunked lists and times a full traversal — the
@@ -119,11 +122,48 @@ fn bench_node_layout(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_threads(c: &mut Criterion) {
+    let db = Dataset::Ds1.generate(Scale::Smoke);
+    let minsup = Dataset::Ds1.support(Scale::Smoke);
+    type Runner = fn(&fpm::TransactionDb, u64, &ParConfig, &mut CountSink);
+    let kernels: [(&str, Runner); 3] = [
+        ("threads_lcm", |db, ms, p, sink| {
+            lcm::parallel::mine_parallel_into(db, ms, &lcm::LcmConfig::all(), p, sink)
+        }),
+        ("threads_eclat", |db, ms, p, sink| {
+            eclat::mine_parallel_into(db, ms, &eclat::EclatConfig::all(), p, sink)
+        }),
+        ("threads_fpgrowth", |db, ms, p, sink| {
+            fpgrowth::mine_parallel_into(db, ms, &fpgrowth::FpConfig::all(), p, sink)
+        }),
+    ];
+    for (group, run) in kernels {
+        let mut g = c.benchmark_group(group);
+        g.sample_size(10);
+        for threads in [1usize, 2, 4, 8] {
+            g.bench_with_input(
+                BenchmarkId::from_parameter(threads),
+                &threads,
+                |b, &threads| {
+                    let p = ParConfig::with_threads(threads);
+                    b.iter(|| {
+                        let mut sink = CountSink::default();
+                        run(&db, minsup, &p, &mut sink);
+                        sink.count
+                    })
+                },
+            );
+        }
+        g.finish();
+    }
+}
+
 criterion_group!(
     benches,
     bench_supernode,
     bench_tile,
     bench_wavefront,
-    bench_node_layout
+    bench_node_layout,
+    bench_threads
 );
 criterion_main!(benches);

@@ -20,6 +20,11 @@ pub enum Timing {
     Native {
         /// Timed repetitions (after one warm-up).
         runs: usize,
+        /// Worker threads on the `fpm-par` runtime: `1` runs the plain
+        /// serial kernel, `0` auto-detects, `n` pins the pool size. The
+        /// simulated machines are single-core, so this only affects
+        /// native timing.
+        threads: usize,
     },
     /// Simulated cycles on a Table 5 machine.
     Simulated(Machine),
@@ -173,19 +178,34 @@ pub fn run_variant(
     timing: Timing,
 ) -> (f64, u64) {
     match timing {
-        Timing::Native { runs } => {
+        Timing::Native { runs, threads } => {
             let mut patterns = 0u64;
             let cost = crate::time_best_of(runs, || {
                 let mut sink = CountSink::default();
-                match cfg {
-                    KernelConfig::Lcm(c) => {
-                        lcm::mine(db, minsup, c, &mut sink);
+                if threads == 1 {
+                    match cfg {
+                        KernelConfig::Lcm(c) => {
+                            lcm::mine(db, minsup, c, &mut sink);
+                        }
+                        KernelConfig::Eclat(c) => {
+                            eclat::mine(db, minsup, c, &mut sink);
+                        }
+                        KernelConfig::Fp(c) => {
+                            fpgrowth::mine(db, minsup, c, &mut sink);
+                        }
                     }
-                    KernelConfig::Eclat(c) => {
-                        eclat::mine(db, minsup, c, &mut sink);
-                    }
-                    KernelConfig::Fp(c) => {
-                        fpgrowth::mine(db, minsup, c, &mut sink);
+                } else {
+                    let p = par::ParConfig::with_threads(threads);
+                    match cfg {
+                        KernelConfig::Lcm(c) => {
+                            lcm::parallel::mine_parallel_into(db, minsup, c, &p, &mut sink)
+                        }
+                        KernelConfig::Eclat(c) => {
+                            eclat::mine_parallel_into(db, minsup, c, &p, &mut sink)
+                        }
+                        KernelConfig::Fp(c) => {
+                            fpgrowth::mine_parallel_into(db, minsup, c, &p, &mut sink)
+                        }
                     }
                 }
                 patterns = sink.count;
@@ -344,11 +364,39 @@ mod tests {
             "eclat",
             Dataset::Ds1,
             Scale::Smoke,
-            Timing::Native { runs: 1 },
+            Timing::Native { runs: 1, threads: 1 },
             false,
         );
         assert!(c.base_cost > 0.0);
         assert_eq!(c.speedups.len(), 3); // lex, simd, all
         assert!(c.best.1 > 0.0);
+    }
+
+    #[test]
+    fn parallel_cluster_counts_match_serial() {
+        // The pattern-count cross-check inside run_cluster applies to the
+        // parallel path too: pattern counts per variant must be identical
+        // to the serial run's for every kernel.
+        for k in ["lcm", "eclat", "fpgrowth"] {
+            let serial = run_cluster(
+                k,
+                Dataset::Ds1,
+                Scale::Smoke,
+                Timing::Native { runs: 1, threads: 1 },
+                false,
+            );
+            let parallel = run_cluster(
+                k,
+                Dataset::Ds1,
+                Scale::Smoke,
+                Timing::Native { runs: 1, threads: 4 },
+                false,
+            );
+            assert_eq!(
+                serial.speedups.len(),
+                parallel.speedups.len(),
+                "{k}: variant sets must match"
+            );
+        }
     }
 }

@@ -5,6 +5,7 @@
 //! repro fig2 [--machine m1|m2] [--scale …] [--dataset …]
 //! repro fig8 [--kernel lcm|eclat|fpgrowth] [--machine native|m1|m2]
 //!            [--scale smoke|ci|full] [--exhaustive] [--runs N]
+//!            [--threads N]   # native timing on the fpm-par runtime (0 = auto)
 //! repro claims [--scale …] [--runs N]
 //! repro all   [--scale …]        # everything, in paper order
 //! ```
@@ -21,6 +22,7 @@ struct Opts {
     exhaustive: bool,
     runs: usize,
     csv: bool,
+    threads: usize,
 }
 
 fn parse(args: &[String]) -> Opts {
@@ -32,6 +34,7 @@ fn parse(args: &[String]) -> Opts {
         exhaustive: false,
         runs: 3,
         csv: false,
+        threads: 1,
     };
     let mut i = 0;
     while i < args.len() {
@@ -58,6 +61,10 @@ fn parse(args: &[String]) -> Opts {
                 i += 1;
                 o.runs = args[i].parse().expect("bad --runs");
             }
+            "--threads" => {
+                i += 1;
+                o.threads = args[i].parse().expect("bad --threads");
+            }
             other => {
                 eprintln!("unknown option {other}");
                 std::process::exit(2);
@@ -70,7 +77,10 @@ fn parse(args: &[String]) -> Opts {
 
 fn fig8_timing(o: &Opts) -> fig8::Timing {
     match o.machine.as_str() {
-        "native" => fig8::Timing::Native { runs: o.runs },
+        "native" => fig8::Timing::Native {
+            runs: o.runs,
+            threads: o.threads,
+        },
         m => fig8::Timing::Simulated(Machine::by_label(m).expect("bad --machine")),
     }
 }

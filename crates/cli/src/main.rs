@@ -10,6 +10,9 @@
 //! Kernels: `lcm` (default), `eclat`, `fpgrowth`, `apriori`, `hmine`.
 //! Variants: each kernel's Figure 8 columns (`base`, `lex`, …, `all`);
 //! `--advise` lets the input-profile advisor pick the pattern set.
+//! `--threads N` mines on the shared work-stealing runtime (`fpm-par`);
+//! `0` auto-detects the host parallelism. Parallel output is identical
+//! to serial for every kernel × variant.
 
 use fpm::{CollectSink, CountSink, PatternSink, TransactionDb};
 use quest::{Dataset, Scale};
@@ -29,6 +32,7 @@ struct Args {
     advise: bool,
     profile: bool,
     kind: fpm::MineKind,
+    threads: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -37,10 +41,12 @@ fn usage() -> ! {
                 [--minsup N] [--kernel lcm|eclat|fpgrowth|apriori|hmine]
                 [--variant base|lex|reorg|pref|tile|simd|all] [--advise]
                 [--kind all|closed|maximal] [--out FILE] [--count-only] [--profile]
+                [--threads N]
 
   --minsup defaults to the dataset's Table 6 support (required for --input)
   --advise lets the input profile choose the pattern set (overrides --variant)
-  --profile prints the input profile and the advisor's recommendation"
+  --profile prints the input profile and the advisor's recommendation
+  --threads mines on the work-stealing runtime (0 = auto; lcm/eclat/fpgrowth)"
     );
     std::process::exit(2);
 }
@@ -58,6 +64,7 @@ fn parse_args() -> Args {
         advise: false,
         profile: false,
         kind: fpm::MineKind::All,
+        threads: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -85,6 +92,7 @@ fn parse_args() -> Args {
                     _ => usage(),
                 }
             }
+            "--threads" => a.threads = value(&mut i).parse().ok().or_else(|| usage()),
             "--advise" => a.advise = true,
             "--profile" => a.profile = true,
             "--help" | "-h" => usage(),
@@ -168,8 +176,10 @@ fn mine_with<S: PatternSink>(
     variant: &str,
     db: &TransactionDb,
     minsup: u64,
+    threads: Option<usize>,
     sink: &mut S,
 ) -> Result<(), String> {
+    let par_cfg = threads.map(par::ParConfig::with_threads);
     match kernel {
         "lcm" => {
             let cfg = lcm::variants()
@@ -177,7 +187,12 @@ fn mine_with<S: PatternSink>(
                 .find(|(n, _)| *n == variant)
                 .map(|(_, c)| c)
                 .ok_or_else(|| format!("lcm has no variant {variant:?}"))?;
-            lcm::mine(db, minsup, &cfg, sink);
+            match par_cfg {
+                Some(p) => lcm::parallel::mine_parallel_into(db, minsup, &cfg, &p, sink),
+                None => {
+                    lcm::mine(db, minsup, &cfg, sink);
+                }
+            }
         }
         "eclat" => {
             let cfg = eclat::variants()
@@ -185,7 +200,12 @@ fn mine_with<S: PatternSink>(
                 .find(|(n, _)| *n == variant)
                 .map(|(_, c)| c)
                 .ok_or_else(|| format!("eclat has no variant {variant:?}"))?;
-            eclat::mine(db, minsup, &cfg, sink);
+            match par_cfg {
+                Some(p) => eclat::mine_parallel_into(db, minsup, &cfg, &p, sink),
+                None => {
+                    eclat::mine(db, minsup, &cfg, sink);
+                }
+            }
         }
         "fpgrowth" => {
             let cfg = fpgrowth::variants()
@@ -193,10 +213,25 @@ fn mine_with<S: PatternSink>(
                 .find(|(n, _)| *n == variant)
                 .map(|(_, c)| c)
                 .ok_or_else(|| format!("fpgrowth has no variant {variant:?}"))?;
-            fpgrowth::mine(db, minsup, &cfg, sink);
+            match par_cfg {
+                Some(p) => fpgrowth::mine_parallel_into(db, minsup, &cfg, &p, sink),
+                None => {
+                    fpgrowth::mine(db, minsup, &cfg, sink);
+                }
+            }
         }
-        "apriori" => apriori::mine(db, minsup, sink),
-        "hmine" => fpm::hmine::mine(db, minsup, sink),
+        "apriori" => {
+            if par_cfg.is_some() {
+                return Err("--threads is not supported for apriori".into());
+            }
+            apriori::mine(db, minsup, sink)
+        }
+        "hmine" => {
+            if par_cfg.is_some() {
+                return Err("--threads is not supported for hmine".into());
+            }
+            fpm::hmine::mine(db, minsup, sink)
+        }
         other => return Err(format!("unknown kernel {other:?}")),
     }
     Ok(())
@@ -232,7 +267,7 @@ fn main() -> ExitCode {
     let start = Instant::now();
     let result = if args.count_only && matches!(args.kind, fpm::MineKind::All) {
         let mut sink = CountSink::default();
-        mine_with(&args.kernel, &variant, &db, minsup, &mut sink).map(|()| {
+        mine_with(&args.kernel, &variant, &db, minsup, args.threads, &mut sink).map(|()| {
             eprintln!(
                 "{} frequent itemsets in {:.3}s",
                 sink.count,
@@ -241,7 +276,7 @@ fn main() -> ExitCode {
         })
     } else {
         let mut sink = CollectSink::default();
-        mine_with(&args.kernel, &variant, &db, minsup, &mut sink).map(|()| {
+        mine_with(&args.kernel, &variant, &db, minsup, args.threads, &mut sink).map(|()| {
             let filtered = match args.kind {
                 fpm::MineKind::All => sink.patterns,
                 fpm::MineKind::Closed => fpm::postfilter::closed(sink.patterns),

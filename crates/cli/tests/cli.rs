@@ -79,6 +79,47 @@ fn advise_mode_picks_a_variant() {
 }
 
 #[test]
+fn threads_flag_matches_serial_output() {
+    let path = write_dat("1 2 3\n1 2\n1 2 3\n2 3\n1 3\n");
+    for kernel in ["lcm", "eclat", "fpgrowth"] {
+        let serial = bin()
+            .args(["--input", path.to_str().unwrap(), "--minsup", "2", "--kernel", kernel])
+            .output()
+            .unwrap();
+        assert!(serial.status.success(), "{kernel}");
+        for threads in ["0", "1", "3"] {
+            let parallel = bin()
+                .args([
+                    "--input", path.to_str().unwrap(), "--minsup", "2", "--kernel", kernel,
+                    "--threads", threads,
+                ])
+                .output()
+                .unwrap();
+            assert!(parallel.status.success(), "{kernel} --threads {threads}");
+            assert_eq!(
+                String::from_utf8_lossy(&parallel.stdout),
+                String::from_utf8_lossy(&serial.stdout),
+                "{kernel} --threads {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn threads_flag_rejected_for_level_wise_kernels() {
+    let path = write_dat("1 2\n1 2\n");
+    let out = bin()
+        .args([
+            "--input", path.to_str().unwrap(), "--minsup", "1", "--kernel", "apriori",
+            "--threads", "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not supported"));
+}
+
+#[test]
 fn bad_arguments_fail_cleanly() {
     let out = bin().args(["--kernel", "lcm"]).output().unwrap(); // no input
     assert!(!out.status.success());

@@ -23,7 +23,10 @@
 
 #![warn(missing_docs)]
 
+pub mod parallel;
 pub mod tidlist;
+
+pub use parallel::{mine_parallel, mine_parallel_into};
 
 use also::bits::{BitVec, OneRange};
 use also::simd::{and_into_count, Popcount};
@@ -215,17 +218,39 @@ fn instrs_per_word(p: Popcount) -> u64 {
 
 impl<P: Probe, S: PatternSink> Miner<'_, P, S> {
     fn run(&mut self, vdb: &VerticalBitDb) {
-        // The root equivalence class: every frequent single item. Columns
-        // are cloned out of the database so recursion owns its vectors.
-        let class: Vec<Candidate> = (0..vdb.n_items() as u32)
-            .map(|r| Candidate {
-                item: r,
-                bits: vdb.column(r).clone(),
-                range: vdb.range(r),
-                support: vdb.support(r),
-            })
-            .collect();
-        self.recurse(&class);
+        // The root equivalence class splits into one independent subtree
+        // per frequent first item — the same decomposition the parallel
+        // driver deals out as tasks (see [`mine_parallel`]).
+        for r in 0..vdb.n_items() as u32 {
+            self.mine_subtree(vdb, r);
+        }
+    }
+
+    /// Mines the subtree of itemsets whose first (lowest-rank) item is
+    /// `r`: emits `{r}` itself, builds the next equivalence class by
+    /// intersecting `r`'s column with every later root column, and
+    /// recurses. Subtrees for different `r` touch disjoint lattice
+    /// regions and only *read* `vdb`, which is what makes them safe
+    /// parallel tasks.
+    fn mine_subtree(&mut self, vdb: &VerticalBitDb, r: u32) {
+        self.prefix.push(r);
+        self.sink.emit(&self.prefix, vdb.support(r));
+        let mut next: Vec<Candidate> = Vec::new();
+        for j in (r + 1)..vdb.n_items() as u32 {
+            if let Some(cand) = self.intersect_parts(
+                vdb.column(r),
+                vdb.range(r),
+                j,
+                vdb.column(j),
+                vdb.range(j),
+            ) {
+                next.push(cand);
+            }
+        }
+        if !next.is_empty() {
+            self.recurse(&next);
+        }
+        self.prefix.pop();
     }
 
     fn recurse(&mut self, class: &[Candidate]) {
@@ -246,10 +271,21 @@ impl<P: Probe, S: PatternSink> Miner<'_, P, S> {
     }
 
     fn intersect(&mut self, a: &Candidate, b: &Candidate) -> Option<Candidate> {
+        self.intersect_parts(&a.bits, a.range, b.item, &b.bits, b.range)
+    }
+
+    fn intersect_parts(
+        &mut self,
+        a_bits: &BitVec,
+        a_range: OneRange,
+        b_item: u32,
+        b_bits: &BitVec,
+        b_range: OneRange,
+    ) -> Option<Candidate> {
         self.stats.intersections += 1;
-        let full_words = a.bits.words().min(b.bits.words());
+        let full_words = a_bits.words().min(b_bits.words());
         let span = if self.cfg.zero_escape {
-            let r = a.range.intersect(&b.range);
+            let r = a_range.intersect(&b_range);
             if r.is_empty() {
                 self.stats.short_circuits += 1;
                 self.stats.words_skipped += full_words as u64;
@@ -264,8 +300,8 @@ impl<P: Probe, S: PatternSink> Miner<'_, P, S> {
         self.stats.words_skipped += (full_words - words) as u64;
 
         // --- probe the kernel's memory behaviour ---
-        let (pa, _) = memsim::slice_span(&a.bits.as_words()[span.clone()]);
-        let (pb, _) = memsim::slice_span(&b.bits.as_words()[span.clone()]);
+        let (pa, _) = memsim::slice_span(&a_bits.as_words()[span.clone()]);
+        let (pb, _) = memsim::slice_span(&b_bits.as_words()[span.clone()]);
         self.probe.read(pa, words * 8);
         self.probe.read(pb, words * 8);
         self.probe.instr(words as u64 * instrs_per_word(self.cfg.popcount));
@@ -273,8 +309,8 @@ impl<P: Probe, S: PatternSink> Miner<'_, P, S> {
             probe_table_lookups(self.probe, words as u64);
         }
 
-        let mut out = BitVec::zeros(a.bits.len().min(b.bits.len()));
-        let sup = and_into_count(&a.bits, &b.bits, &mut out, span.clone(), self.cfg.popcount);
+        let mut out = BitVec::zeros(a_bits.len().min(b_bits.len()));
+        let sup = and_into_count(a_bits, b_bits, &mut out, span.clone(), self.cfg.popcount);
         let (po, _) = memsim::slice_span(&out.as_words()[span.clone()]);
         self.probe.write(po, words * 8);
 
@@ -284,7 +320,7 @@ impl<P: Probe, S: PatternSink> Miner<'_, P, S> {
         let range = if self.cfg.zero_escape {
             // conservative: intersection of operand ranges (§4.2 — "not
             // necessarily optimal")
-            a.range.intersect(&b.range)
+            a_range.intersect(&b_range)
         } else {
             OneRange {
                 first: 0,
@@ -292,7 +328,7 @@ impl<P: Probe, S: PatternSink> Miner<'_, P, S> {
             }
         };
         Some(Candidate {
-            item: b.item,
+            item: b_item,
             bits: out,
             range,
             support: sup,

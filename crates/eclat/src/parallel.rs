@@ -1,0 +1,146 @@
+//! Parallel Eclat over independent equivalence-class subtrees.
+//!
+//! The root equivalence class splits into one subtree per frequent first
+//! item; the lattice below two different first items is disjoint, so
+//! workers share only the *read-only* vertical bit matrix (the 1-item
+//! tidlists) and nothing else. Scheduling is delegated to the shared
+//! [`par`] work-stealing runtime; its rank-ordered merge reproduces the
+//! serial emission sequence exactly, so parallel output is bit-identical
+//! to [`crate::mine`] for every [`crate::EclatConfig`].
+
+use crate::{EclatStats, Miner};
+use fpm::types::canonicalize;
+use fpm::vertical::VerticalBitDb;
+use fpm::{remap, CollectSink, ItemsetCount, PatternSink, TransactionDb, TranslateSink};
+use memsim::NullProbe;
+use par::ParConfig;
+
+/// Mines every frequent itemset on the shared work-stealing runtime,
+/// returning the canonicalized patterns (original item ids). Results are
+/// identical to the sequential [`crate::mine`] for every configuration.
+pub fn mine_parallel(
+    db: &TransactionDb,
+    minsup: u64,
+    cfg: &crate::EclatConfig,
+    par_cfg: &ParConfig,
+) -> Vec<ItemsetCount> {
+    let mut sink = CollectSink::default();
+    mine_parallel_into(db, minsup, cfg, par_cfg, &mut sink);
+    canonicalize(sink.patterns)
+}
+
+/// [`mine_parallel`], but streaming the merged output into `sink` in the
+/// *serial emission order*: per-task buffers are re-slotted by first-item
+/// rank before replay, so the emission sequence observed by `sink` is
+/// byte-identical to [`crate::mine`] regardless of thread count or steal
+/// timing.
+pub fn mine_parallel_into<S: PatternSink>(
+    db: &TransactionDb,
+    minsup: u64,
+    cfg: &crate::EclatConfig,
+    par_cfg: &ParConfig,
+    sink: &mut S,
+) {
+    let ranked = remap(db, minsup);
+    let mut transactions = ranked.transactions.clone();
+    if cfg.lex {
+        also::lexorder::lex_order(&mut transactions);
+    }
+    let vdb = VerticalBitDb::from_ranked(&transactions, ranked.n_ranks());
+    let tasks: Vec<u32> = (0..vdb.n_items() as u32).collect();
+
+    let vdb_ref = &vdb;
+    let map_ref = &ranked.map;
+    let cfg = *cfg;
+    let buffers = par::run_with_state(
+        tasks,
+        par_cfg,
+        |_worker| (),
+        |(), first: u32| {
+            let mut probe = NullProbe;
+            let mut worker_sink = TranslateSink::new(map_ref, CollectSink::default());
+            let mut miner = Miner {
+                minsup: minsup.max(1),
+                cfg,
+                probe: &mut probe,
+                sink: &mut worker_sink,
+                stats: EclatStats::default(),
+                prefix: Vec::new(),
+            };
+            miner.mine_subtree(vdb_ref, first);
+            drop(miner);
+            worker_sink.into_inner().patterns
+        },
+    );
+    fpm::replay_merged(buffers, sink);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EclatConfig;
+
+    fn toy() -> TransactionDb {
+        TransactionDb::from_transactions(vec![
+            vec![0, 2, 5],
+            vec![1, 2, 5],
+            vec![0, 2, 5],
+            vec![3, 4],
+            vec![0, 1, 2, 3, 4, 5],
+        ])
+    }
+
+    fn sequential(db: &TransactionDb, minsup: u64, cfg: &EclatConfig) -> Vec<ItemsetCount> {
+        let mut sink = CollectSink::default();
+        crate::mine(db, minsup, cfg, &mut sink);
+        canonicalize(sink.patterns)
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_toy() {
+        for threads in [1usize, 2, 3, 8] {
+            for (name, cfg) in crate::variants() {
+                assert_eq!(
+                    mine_parallel(&toy(), 2, &cfg, &ParConfig::with_threads(threads)),
+                    sequential(&toy(), 2, &cfg),
+                    "{name} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merged_emission_order_matches_serial() {
+        let db = toy();
+        for (name, cfg) in crate::variants() {
+            let mut serial = fpm::RecordSink::default();
+            crate::mine(&db, 2, &cfg, &mut serial);
+            let mut merged = fpm::RecordSink::default();
+            mine_parallel_into(&db, 2, &cfg, &ParConfig::with_threads(3), &mut merged);
+            assert_eq!(serial, merged, "{name}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(mine_parallel(
+            &TransactionDb::default(),
+            1,
+            &EclatConfig::all(),
+            &ParConfig::with_threads(4)
+        )
+        .is_empty());
+        let expect = sequential(&toy(), 1, &EclatConfig::baseline());
+        for threads in [0usize, 100] {
+            assert_eq!(
+                mine_parallel(
+                    &toy(),
+                    1,
+                    &EclatConfig::baseline(),
+                    &ParConfig::with_threads(threads)
+                ),
+                expect
+            );
+        }
+    }
+}

@@ -25,7 +25,10 @@
 
 #![warn(missing_docs)]
 
+pub mod parallel;
 pub mod tree;
+
+pub use parallel::{mine_parallel, mine_parallel_into};
 
 use fpm::{remap, PatternSink, TransactionDb, TranslateSink};
 use memsim::{NullProbe, Probe};
@@ -210,18 +213,27 @@ impl<P: Probe, S: PatternSink> Miner<'_, P, S> {
     /// Mines one (conditional) tree: bottom-up over the header table.
     fn mine_tree(&mut self, tree: &FpTree) {
         for item in (0..tree.n_ranks() as u32).rev() {
-            let sup = tree.header_sup[item as usize];
-            if sup < self.minsup {
-                continue;
-            }
-            self.prefix.push(item);
-            self.sink.emit(&self.prefix, sup);
-            self.stats.emitted += 1;
-            if let Some(cond) = self.conditional_tree(tree, item) {
-                self.mine_tree(&cond);
-            }
-            self.prefix.pop();
+            self.mine_item(tree, item);
         }
+    }
+
+    /// Mines the subtree of itemsets whose *last* (highest-rank) item is
+    /// `item`: emits the extended prefix, builds `item`'s conditional
+    /// tree, and recurses into it. Conditional trees for different items
+    /// of the root tree are independent — the decomposition the parallel
+    /// driver deals out as tasks (see [`crate::mine_parallel`]).
+    fn mine_item(&mut self, tree: &FpTree, item: u32) {
+        let sup = tree.header_sup[item as usize];
+        if sup < self.minsup {
+            return;
+        }
+        self.prefix.push(item);
+        self.sink.emit(&self.prefix, sup);
+        self.stats.emitted += 1;
+        if let Some(cond) = self.conditional_tree(tree, item) {
+            self.mine_tree(&cond);
+        }
+        self.prefix.pop();
     }
 
     /// Builds the conditional FP-tree for `item`: gather the prefix path

@@ -34,5 +34,5 @@ pub mod vertical;
 
 pub use db::TransactionDb;
 pub use remap::{remap, RankMap, RankedDb};
-pub use sink::{CollectSink, CountSink, PatternSink, StatsSink, TranslateSink};
+pub use sink::{replay_merged, CollectSink, CountSink, PatternSink, RecordSink, StatsSink, TranslateSink};
 pub use types::{Item, ItemsetCount, MineKind, Tid};

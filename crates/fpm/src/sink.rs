@@ -119,6 +119,45 @@ impl<S: PatternSink> PatternSink for TranslateSink<'_, S> {
     }
 }
 
+/// Replays per-task pattern buffers into `sink` in buffer order — the
+/// deterministic merge half of the parallel runtime (`fpm-par`). Workers
+/// mine disjoint subtrees into private [`CollectSink`]s; the scheduler
+/// re-slots those buffers by task rank, and this replay then reproduces
+/// the exact emission sequence a serial run would have produced.
+pub fn replay_merged<S: PatternSink>(
+    buffers: impl IntoIterator<Item = Vec<ItemsetCount>>,
+    sink: &mut S,
+) {
+    for buffer in buffers {
+        for p in buffer {
+            sink.emit(&p.items, p.support);
+        }
+    }
+}
+
+/// Records every emission as one line of portable bytes
+/// (`item,item,...:support\n`). Two runs are behaviourally identical iff
+/// their recorded bytes are identical — this is what the parallel
+/// determinism regression compares.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecordSink {
+    /// The serialized emission log.
+    pub bytes: Vec<u8>,
+}
+
+impl PatternSink for RecordSink {
+    fn emit(&mut self, itemset: &[Item], support: u64) {
+        use std::io::Write;
+        for (i, it) in itemset.iter().enumerate() {
+            if i > 0 {
+                self.bytes.push(b',');
+            }
+            write!(self.bytes, "{it}").expect("write to Vec cannot fail");
+        }
+        writeln!(self.bytes, ":{support}").expect("write to Vec cannot fail");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,26 +4,50 @@
 //! items is disjoint, so workers share the *read-only* root projection
 //! and nothing else.
 //!
-//! Work is dealt round-robin in rank order: low ranks (frequent items)
-//! own the biggest subtrees, so interleaving balances better than
-//! contiguous splitting.
+//! Scheduling is delegated to the shared [`par`] work-stealing runtime:
+//! one task per frequent first rank, dealt round-robin in rank order
+//! (low ranks — frequent items — own the biggest subtrees, so
+//! interleaving balances better than contiguous splitting), with idle
+//! workers stealing from the back of their neighbours' deques. Each task
+//! mines its subtree into a private sink; the runtime's rank-ordered
+//! merge then reproduces the exact emission sequence of the serial
+//! miner, so parallel output is bit-identical to [`crate::mine`].
 
 use crate::miner::Miner;
 use crate::projdb::ProjDb;
 use crate::rmdup::{rm_dup_trans, BucketImpl};
 use crate::LcmConfig;
-use fpm::{remap, CollectSink, ItemsetCount, TransactionDb, TranslateSink};
+use fpm::types::canonicalize;
+use fpm::{remap, CollectSink, ItemsetCount, PatternSink, TransactionDb, TranslateSink};
 use memsim::NullProbe;
+use par::ParConfig;
 
-/// Mines every frequent itemset using `n_threads` workers, returning the
-/// canonicalized patterns (original item ids). Results are identical to
-/// the sequential [`crate::mine`] for every configuration.
+/// Mines every frequent itemset on the shared work-stealing runtime,
+/// returning the canonicalized patterns (original item ids). Results are
+/// identical to the sequential [`crate::mine`] for every configuration.
 pub fn mine_parallel(
     db: &TransactionDb,
     minsup: u64,
     cfg: &LcmConfig,
-    n_threads: usize,
+    par_cfg: &ParConfig,
 ) -> Vec<ItemsetCount> {
+    let mut sink = CollectSink::default();
+    mine_parallel_into(db, minsup, cfg, par_cfg, &mut sink);
+    canonicalize(sink.patterns)
+}
+
+/// [`mine_parallel`], but streaming the merged output into `sink` in the
+/// *serial emission order*: per-worker buffers are re-slotted by first-
+/// rank task index before replay, so the emission sequence observed by
+/// `sink` is byte-identical to [`crate::mine`] — and in particular
+/// identical across runs regardless of thread count or steal timing.
+pub fn mine_parallel_into<S: PatternSink>(
+    db: &TransactionDb,
+    minsup: u64,
+    cfg: &LcmConfig,
+    par_cfg: &ParConfig,
+    sink: &mut S,
+) {
     let ranked = remap(db, minsup);
     let mut transactions = ranked.transactions.clone();
     if cfg.lex {
@@ -51,38 +75,22 @@ pub fn mine_parallel(
         })
         .collect();
 
-    let n_threads = n_threads.max(1).min(children.len().max(1));
     let root_ref = &root;
     let map_ref = &ranked.map;
-    let mut results: Vec<Vec<ItemsetCount>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n_threads)
-            .map(|w| {
-                // round-robin deal
-                let mine: Vec<(u32, u64)> = children
-                    .iter()
-                    .skip(w)
-                    .step_by(n_threads)
-                    .copied()
-                    .collect();
-                let cfg = *cfg;
-                scope.spawn(move |_| {
-                    let mut probe = NullProbe;
-                    let mut sink = TranslateSink::new(map_ref, CollectSink::default());
-                    let mut miner =
-                        Miner::new(cfg, minsup, n_ranks, &mut probe, &mut sink);
-                    miner.run_children(root_ref, &mine);
-                    sink.into_inner().patterns
-                })
-            })
-            .collect();
-        results = handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect();
-    })
-    .expect("thread scope");
-    fpm::types::canonicalize(results.into_iter().flatten().collect())
+    let cfg = *cfg;
+    let buffers = par::run_with_state(
+        children,
+        par_cfg,
+        |_worker| (),
+        |(), task: (u32, u64)| {
+            let mut probe = NullProbe;
+            let mut worker_sink = TranslateSink::new(map_ref, CollectSink::default());
+            let mut miner = Miner::new(cfg, minsup, n_ranks, &mut probe, &mut worker_sink);
+            miner.run_children(root_ref, &[task]);
+            worker_sink.into_inner().patterns
+        },
+    );
+    fpm::replay_merged(buffers, sink);
 }
 
 #[cfg(test)]
@@ -111,7 +119,7 @@ mod tests {
         for threads in [1usize, 2, 3, 8] {
             for (name, cfg) in crate::variants() {
                 assert_eq!(
-                    mine_parallel(&toy(), 2, &cfg, threads),
+                    mine_parallel(&toy(), 2, &cfg, &ParConfig::with_threads(threads)),
                     sequential(&toy(), 2, &cfg),
                     "{name} threads={threads}"
                 );
@@ -135,16 +143,45 @@ mod tests {
         );
         let expect = sequential(&db, 10, &LcmConfig::all());
         assert!(!expect.is_empty());
-        assert_eq!(mine_parallel(&db, 10, &LcmConfig::all(), 4), expect);
+        assert_eq!(
+            mine_parallel(&db, 10, &LcmConfig::all(), &ParConfig::with_threads(4)),
+            expect
+        );
+    }
+
+    #[test]
+    fn merged_emission_order_matches_serial() {
+        // The into-sink form preserves the *sequence*, not just the set:
+        // per-task buffers replayed in rank order reproduce the serial
+        // DFS emission order exactly.
+        let db = toy();
+        for (name, cfg) in crate::variants() {
+            let mut serial = fpm::RecordSink::default();
+            crate::mine(&db, 2, &cfg, &mut serial);
+            let mut merged = fpm::RecordSink::default();
+            mine_parallel_into(&db, 2, &cfg, &ParConfig::with_threads(3), &mut merged);
+            assert_eq!(serial, merged, "{name}");
+        }
     }
 
     #[test]
     fn degenerate_thread_counts() {
         let db = toy();
         let expect = sequential(&db, 1, &LcmConfig::baseline());
-        assert_eq!(mine_parallel(&db, 1, &LcmConfig::baseline(), 0), expect);
-        assert_eq!(mine_parallel(&db, 1, &LcmConfig::baseline(), 100), expect);
+        // 0 = auto-detect; 100 = more threads than subtrees.
+        for threads in [0usize, 100] {
+            assert_eq!(
+                mine_parallel(&db, 1, &LcmConfig::baseline(), &ParConfig::with_threads(threads)),
+                expect
+            );
+        }
         // empty database
-        assert!(mine_parallel(&TransactionDb::default(), 1, &LcmConfig::all(), 4).is_empty());
+        assert!(mine_parallel(
+            &TransactionDb::default(),
+            1,
+            &LcmConfig::all(),
+            &ParConfig::with_threads(4)
+        )
+        .is_empty());
     }
 }

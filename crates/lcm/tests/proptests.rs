@@ -58,7 +58,12 @@ proptest! {
     fn parallel_agrees(db in arb_db(), minsup in 1u64..6, threads in 1usize..5) {
         let expect = run(&db, minsup, &lcm::LcmConfig::all());
         prop_assert_eq!(
-            lcm::mine_parallel(&db, minsup, &lcm::LcmConfig::all(), threads),
+            lcm::mine_parallel(
+                &db,
+                minsup,
+                &lcm::LcmConfig::all(),
+                &par::ParConfig::with_threads(threads)
+            ),
             expect
         );
     }

@@ -1,0 +1,350 @@
+//! Work-stealing parallel mining runtime.
+//!
+//! All three mining kernels parallelise the same way: the search space
+//! splits at the root into independent first-item subtrees (LCM: first-rank
+//! projections; Eclat: equivalence classes; FP-growth: per-item conditional
+//! trees), each subtree is mined serially by whichever worker picks it up,
+//! and per-worker outputs are merged back in subtree rank order so the
+//! result is bit-identical to a serial run. This crate owns the middle of
+//! that sandwich: a fixed-task work-stealing scheduler with a deterministic
+//! merge, built on `std::thread::scope` only (no external dependencies).
+//!
+//! Scheduling model:
+//!
+//! * Tasks are fixed up front — mining a subtree never spawns new tasks —
+//!   so termination is simply "every deque is empty" and no worker ever
+//!   blocks on another. No condition variables, no deadlock.
+//! * Tasks are dealt round-robin in rank order. Kernels order subtrees so
+//!   low ranks are the biggest (most frequent first item), and round-robin
+//!   spreads those hot subtrees across workers, the same static balance the
+//!   original per-kernel code used.
+//! * An idle worker first drains its own deque from the front, then steals
+//!   up to [`ParConfig::steal_granularity`] tasks from the *back* of the
+//!   nearest non-empty victim. Stealing from the back takes the tasks the
+//!   owner would reach last, minimising contention on the deque front.
+//! * Each worker records `(task_index, result)` pairs; after the scoped
+//!   join the results are re-slotted by task index, so callers observe
+//!   task order — never thread interleaving order.
+//!
+//! Panic safety: a panicking task poisons nothing. Worker threads are
+//! joined explicitly and the first panic payload is re-raised on the
+//! calling thread via [`std::panic::resume_unwind`]; sibling workers finish
+//! draining (or find the queues empty) and exit, so propagation can never
+//! deadlock.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Parallel runtime configuration, shared by every kernel's
+/// `mine_parallel` and surfaced through the CLI `--threads` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParConfig {
+    /// Worker thread count. `0` means "pick for me": the host's available
+    /// parallelism. The effective count is also clamped to the task count,
+    /// so oversubscription is harmless.
+    pub n_threads: usize,
+    /// Maximum tasks taken from a victim per steal. `1` (the default)
+    /// maximises balance; larger values amortise lock traffic when tasks
+    /// are tiny and plentiful.
+    pub steal_granularity: usize,
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        ParConfig {
+            n_threads: 0,
+            steal_granularity: 1,
+        }
+    }
+}
+
+impl ParConfig {
+    /// A config with an explicit thread count and default stealing.
+    pub fn with_threads(n_threads: usize) -> Self {
+        ParConfig {
+            n_threads,
+            ..Default::default()
+        }
+    }
+
+    /// Single-threaded config (still runs through the scheduler, which
+    /// degenerates to a plain in-order loop).
+    pub fn serial() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// The worker count actually used for `n_tasks` tasks.
+    pub fn effective_threads(&self, n_tasks: usize) -> usize {
+        let requested = if self.n_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.n_threads
+        };
+        requested.min(n_tasks).max(1)
+    }
+}
+
+/// One worker's deque of `(task_index, task)` pairs.
+type Deque<T> = Mutex<VecDeque<(usize, T)>>;
+
+/// Locks a deque, ignoring poisoning: a panicked sibling can only leave
+/// the deque in a consistent state (push/pop are single operations), and
+/// the panic itself is re-raised after the join.
+fn lock<T>(q: &Deque<T>) -> std::sync::MutexGuard<'_, VecDeque<(usize, T)>> {
+    q.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` over every task on a work-stealing pool and returns the
+/// results **in task order**, regardless of which worker ran what.
+///
+/// Convenience wrapper over [`run_with_state`] for stateless workers.
+pub fn run_tasks<T, R, F>(tasks: Vec<T>, par: &ParConfig, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    run_with_state(tasks, par, |_worker| (), |(), task| f(task))
+}
+
+/// Runs `f` over every task on a work-stealing pool, giving each worker a
+/// private state value built by `init` (a per-worker sink, scratch miner,
+/// …) that is reused across all tasks that worker executes. Returns the
+/// results **in task order**.
+///
+/// `init` receives the worker index (0-based). Results are deterministic
+/// in the task list: the merge re-slots each `(task_index, result)` pair
+/// after the join, so neither the thread count nor steal timing can
+/// reorder output.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic on the calling thread after all
+/// workers have been joined. Workers never wait on each other, so a panic
+/// cannot deadlock the pool.
+pub fn run_with_state<T, S, R, I, F>(tasks: Vec<T>, par: &ParConfig, init: I, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let n_tasks = tasks.len();
+    if n_tasks == 0 {
+        return Vec::new();
+    }
+    let n_workers = par.effective_threads(n_tasks);
+    let steal_max = par.steal_granularity.max(1);
+
+    // Deal tasks round-robin in rank order: task i -> deque i % n_workers.
+    let deques: Vec<Deque<T>> = (0..n_workers)
+        .map(|_| Mutex::new(VecDeque::new()))
+        .collect();
+    for (idx, task) in tasks.into_iter().enumerate() {
+        lock(&deques[idx % n_workers]).push_back((idx, task));
+    }
+
+    let mut slots: Vec<Option<R>> = (0..n_tasks).map(|_| None).collect();
+
+    if n_workers == 1 {
+        // Serial fast path: same code path shape, no thread spawn.
+        let mut state = init(0);
+        while let Some((idx, task)) = lock(&deques[0]).pop_front() {
+            slots[idx] = Some(f(&mut state, task));
+        }
+    } else {
+        let deques = &deques;
+        let init = &init;
+        let f = &f;
+        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut done: Vec<Vec<(usize, R)>> = Vec::with_capacity(n_workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut state = init(w);
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        let mut stolen: VecDeque<(usize, T)> = VecDeque::new();
+                        loop {
+                            // Own deque first, front to back.
+                            let own = lock(&deques[w]).pop_front();
+                            if let Some((idx, task)) = own {
+                                out.push((idx, f(&mut state, task)));
+                                continue;
+                            }
+                            // Then locally buffered steals.
+                            if let Some((idx, task)) = stolen.pop_front() {
+                                out.push((idx, f(&mut state, task)));
+                                continue;
+                            }
+                            // Then scan victims, nearest first, taking up
+                            // to steal_max tasks from the victim's back.
+                            let mut got = false;
+                            for d in 1..n_workers {
+                                let v = (w + d) % n_workers;
+                                let mut victim = lock(&deques[v]);
+                                for _ in 0..steal_max {
+                                    match victim.pop_back() {
+                                        Some(t) => {
+                                            stolen.push_back(t);
+                                            got = true;
+                                        }
+                                        None => break,
+                                    }
+                                }
+                                if got {
+                                    break;
+                                }
+                            }
+                            if !got {
+                                // Every deque empty and tasks are never
+                                // spawned dynamically: we are done.
+                                return out;
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(out) => done.push(out),
+                    Err(p) => {
+                        if panic_payload.is_none() {
+                            panic_payload = Some(p);
+                        }
+                    }
+                }
+            }
+        });
+        if let Some(p) = panic_payload {
+            std::panic::resume_unwind(p);
+        }
+        for (idx, r) in done.into_iter().flatten() {
+            debug_assert!(slots[idx].is_none(), "task {idx} ran twice");
+            slots[idx] = Some(r);
+        }
+    }
+
+    slots
+        .into_iter()
+        .map(|r| r.expect("scheduler completed with an unexecuted task"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn empty_task_list_returns_empty() {
+        for threads in [1, 4] {
+            let out = run_tasks(
+                Vec::<u32>::new(),
+                &ParConfig::with_threads(threads),
+                |x| x * 2,
+            );
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_task_single_result() {
+        for threads in [1, 2, 8] {
+            let out = run_tasks(vec![21u64], &ParConfig::with_threads(threads), |x| x * 2);
+            assert_eq!(out, vec![42]);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_tasks() {
+        // 7 threads, 3 tasks: effective pool clamps to 3, all complete.
+        let out = run_tasks(vec![1, 2, 3], &ParConfig::with_threads(7), |x| x + 10);
+        assert_eq!(out, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn results_are_in_task_order_for_any_thread_count() {
+        let tasks: Vec<usize> = (0..257).collect();
+        let expect: Vec<usize> = tasks.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 4, 7, 16] {
+            let cfg = ParConfig {
+                n_threads: threads,
+                steal_granularity: 1 + threads % 3,
+            };
+            let out = run_tasks(tasks.clone(), &cfg, |x| x * x);
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn stealing_rebalances_skewed_work() {
+        // Worker 0's deque gets the slow task plus half the quick ones;
+        // other workers run dry and must steal to finish. Completion of
+        // all tasks in order proves the steal path terminates correctly.
+        let tasks: Vec<u64> = (0..64).collect();
+        let out = run_tasks(tasks, &ParConfig::with_threads(4), |x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn per_worker_state_is_private_and_reused() {
+        // Each worker counts its own tasks; totals must equal the task
+        // count without any cross-worker interference.
+        let grand_total = AtomicUsize::new(0);
+        let n = 100;
+        let out = run_with_state(
+            (0..n).collect::<Vec<usize>>(),
+            &ParConfig::with_threads(4),
+            |_w| 0usize,
+            |local, task| {
+                *local += 1;
+                grand_total.fetch_add(1, Ordering::Relaxed);
+                task
+            },
+        );
+        assert_eq!(out, (0..n).collect::<Vec<usize>>());
+        assert_eq!(grand_total.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn panicking_task_propagates_instead_of_deadlocking() {
+        for threads in [1, 4] {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_tasks(
+                    (0..32u32).collect::<Vec<u32>>(),
+                    &ParConfig::with_threads(threads),
+                    |x| {
+                        if x == 13 {
+                            panic!("boom at task 13");
+                        }
+                        x
+                    },
+                )
+            }));
+            let payload = result.expect_err("panic must propagate to the caller");
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .map(String::from)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            assert!(msg.contains("boom"), "threads={threads}: payload {msg:?}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let cfg = ParConfig::default();
+        assert!(cfg.effective_threads(64) >= 1);
+        assert_eq!(cfg.effective_threads(0), 1);
+        // Explicit counts clamp to the task count.
+        assert_eq!(ParConfig::with_threads(100).effective_threads(3), 3);
+    }
+}

@@ -69,14 +69,14 @@ pub fn generate(p: &DenseParams) -> TransactionDb {
         .collect();
     for _ in 0..p.n_transactions {
         let mut t = Vec::with_capacity(p.n_attributes);
-        for a in 0..p.n_attributes {
+        for (a, &dom) in dominant.iter().enumerate() {
             let v = if rng.random::<f64>() < p.dominant_p {
-                dominant[a]
+                dom
             } else {
                 // uniform over the non-dominant values (or the dominant
                 // again when n_values == 1)
                 let mut v = rng.random_range(0..p.n_values);
-                if v == dominant[a] && p.n_values > 1 {
+                if v == dom && p.n_values > 1 {
                     v = (v + 1) % p.n_values;
                 }
                 v

@@ -1,48 +1,89 @@
 //! Parallel mining demo: the ALSO patterns compose with thread-level
 //! parallelism (DESIGN.md §7) because the lattice below different
 //! first items is disjoint — workers share only the read-only root
-//! projection.
+//! structure (LCM: projection; Eclat: vertical bit matrix; FP-Growth:
+//! FP-tree) and all three kernels run on the same `fpm-par`
+//! work-stealing scheduler.
 //!
 //! ```sh
 //! cargo run --release --example parallel_mining [threads]
 //! ```
 
-use also_fpm::fpm::CollectSink;
-use also_fpm::lcm::{self, LcmConfig};
+use also_fpm::fpm::{CollectSink, ItemsetCount, TransactionDb};
+use also_fpm::par::ParConfig;
 use also_fpm::quest::{Dataset, Scale};
+use also_fpm::{eclat, fpgrowth, lcm};
 use std::time::Instant;
+
+fn report(
+    name: &str,
+    db: &TransactionDb,
+    minsup: u64,
+    par_cfg: &ParConfig,
+    serial: impl Fn(&TransactionDb, u64, &mut CollectSink),
+    parallel: impl Fn(&TransactionDb, u64, &ParConfig) -> Vec<ItemsetCount>,
+) {
+    let t = Instant::now();
+    let mut sink = CollectSink::default();
+    serial(db, minsup, &mut sink);
+    let expect = also_fpm::fpm::types::canonicalize(sink.patterns);
+    let t_seq = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let got = parallel(db, minsup, par_cfg);
+    let t_par = t.elapsed().as_secs_f64();
+
+    assert_eq!(expect, got, "{name}: parallel must match serial");
+    println!(
+        "{name:10} {:6} patterns  serial {t_seq:.3}s  parallel {t_par:.3}s  ({:.2}×)",
+        got.len(),
+        t_seq / t_par.max(1e-9),
+    );
+}
 
 fn main() {
     let threads: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(2)
-        });
+        .unwrap_or(0); // 0 = auto-detect
+    let par_cfg = ParConfig::with_threads(threads);
     let db = Dataset::Ds1.generate(Scale::Smoke);
     let minsup = Dataset::Ds1.support(Scale::Smoke);
     println!(
-        "mining {} transactions at minsup {minsup} with {threads} worker(s)",
-        db.len()
+        "mining {} transactions at minsup {minsup} with {} worker(s)",
+        db.len(),
+        par_cfg.effective_threads(usize::MAX),
     );
 
-    let t = Instant::now();
-    let mut sink = CollectSink::default();
-    lcm::mine(&db, minsup, &LcmConfig::all(), &mut sink);
-    let sequential = also_fpm::fpm::types::canonicalize(sink.patterns);
-    let t_seq = t.elapsed().as_secs_f64();
-    println!("sequential: {} patterns in {t_seq:.3}s", sequential.len());
-
-    let t = Instant::now();
-    let parallel = lcm::mine_parallel(&db, minsup, &LcmConfig::all(), threads);
-    let t_par = t.elapsed().as_secs_f64();
-    println!(
-        "parallel:   {} patterns in {t_par:.3}s ({:.2}× on {threads} threads)",
-        parallel.len(),
-        t_seq / t_par
+    report(
+        "lcm",
+        &db,
+        minsup,
+        &par_cfg,
+        |db, ms, sink| {
+            lcm::mine(db, ms, &lcm::LcmConfig::all(), sink);
+        },
+        |db, ms, par| lcm::mine_parallel(db, ms, &lcm::LcmConfig::all(), par),
     );
-    assert_eq!(sequential, parallel, "results must be identical");
-    println!("results identical — the subtree decomposition is exact");
+    report(
+        "eclat",
+        &db,
+        minsup,
+        &par_cfg,
+        |db, ms, sink| {
+            eclat::mine(db, ms, &eclat::EclatConfig::all(), sink);
+        },
+        |db, ms, par| eclat::mine_parallel(db, ms, &eclat::EclatConfig::all(), par),
+    );
+    report(
+        "fp-growth",
+        &db,
+        minsup,
+        &par_cfg,
+        |db, ms, sink| {
+            fpgrowth::mine(db, ms, &fpgrowth::FpConfig::all(), sink);
+        },
+        |db, ms, par| fpgrowth::mine_parallel(db, ms, &fpgrowth::FpConfig::all(), par),
+    );
+    println!("all three kernels: parallel results identical to serial");
 }

@@ -11,6 +11,9 @@ use also_fpm::fpm::{CountSink, TransactionDb};
 use also_fpm::quest::{Dataset, Scale};
 use std::time::Instant;
 
+/// A named closure that mines and returns the pattern count.
+type Runner<'a> = (&'a str, Box<dyn Fn() -> u64 + 'a>);
+
 fn mine_both(label: &str, db: &TransactionDb, minsup: u64) {
     println!("== {label}: {} transactions, mean length {:.1}, minsup {minsup} ==",
         db.len(), db.mean_len());
@@ -20,7 +23,7 @@ fn mine_both(label: &str, db: &TransactionDb, minsup: u64) {
         profile.density, profile.scatter, profile.n_items
     );
 
-    let runners: Vec<(&str, Box<dyn Fn() -> u64 + '_>)> = vec![
+    let runners: Vec<Runner> = vec![
         (
             "eclat/all",
             Box::new(|| {

@@ -2,8 +2,9 @@
 //!
 //! Re-exports the whole workspace: the ALSO tuning-pattern library
 //! ([`also`]), the mining substrate ([`fpm`]), the dataset generators
-//! ([`quest`]), the memory-hierarchy simulator ([`memsim`]) and the four
-//! miners ([`lcm`], [`eclat`], [`fpgrowth`], [`apriori`]).
+//! ([`quest`]), the memory-hierarchy simulator ([`memsim`]), the shared
+//! work-stealing parallel runtime ([`par`]) and the four miners
+//! ([`lcm`], [`eclat`], [`fpgrowth`], [`apriori`]).
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! system inventory; the runnable entry points live in `examples/`.
@@ -29,4 +30,5 @@ pub use fpgrowth;
 pub use fpm;
 pub use lcm;
 pub use memsim;
+pub use par;
 pub use quest;

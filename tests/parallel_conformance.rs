@@ -1,0 +1,242 @@
+//! Parallel-vs-serial conformance: for every kernel × ALSO variant ×
+//! thread count, mining on the `fpm-par` work-stealing runtime must
+//! produce *exactly* the serial kernel's output — same itemsets, same
+//! supports — and the merged emission stream must be byte-identical
+//! across runs (the determinism guarantee of the rank-ordered merge).
+//!
+//! Thread count 7 is included deliberately: a prime, larger-than-core
+//! count exercises the remainder of the round-robin deal and forces
+//! steals from partially drained deques.
+
+use fpm::types::canonicalize;
+use fpm::{CollectSink, ItemsetCount, RecordSink, TransactionDb};
+use par::ParConfig;
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+fn serial_lcm(db: &TransactionDb, minsup: u64, cfg: &lcm::LcmConfig) -> Vec<ItemsetCount> {
+    let mut s = CollectSink::default();
+    lcm::mine(db, minsup, cfg, &mut s);
+    canonicalize(s.patterns)
+}
+
+fn serial_eclat(db: &TransactionDb, minsup: u64, cfg: &eclat::EclatConfig) -> Vec<ItemsetCount> {
+    let mut s = CollectSink::default();
+    eclat::mine(db, minsup, cfg, &mut s);
+    canonicalize(s.patterns)
+}
+
+fn serial_fpg(db: &TransactionDb, minsup: u64, cfg: &fpgrowth::FpConfig) -> Vec<ItemsetCount> {
+    let mut s = CollectSink::default();
+    fpgrowth::mine(db, minsup, cfg, &mut s);
+    canonicalize(s.patterns)
+}
+
+/// Asserts parallel == serial for every kernel, every named variant and
+/// every thread count in [`THREAD_COUNTS`]. Returns how many kernel ×
+/// variant × thread combinations were checked.
+fn assert_conformance(db: &TransactionDb, minsup: u64) -> usize {
+    let mut checked = 0;
+    for &threads in &THREAD_COUNTS {
+        let p = ParConfig::with_threads(threads);
+        for (name, cfg) in lcm::variants() {
+            assert_eq!(
+                lcm::mine_parallel(db, minsup, &cfg, &p),
+                serial_lcm(db, minsup, &cfg),
+                "lcm/{name} threads={threads}"
+            );
+            checked += 1;
+        }
+        for (name, cfg) in eclat::variants() {
+            assert_eq!(
+                eclat::mine_parallel(db, minsup, &cfg, &p),
+                serial_eclat(db, minsup, &cfg),
+                "eclat/{name} threads={threads}"
+            );
+            checked += 1;
+        }
+        for (name, cfg) in fpgrowth::variants() {
+            assert_eq!(
+                fpgrowth::mine_parallel(db, minsup, &cfg, &p),
+                serial_fpg(db, minsup, &cfg),
+                "fpgrowth/{name} threads={threads}"
+            );
+            checked += 1;
+        }
+    }
+    checked
+}
+
+#[test]
+fn paper_toy_database_conforms() {
+    let db = TransactionDb::from_transactions(vec![
+        vec![0, 2, 5],
+        vec![1, 2, 5],
+        vec![0, 2, 5],
+        vec![3, 4],
+        vec![0, 1, 2, 3, 4, 5],
+    ]);
+    for minsup in 1..=3 {
+        let checked = assert_conformance(&db, minsup);
+        assert_eq!(checked, (6 + 4 + 5) * THREAD_COUNTS.len());
+    }
+}
+
+#[test]
+fn pathological_shapes_conform() {
+    // More subtrees than threads, fewer subtrees than threads, empty.
+    assert_conformance(&TransactionDb::from_transactions(vec![vec![1, 2, 3]; 20]), 5);
+    assert_conformance(
+        &TransactionDb::from_transactions((0..10).map(|k| vec![2 * k, 2 * k + 1]).collect()),
+        1,
+    );
+    assert_conformance(&TransactionDb::from_transactions(vec![vec![7]]), 1);
+    assert_conformance(&TransactionDb::default(), 1);
+}
+
+#[test]
+fn quest_database_conforms() {
+    let db = quest::quest_generate(&quest::QuestParams {
+        n_transactions: 300,
+        avg_transaction_len: 8.0,
+        avg_pattern_len: 3.0,
+        n_items: 30,
+        n_patterns: 20,
+        ..quest::QuestParams::default()
+    });
+    // Only the tuned variants at full thread spread: the full variant
+    // matrix on a generated database is covered by the proptest below at
+    // smaller sizes.
+    for &threads in &THREAD_COUNTS {
+        let p = ParConfig::with_threads(threads);
+        let cfg = lcm::LcmConfig::all();
+        let expect = serial_lcm(&db, 15, &cfg);
+        assert!(expect.len() > 20, "workload must be non-trivial");
+        assert_eq!(lcm::mine_parallel(&db, 15, &cfg, &p), expect, "lcm");
+        let cfg = eclat::EclatConfig::all();
+        assert_eq!(
+            eclat::mine_parallel(&db, 15, &cfg, &p),
+            serial_eclat(&db, 15, &cfg),
+            "eclat"
+        );
+        let cfg = fpgrowth::FpConfig::all();
+        assert_eq!(
+            fpgrowth::mine_parallel(&db, 15, &cfg, &p),
+            serial_fpg(&db, 15, &cfg),
+            "fpgrowth"
+        );
+    }
+}
+
+#[test]
+fn steal_granularity_does_not_change_results() {
+    let db = TransactionDb::from_transactions(
+        (0..50u32)
+            .map(|k| (0..12).filter(|i| (k + i) % 3 != 0).collect())
+            .collect(),
+    );
+    let cfg = lcm::LcmConfig::all();
+    let expect = serial_lcm(&db, 4, &cfg);
+    for granularity in [1usize, 2, 8, 1000] {
+        let p = ParConfig {
+            n_threads: 4,
+            steal_granularity: granularity,
+        };
+        assert_eq!(
+            lcm::mine_parallel(&db, 4, &cfg, &p),
+            expect,
+            "granularity={granularity}"
+        );
+    }
+}
+
+/// Two runs with identical inputs must produce byte-identical merged
+/// emission streams — the regression guard for the rank-ordered merge:
+/// any nondeterministic interleaving of worker outputs would diverge
+/// here long before it corrupted a canonicalized comparison.
+#[test]
+fn determinism_regression_at_4_threads() {
+    let db = TransactionDb::from_transactions(
+        (0..80u32)
+            .map(|k| (0..14).filter(|i| (k ^ i) % 3 != 0).collect())
+            .collect(),
+    );
+    let p = ParConfig::with_threads(4);
+    let record = |run: &dyn Fn(&mut RecordSink)| {
+        let mut sink = RecordSink::default();
+        run(&mut sink);
+        assert!(!sink.bytes.is_empty(), "run must emit patterns");
+        sink.bytes
+    };
+    for (name, cfg) in lcm::variants() {
+        let a = record(&|s| lcm::parallel::mine_parallel_into(&db, 3, &cfg, &p, s));
+        let b = record(&|s| lcm::parallel::mine_parallel_into(&db, 3, &cfg, &p, s));
+        assert_eq!(a, b, "lcm/{name}: merged output must be deterministic");
+        // and equal to the serial emission stream, not merely to itself
+        let serial = record(&|s| {
+            lcm::mine(&db, 3, &cfg, s);
+        });
+        assert_eq!(a, serial, "lcm/{name}: merge must reproduce serial order");
+    }
+    for (name, cfg) in eclat::variants() {
+        let a = record(&|s| eclat::mine_parallel_into(&db, 3, &cfg, &p, s));
+        let b = record(&|s| eclat::mine_parallel_into(&db, 3, &cfg, &p, s));
+        assert_eq!(a, b, "eclat/{name}: merged output must be deterministic");
+        let serial = record(&|s| {
+            eclat::mine(&db, 3, &cfg, s);
+        });
+        assert_eq!(a, serial, "eclat/{name}: merge must reproduce serial order");
+    }
+    for (name, cfg) in fpgrowth::variants() {
+        let a = record(&|s| fpgrowth::mine_parallel_into(&db, 3, &cfg, &p, s));
+        let b = record(&|s| fpgrowth::mine_parallel_into(&db, 3, &cfg, &p, s));
+        assert_eq!(a, b, "fpgrowth/{name}: merged output must be deterministic");
+        let serial = record(&|s| {
+            fpgrowth::mine(&db, 3, &cfg, s);
+        });
+        assert_eq!(a, serial, "fpgrowth/{name}: merge must reproduce serial order");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random databases: the full kernel × variant × thread-count matrix
+    /// conforms. Databases are kept small because each case runs
+    /// (6+4+5) × 4 = 60 parallel mines.
+    #[test]
+    fn random_databases_conform(
+        db in prop::collection::vec(
+            prop::collection::btree_set(0u32..12, 0..7)
+                .prop_map(|s| s.into_iter().collect::<Vec<u32>>()),
+            0..40),
+        minsup in 1u64..6,
+    ) {
+        let db = TransactionDb::from_transactions(db);
+        for &threads in &THREAD_COUNTS {
+            let p = ParConfig::with_threads(threads);
+            for (name, cfg) in lcm::variants() {
+                prop_assert_eq!(
+                    lcm::mine_parallel(&db, minsup, &cfg, &p),
+                    serial_lcm(&db, minsup, &cfg),
+                    "lcm/{} threads={}", name, threads
+                );
+            }
+            for (name, cfg) in eclat::variants() {
+                prop_assert_eq!(
+                    eclat::mine_parallel(&db, minsup, &cfg, &p),
+                    serial_eclat(&db, minsup, &cfg),
+                    "eclat/{} threads={}", name, threads
+                );
+            }
+            for (name, cfg) in fpgrowth::variants() {
+                prop_assert_eq!(
+                    fpgrowth::mine_parallel(&db, minsup, &cfg, &p),
+                    serial_fpg(&db, minsup, &cfg),
+                    "fpgrowth/{} threads={}", name, threads
+                );
+            }
+        }
+    }
+}

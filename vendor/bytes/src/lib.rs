@@ -1,0 +1,106 @@
+//! Offline stand-in for `bytes`: exactly the `BytesMut`/`BufMut` subset the
+//! FPMDB binary writer uses (`with_capacity`, little-endian integer puts,
+//! deref to `&[u8]`), backed by a plain `Vec<u8>`.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer (a thin wrapper over `Vec<u8>`).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with the given capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Write-side buffer operations (the `bytes::BufMut` subset in use).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a `u32` little-endian.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` little-endian.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_puts() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u64_le(0x0102_0304_0506_0708);
+        b.put_u32_le(0xAABB_CCDD);
+        b.put_u8(0x7F);
+        assert_eq!(
+            &b[..],
+            &[8, 7, 6, 5, 4, 3, 2, 1, 0xDD, 0xCC, 0xBB, 0xAA, 0x7F]
+        );
+        assert_eq!(b.len(), 13);
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace tags types with `#[derive(Serialize, Deserialize)]` as API
+//! decoration; nothing in the tree actually serializes (there is no format
+//! crate). Since the build environment cannot reach crates.io, this stub
+//! keeps the source compiling unchanged: the traits exist, every type
+//! implements them via blanket impls, and the derive macros (re-exported
+//! from the sibling `serde_derive` stub) expand to nothing.
+
+/// Marker for serializable types. Blanket-implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented for every type.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker mirroring serde's owned-deserialization helper trait.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on config and report
+//! types purely as API decoration — no code path serializes anything (there
+//! is no `serde_json`/`bincode` in the dependency tree). The build
+//! environment has no network access to crates.io, so instead of the real
+//! proc macros these derives expand to an **empty token stream**: the
+//! attribute is accepted, and the companion `serde` stub provides blanket
+//! trait impls so `T: Serialize` bounds (if any appear later) still hold.
+//!
+//! If real serialization is ever needed, replace `vendor/serde*` with the
+//! crates.io packages; no workspace source changes are required.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
