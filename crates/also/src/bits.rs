@@ -40,8 +40,13 @@ pub struct BitVec {
 }
 
 // SAFETY: BitVec owns its buffer exclusively; the raw pointer is never
-// aliased outside `&self`/`&mut self` borrows.
+// aliased outside `&self`/`&mut self` borrows, so moving the value to
+// another thread moves sole ownership of the allocation with it.
 unsafe impl Send for BitVec {}
+
+// SAFETY: all &self methods only read the buffer (writes require &mut
+// self), so concurrent shared access from multiple threads is data-race
+// free — the same guarantee a Vec<u64> would derive automatically.
 unsafe impl Sync for BitVec {}
 
 impl BitVec {

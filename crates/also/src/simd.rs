@@ -118,6 +118,7 @@ fn table16() -> &'static Table16 {
 ///
 /// # Panics
 /// Panics if `span` exceeds either vector's allocated words.
+// also-lint: hot
 pub fn and_count(a: &BitVec, b: &BitVec, span: std::ops::Range<usize>, strategy: Popcount) -> u64 {
     let aw = &a.as_words()[span.clone()];
     let bw = &b.as_words()[span];
@@ -138,6 +139,7 @@ pub fn and_count(a: &BitVec, b: &BitVec, span: std::ops::Range<usize>, strategy:
 /// # Panics
 /// Panics if the slices differ in length, or if the strategy is not
 /// available on the current CPU.
+// also-lint: hot
 pub fn and_count_words(a: &[u64], b: &[u64], strategy: Popcount) -> u64 {
     assert_eq!(a.len(), b.len(), "word slices must match");
     match strategy {
@@ -174,6 +176,7 @@ pub fn and_count_words(a: &[u64], b: &[u64], strategy: Popcount) -> u64 {
 ///
 /// This is the materializing variant used when the result vector is needed
 /// for deeper recursion levels (Eclat keeps the intersected tidset).
+// also-lint: hot
 pub fn and_into_count(
     a: &BitVec,
     b: &BitVec,
@@ -210,11 +213,13 @@ pub fn and_into_count(
     }
 }
 
+// also-lint: hot
 fn and_count_table16(a: &[u64], b: &[u64]) -> u64 {
     let t = table16();
     a.iter().zip(b).map(|(&x, &y)| t.count_word(x & y)).sum()
 }
 
+// also-lint: hot
 fn and_count_scalar(a: &[u64], b: &[u64]) -> u64 {
     a.iter().zip(b).map(|(&x, &y)| (x & y).count_ones() as u64).sum()
 }
@@ -223,6 +228,7 @@ fn and_count_scalar(a: &[u64], b: &[u64]) -> u64 {
 /// intersecting the operands' 1-ranges, returning the popcount — the full
 /// 0-escaped kernel of §4.2. Returns 0 without touching memory when the
 /// intersected range is empty.
+// also-lint: hot
 pub fn and_count_escaped(
     a: &BitVec,
     ra: &OneRange,
@@ -255,6 +261,7 @@ mod x86 {
     /// # Safety
     /// Caller must ensure SSE2 (always true on x86_64) and
     /// `a.len() == b.len()`.
+    // also-lint: hot
     #[target_feature(enable = "sse2")]
     pub unsafe fn and_count_sse2(a: &[u64], b: &[u64]) -> u64 {
         debug_assert_eq!(a.len(), b.len());
@@ -307,6 +314,7 @@ mod x86 {
     ///
     /// # Safety
     /// Caller must ensure AVX2 and `a.len() == b.len()`.
+    // also-lint: hot
     #[target_feature(enable = "avx2")]
     pub unsafe fn and_count_avx2(a: &[u64], b: &[u64]) -> u64 {
         debug_assert_eq!(a.len(), b.len());

@@ -19,6 +19,7 @@
 //! over the database per level (with a hash join from transactions to
 //! candidates).
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 use fpm::{remap, PatternSink, TransactionDb, TranslateSink};
@@ -79,6 +80,8 @@ fn mine_ranked<S: PatternSink>(
 /// (it is, by construction: ranks ascend within sets and sets are
 /// generated in lexicographic order).
 fn generate_candidates(frequent: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    // deterministic-iteration audit: membership probes (`contains`) only;
+    // candidates are emitted in the lexicographic order of `frequent`.
     let set: std::collections::HashSet<&[u32]> =
         frequent.iter().map(|f| f.as_slice()).collect();
     let mut out = Vec::new();
@@ -117,6 +120,8 @@ fn generate_candidates(frequent: &[Vec<u32>]) -> Vec<Vec<u32>> {
 /// probe each candidate against the transaction (both via a hash map from
 /// candidate to index).
 fn count_supports(transactions: &[Vec<u32>], candidates: &[Vec<u32>], k: usize) -> Vec<u64> {
+    // deterministic-iteration audit: probed with `get` only; supports are
+    // accumulated into a Vec indexed by candidate rank, never in hash order.
     let index: HashMap<&[u32], usize> = candidates
         .iter()
         .enumerate()

@@ -6,6 +6,7 @@
 //! of the paper maps to one entry point here (see DESIGN.md §3 for the
 //! index).
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod claims;

@@ -10,6 +10,9 @@
 //! repro all   [--scale …]        # everything, in paper order
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
 use fpm_bench::{claims, fig2, fig8, tables};
 use memsim::Machine;
 use quest::{Dataset, Scale};

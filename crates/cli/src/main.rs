@@ -14,6 +14,9 @@
 //! `0` auto-detects the host parallelism. Parallel output is identical
 //! to serial for every kernel × variant.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
 use fpm::{CollectSink, CountSink, PatternSink, TransactionDb};
 use quest::{Dataset, Scale};
 use std::io::Write as _;

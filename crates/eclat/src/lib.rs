@@ -21,6 +21,7 @@
 //! [`EclatConfig`] selects the pattern combination; [`variants`] lists
 //! the named columns of the paper's Figure 8(c).
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod parallel;

@@ -1,0 +1,79 @@
+//! Runtime proof of the `// also-lint: hot` contract on the Eclat
+//! AND/popcount kernels (`also::simd`): once the lazily built Table16
+//! lookup table and the CPU-feature detection caches are warm, every
+//! strategy's fused intersect-and-count — plain, 0-escaped, and
+//! materializing — performs zero allocations.
+
+use also::bits::BitVec;
+use also::simd::{and_count, and_count_escaped, and_count_words, and_into_count, Popcount};
+use fpm::alloc_guard::assert_no_alloc;
+
+fn dense(len: usize, step: usize, phase: usize) -> BitVec {
+    let idx: Vec<u32> = (phase..len).step_by(step).map(|x| x as u32).collect();
+    BitVec::from_indices(len, &idx)
+}
+
+/// Warm every lazily initialized piece the kernels touch: the 64 KiB
+/// Table16 (built on first use behind a OnceLock) and the
+/// `is_x86_feature_detected!` cache consulted by `Popcount::available`.
+fn warm() -> Vec<Popcount> {
+    let strategies = Popcount::available();
+    let a = [0xDEAD_BEEF_u64; 8];
+    for &s in &strategies {
+        let _ = and_count_words(&a, &a, s);
+    }
+    strategies
+}
+
+#[test]
+fn and_count_kernels_are_allocation_free() {
+    let strategies = warm();
+    let a = dense(4096, 3, 0);
+    let b = dense(4096, 5, 1);
+    let expect = and_count_words(
+        &a.as_words()[..a.words()],
+        &b.as_words()[..b.words()],
+        Popcount::Scalar64,
+    );
+    for &s in &strategies {
+        let got = assert_no_alloc(|| {
+            let words = and_count_words(&a.as_words()[..a.words()], &b.as_words()[..b.words()], s);
+            let span = and_count(&a, &b, 0..a.words().min(b.words()), s);
+            assert_eq!(words, span);
+            words
+        });
+        assert_eq!(got, expect, "{}", s.label());
+    }
+}
+
+#[test]
+fn escaped_kernel_is_allocation_free() {
+    let strategies = warm();
+    let a = dense(8192, 7, 100);
+    let b = dense(8192, 11, 300);
+    let (ra, rb) = (a.one_range(), b.one_range());
+    let expect = and_count_escaped(&a, &ra, &b, &rb, Popcount::Scalar64);
+    for &s in &strategies {
+        let got = assert_no_alloc(|| and_count_escaped(&a, &ra, &b, &rb, s));
+        assert_eq!(got, expect, "{}", s.label());
+    }
+}
+
+#[test]
+fn materializing_kernel_is_allocation_free() {
+    let strategies = warm();
+    let a = dense(2048, 2, 0);
+    let b = dense(2048, 3, 0);
+    for &s in &strategies {
+        // The output vector is preallocated — the kernel itself must only
+        // fill it.
+        let mut out = BitVec::zeros(2048);
+        let got = assert_no_alloc(|| and_into_count(&a, &b, &mut out, 0..a.words(), s));
+        assert_eq!(
+            got,
+            and_count_words(&a.as_words()[..a.words()], &b.as_words()[..b.words()], s),
+            "{}",
+            s.label()
+        );
+    }
+}

@@ -23,6 +23,7 @@
 //! [`variants`] names the columns of the paper's Figure 8(d): `base`,
 //! `lex`, `reorg` (P2+P3), `pref`, `all`.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod parallel;

@@ -1,0 +1,235 @@
+//! Debug-only counting allocator guard: runtime proof that hot loops do
+//! not allocate.
+//!
+//! The `also-lint` rule `hot-loop-alloc` (R4) checks the *source* of
+//! functions marked `// also-lint: hot` for allocating calls; this module
+//! is the matching *runtime* check. In debug/test builds a counting
+//! [`GlobalAlloc`] wraps the system allocator, and
+//! [`assert_no_alloc`] arms a thread-local counter around a closure:
+//!
+//! ```
+//! let mut buf = Vec::with_capacity(16); // preallocate outside
+//! fpm::alloc_guard::assert_no_alloc(|| {
+//!     for i in 0..16u32 {
+//!         buf.push(i); // within capacity: no allocation
+//!     }
+//! });
+//! ```
+//!
+//! In release builds (`debug_assertions` off) the wrapper allocator is not
+//! installed and [`assert_no_alloc`] degenerates to a plain call — zero
+//! cost in benchmarks, real teeth in `cargo test`.
+//!
+//! The counters are per-thread, so allocations made by sibling threads
+//! (e.g. other workers of the `fpm-par` pool) never leak into a guarded
+//! region's count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    /// Whether the current thread is inside a counting region.
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    /// Allocations (alloc + grow-realloc) observed while armed.
+    static HITS: Cell<u64> = const { Cell::new(0) };
+    /// Bytes requested by those allocations.
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A [`GlobalAlloc`] that delegates to [`System`] and, while the current
+/// thread is armed by [`count_allocs`], counts every allocation.
+///
+/// Installed as the global allocator only under `debug_assertions`; the
+/// type itself is always available so the API is uniform.
+pub struct CountingAlloc;
+
+// The counter bump must itself never allocate or re-enter the allocator:
+// the `thread_local!` cells are const-initialized (no lazy allocation) and
+// accessed with `try_with` so first-use and thread-teardown edge cases
+// degrade to "not counted" instead of recursing or aborting.
+fn note(size: usize) {
+    let _ = ARMED.try_with(|armed| {
+        if armed.get() {
+            let _ = HITS.try_with(|h| h.set(h.get() + 1));
+            let _ = BYTES.try_with(|b| b.set(b.get() + size as u64));
+        }
+    });
+}
+
+// SAFETY: every method forwards to `System`, which satisfies the
+// GlobalAlloc contract; the added bookkeeping touches only plain
+// thread-local `Cell`s and never allocates, so layout/pointer obligations
+// are exactly System's.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note(layout.size());
+        // SAFETY: same contract as ours, forwarded verbatim.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note(layout.size());
+        // SAFETY: same contract as ours, forwarded verbatim.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // Frees are not counted: a hot loop that only returns memory is
+        // not a latency hazard the guard cares about.
+        // SAFETY: ptr/layout pair comes from a previous alloc of ours,
+        // which came from System.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note(new_size);
+        // SAFETY: ptr/layout pair comes from a previous alloc of ours;
+        // new_size obligations are the caller's, forwarded verbatim.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(debug_assertions)]
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// What a counting region observed. Returned by [`count_allocs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocCount {
+    /// Number of allocation events (alloc, alloc_zeroed, grow/shrink
+    /// realloc) on this thread while armed.
+    pub allocations: u64,
+    /// Total bytes requested by those events.
+    pub bytes: u64,
+}
+
+/// `true` when the counting allocator is actually installed (debug/test
+/// builds). When `false`, [`count_allocs`] always reports zero and
+/// [`assert_no_alloc`] cannot fail.
+pub fn guard_active() -> bool {
+    cfg!(debug_assertions)
+}
+
+/// Restores the previous armed state even if the closure panics.
+struct Rearm(bool);
+
+impl Drop for Rearm {
+    fn drop(&mut self) {
+        let prev = self.0;
+        let _ = ARMED.try_with(|a| a.set(prev));
+    }
+}
+
+/// Runs `f` with allocation counting armed on this thread and returns its
+/// result plus the number of allocations it performed. Nestable (the
+/// inner region's events are also visible to the outer) and panic-safe.
+pub fn count_allocs<R>(f: impl FnOnce() -> R) -> (R, AllocCount) {
+    let prev = ARMED.with(|a| a.replace(true));
+    let hits0 = HITS.with(|c| c.get());
+    let bytes0 = BYTES.with(|c| c.get());
+    let rearm = Rearm(prev);
+    let result = f();
+    drop(rearm);
+    let count = AllocCount {
+        allocations: HITS.with(|c| c.get()) - hits0,
+        bytes: BYTES.with(|c| c.get()) - bytes0,
+    };
+    (result, count)
+}
+
+/// Runs `f` and, in debug/test builds, panics if it allocated on this
+/// thread. The runtime half of the `hot-loop-alloc` lint: wrap the body
+/// of a `// also-lint: hot` function's test invocation in this to prove
+/// the preallocation discipline actually holds.
+///
+/// # Panics
+///
+/// When [`guard_active`] and `f` performed any allocation.
+pub fn assert_no_alloc<R>(f: impl FnOnce() -> R) -> R {
+    let (result, count) = count_allocs(f);
+    assert!(
+        count.allocations == 0 || !guard_active(),
+        "assert_no_alloc: closure performed {} allocation(s) totalling {} byte(s)",
+        count.allocations,
+        count.bytes
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sees_vec_growth() {
+        let ((), count) = count_allocs(|| {
+            let mut v: Vec<u64> = Vec::new();
+            for i in 0..100 {
+                v.push(i);
+            }
+            std::hint::black_box(&v);
+        });
+        if guard_active() {
+            assert!(count.allocations > 0);
+            assert!(count.bytes >= 100 * 8);
+        }
+    }
+
+    #[test]
+    fn preallocated_push_is_alloc_free() {
+        let mut v: Vec<u64> = Vec::with_capacity(128);
+        assert_no_alloc(|| {
+            for i in 0..128 {
+                v.push(i);
+            }
+        });
+        assert_eq!(v.len(), 128);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "assert_no_alloc")]
+    fn allocation_inside_guard_panics() {
+        assert_no_alloc(|| {
+            let v = vec![1u8, 2, 3];
+            std::hint::black_box(&v);
+        });
+    }
+
+    #[test]
+    fn guard_rearms_after_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            count_allocs(|| -> () { panic!("inner") }).0
+        });
+        assert!(caught.is_err());
+        // The armed flag must have been restored: counting still works
+        // and an un-armed thread does not count.
+        let ((), count) = count_allocs(|| {
+            std::hint::black_box(Box::new(7u32));
+        });
+        if guard_active() {
+            assert_eq!(count.allocations, 1);
+        }
+    }
+
+    #[test]
+    fn sibling_thread_allocations_are_not_counted() {
+        let ((), count) = count_allocs(|| {
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let v: Vec<u64> = (0..1000).collect();
+                    std::hint::black_box(&v);
+                });
+            });
+        });
+        // The spawn itself allocates on this thread (thread bookkeeping),
+        // but the worker's 8 kB vector must not appear in our count.
+        if guard_active() {
+            assert!(count.bytes < 4000, "counted {} bytes", count.bytes);
+        }
+    }
+}

@@ -17,8 +17,10 @@
 //! of the subsuming transactions — all miners in this workspace agree on
 //! that weighted definition.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+pub mod alloc_guard;
 pub mod db;
 pub mod hmine;
 pub mod horizontal;

@@ -29,6 +29,9 @@ pub fn maximal(patterns: Vec<ItemsetCount>) -> Vec<ItemsetCount> {
 
 fn filter(patterns: Vec<ItemsetCount>, closed: bool) -> Vec<ItemsetCount> {
     // index by sorted itemset
+    // deterministic-iteration audit: this map is probed with `get` only;
+    // output order comes from walking `patterns` (a Vec) below, so hash
+    // order never reaches the emission sequence.
     let index: HashMap<Vec<u32>, usize> = patterns
         .iter()
         .enumerate()

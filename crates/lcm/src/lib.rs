@@ -15,6 +15,7 @@
 //! `base`, `lex`, `reorg` (aggregation + compaction), `pref`
 //! (wave-front prefetch), `tile`, and `all`.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod miner;

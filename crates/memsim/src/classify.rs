@@ -83,6 +83,7 @@ impl ClassifyingCache {
             // evict LRU
             let (&victim, _) = self
                 .shadow
+                // also-lint: allow(deterministic-iteration) — min_by_key over strictly increasing clock stamps (all unique): the minimum is unique, so hash order cannot change the victim
                 .iter()
                 .min_by_key(|(_, &stamp)| stamp)
                 .expect("non-empty shadow");

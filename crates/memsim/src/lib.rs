@@ -30,6 +30,7 @@
 //! assert!(r.cpi() > 0.3);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod cache;

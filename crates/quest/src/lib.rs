@@ -22,6 +22,7 @@
 //! [`Dataset`] ties it together: each paper dataset at a chosen
 //! [`Scale`], with the support threshold scaled proportionally.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod ap;

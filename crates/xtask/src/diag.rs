@@ -1,0 +1,119 @@
+//! Diagnostic type and output formats.
+//!
+//! Every rule reports through [`Diagnostic`]; the driver sorts them and
+//! renders either the grep-friendly text form (`file:line: rule-id:
+//! message`) or a JSON array (`--format json`) for machine consumption.
+
+use std::fmt;
+
+/// The stable identifiers of the rules `also-lint` enforces.
+pub const RULE_IDS: &[&str] = &[
+    "safety-comments",
+    "lint-headers",
+    "deterministic-iteration",
+    "hot-loop-alloc",
+    "unchecked-indexing",
+];
+
+/// One finding: a rule violated at a specific file and line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Repo-relative path (forward slashes) of the offending file.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Rule identifier, one of [`RULE_IDS`].
+    pub rule: &'static str,
+    /// Human-readable explanation of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Escapes `s` for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `diags` as a stable JSON document:
+/// `{"count": N, "diagnostics": [{file, line, rule, message}, …]}`.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"count\": ");
+    out.push_str(&diags.len().to_string());
+    out.push_str(",\n  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"file\": \"");
+        out.push_str(&json_escape(&d.file));
+        out.push_str("\", \"line\": ");
+        out.push_str(&d.line.to_string());
+        out.push_str(", \"rule\": \"");
+        out.push_str(d.rule);
+        out.push_str("\", \"message\": \"");
+        out.push_str(&json_escape(&d.message));
+        out.push_str("\"}");
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_grep_format() {
+        let d = Diagnostic {
+            file: "crates/also/src/bits.rs".into(),
+            line: 45,
+            rule: "safety-comments",
+            message: "x".into(),
+        };
+        assert_eq!(d.to_string(), "crates/also/src/bits.rs:45: safety-comments: x");
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes() {
+        let d = Diagnostic {
+            file: "a\\b.rs".into(),
+            line: 1,
+            rule: "lint-headers",
+            message: "needs \"quotes\"".into(),
+        };
+        let j = to_json(&[d]);
+        assert!(j.contains("a\\\\b.rs"));
+        assert!(j.contains("\\\"quotes\\\""));
+        assert!(j.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn empty_list_is_valid_json() {
+        assert_eq!(to_json(&[]), "{\n  \"count\": 0,\n  \"diagnostics\": []\n}\n");
+    }
+}

@@ -1,0 +1,363 @@
+//! A small, comment- and string-aware Rust lexer.
+//!
+//! `also-lint` deliberately does not parse Rust — a full grammar would
+//! dwarf the rules it serves. What every rule actually needs is a token
+//! stream in which comments and string/char literals are *recognized*
+//! (so an `unsafe` inside a doc comment or a `"HashMap"` inside a string
+//! can never trigger a rule) and line numbers are preserved (so
+//! diagnostics and `// also-lint:` suppressions can be matched by line).
+//!
+//! The lexer understands: line and (nested) block comments, string
+//! literals with escapes, raw strings (`r"…"`, `r#"…"#`, any hash
+//! depth), byte/C string prefixes, char literals vs lifetimes, raw
+//! identifiers (`r#fn`), identifiers, numbers, and single-character
+//! punctuation. Multi-character operators arrive as adjacent punctuation
+//! tokens (`::` is `:`,`:`), which the rules handle explicitly.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// A single punctuation character.
+    Punct(char),
+    /// Numeric literal (integer or one side of a float).
+    Num,
+    /// String literal of any flavour (plain, raw, byte, C).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`) — kept distinct from [`TokKind::Char`].
+    Lifetime,
+    /// `// …` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */` comment (including doc block comments), possibly nested.
+    BlockComment,
+}
+
+/// One token with its source text and 1-based starting line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token kind.
+    pub kind: TokKind,
+    /// The raw source text of the token (comments keep their markers).
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+impl Tok {
+    /// `true` for comment tokens (which rules usually skip).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// `true` if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// `true` if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Tokenizes `src`. Never fails: unterminated constructs simply extend to
+/// the end of input, which is good enough for a linter (the compiler is
+/// the authority on well-formedness).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            out.push(Tok {
+                kind: TokKind::LineComment,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.push(Tok {
+                kind: TokKind::BlockComment,
+                text: b[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < n {
+                match b[i] {
+                    '\\' => i += 2,
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            out.push(Tok {
+                kind: TokKind::Str,
+                text: b[start..i.min(n)].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            let start = i;
+            if i + 1 < n && b[i + 1] == '\\' {
+                // Escaped char: scan to the closing quote.
+                i += 2;
+                while i < n && b[i] != '\'' {
+                    i += 1;
+                }
+                i = (i + 1).min(n);
+                out.push(Tok {
+                    kind: TokKind::Char,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            } else if i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'' {
+                i += 3;
+                out.push(Tok {
+                    kind: TokKind::Char,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            } else {
+                // Lifetime: consume identifier characters.
+                i += 1;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Identifier / keyword — with raw-string and raw-ident prefixes.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            let ident: String = b[start..i].iter().collect();
+            // Raw identifier r#name: consume the hash and the name.
+            if ident == "r"
+                && i + 1 < n
+                && b[i] == '#'
+                && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+            {
+                i += 1;
+                let name_start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[name_start..i].iter().collect(),
+                    line,
+                });
+                continue;
+            }
+            // Raw / byte / C string prefixes: r"…", r#"…"#, b"…", br"…", …
+            if matches!(ident.as_str(), "r" | "b" | "c" | "br" | "cr" | "rb")
+                && i < n
+                && (b[i] == '"' || b[i] == '#')
+            {
+                let raw = ident != "b"; // plain b"…" has escapes, raw forms do not
+                let start_line = line;
+                let mut hashes = 0usize;
+                while i < n && b[i] == '#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                if i < n && b[i] == '"' {
+                    i += 1;
+                    'scan: while i < n {
+                        match b[i] {
+                            '\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            '\\' if !raw => i += 2,
+                            '"' => {
+                                let mut k = 0usize;
+                                while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                                    k += 1;
+                                }
+                                if k == hashes {
+                                    i += 1 + hashes;
+                                    break 'scan;
+                                }
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    out.push(Tok {
+                        kind: TokKind::Str,
+                        text: b[start..i.min(n)].iter().collect(),
+                        line: start_line,
+                    });
+                    continue;
+                }
+                // `ident #` that wasn't a string after all: emit the ident,
+                // rewind to the hashes and let the main loop re-lex them.
+                i -= hashes;
+            }
+            // Byte char literal b'x'.
+            if ident == "b" && i < n && b[i] == '\'' {
+                let cstart = i;
+                i += 1;
+                if i < n && b[i] == '\\' {
+                    i += 1;
+                }
+                while i < n && b[i] != '\'' {
+                    i += 1;
+                }
+                i = (i + 1).min(n);
+                out.push(Tok {
+                    kind: TokKind::Char,
+                    text: b[cstart..i].iter().collect(),
+                    line,
+                });
+                continue;
+            }
+            out.push(Tok {
+                kind: TokKind::Ident,
+                text: ident,
+                line,
+            });
+            continue;
+        }
+        // Number: digits plus alphanumeric tail (0xFF, 1_000u64). Floats
+        // lex as Num '.' Num, which no rule confuses with a method call.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            out.push(Tok {
+                kind: TokKind::Num,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        out.push(Tok {
+            kind: TokKind::Punct(c),
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let toks = lex("// unsafe in a comment\nlet s = \"unsafe { }\"; /* unsafe */");
+        let unsafe_idents = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && t.text == "unsafe")
+            .count();
+        assert_eq!(unsafe_idents, 0);
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert_eq!(toks.last().unwrap().kind, TokKind::BlockComment);
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let toks = lex(r####"let x = r#"a " b"#; y"####);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str));
+        assert!(toks.iter().any(|t| t.is_ident("y")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_name() {
+        let toks = lex("let r#fn = 1;");
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let toks = lex("/* a\nb\nc */\nfn f() {}");
+        let f = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 4);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(kinds("/* a /* b */ c */ x"), vec![
+            TokKind::BlockComment,
+            TokKind::Ident
+        ]);
+    }
+}

@@ -1,0 +1,37 @@
+//! `also-lint`: project-specific static analysis for the ALSO workspace.
+//!
+//! The ALSO patterns (prefetch pointers, wave-front prefetch, SIMD
+//! popcount kernels) force this codebase into `unsafe` intrinsics and raw
+//! allocation, and the parallel runtime promises byte-identical-to-serial
+//! output. Those invariants are cheap to break silently, so this crate
+//! machine-checks them at the source level on every CI run:
+//!
+//! - **safety-comments** (R1): every `unsafe` block/fn/impl carries a
+//!   `// SAFETY:` comment.
+//! - **lint-headers** (R2): every crate root denies
+//!   `unsafe_op_in_unsafe_fn` and warns on `missing_docs`.
+//! - **deterministic-iteration** (R3): no hash-order iteration on the
+//!   emission/merge path (see [`workspace::EMISSION_PATHS`]).
+//! - **hot-loop-alloc** (R4): `// also-lint: hot` functions do not
+//!   allocate; `fpm::alloc_guard` proves the same at runtime.
+//! - **unchecked-indexing** (R5): `get_unchecked` stays inside
+//!   `crates/also`.
+//!
+//! Run with `cargo run -p xtask -- lint [--format json]`. Suppress a
+//! finding with `// also-lint: allow(<rule>)` on the offending line or
+//! the line above — the comment is also where the justification lives.
+//!
+//! Deliberately std-only (no registry or vendored deps) so the lint
+//! builds in seconds and can run first in CI.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use diag::{to_json, Diagnostic, RULE_IDS};
+pub use rules::{lint_source, FileCtx};
+pub use workspace::{classify, lint_workspace, lintable_files, EMISSION_PATHS};

@@ -1,0 +1,90 @@
+//! `also-lint` driver: `cargo run -p xtask -- lint [--format text|json]
+//! [--root DIR]`.
+//!
+//! Exit codes: 0 = clean, 1 = diagnostics found, 2 = usage/IO error.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xtask::{lint_workspace, to_json};
+
+const USAGE: &str = "usage: cargo run -p xtask -- lint [--format text|json] [--root DIR]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut format = "text".to_string();
+    let mut root: Option<PathBuf> = None;
+    let mut saw_lint = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "lint" => saw_lint = true,
+            "--format" => match it.next() {
+                Some(f) if f == "text" || f == "json" => format = f.clone(),
+                _ => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("also-lint: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !saw_lint {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    // Default root: the workspace containing this crate (CARGO_MANIFEST_DIR
+    // is crates/xtask at compile time; at run time prefer the cargo-provided
+    // workspace cwd so `--root` stays optional under `cargo run`).
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let diags = match lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("also-lint: cannot lint {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if format == "json" {
+        print!("{}", to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            eprintln!("also-lint: workspace clean");
+        } else {
+            eprintln!("also-lint: {} diagnostic(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

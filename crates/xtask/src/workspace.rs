@@ -1,0 +1,142 @@
+//! Workspace discovery: find every `.rs` file the lint should see and
+//! classify it into a [`FileCtx`].
+//!
+//! The walk starts at the repo root and skips `target/`, `vendor/`
+//! (offline dependency stand-ins we do not own), `.git/`, and the lint's
+//! own `tests/fixtures/` corpus (those files *intentionally* violate
+//! rules).
+
+use crate::diag::Diagnostic;
+use crate::rules::{lint_source, FileCtx};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Modules on the emission/merge path, where iteration order becomes
+/// output order: pattern sinks, the closed/maximal post-filter, the
+/// parallel runtime's merge, and each kernel's parallel adapter. These
+/// carry PR 1's byte-identical-to-serial determinism guarantee, so R3
+/// (deterministic-iteration) applies to them.
+pub const EMISSION_PATHS: &[&str] = &[
+    "crates/fpm/src/sink.rs",
+    "crates/fpm/src/postfilter.rs",
+    "crates/par/src/lib.rs",
+    "crates/lcm/src/parallel.rs",
+    "crates/eclat/src/parallel.rs",
+    "crates/fpgrowth/src/parallel.rs",
+    "crates/apriori/src/lib.rs",
+    "crates/memsim/src/classify.rs",
+];
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "node_modules"];
+
+/// Builds the [`FileCtx`] for a repo-relative path (forward slashes).
+pub fn classify(root: &Path, rel: &str) -> FileCtx {
+    let is_crate_root = (rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs"))
+        && Path::new(rel)
+            .parent() // src/
+            .and_then(Path::parent) // package dir
+            .map(|pkg| root.join(pkg).join("Cargo.toml").is_file())
+            .unwrap_or(false);
+    FileCtx {
+        path: rel.to_string(),
+        is_crate_root,
+        in_also: rel.starts_with("crates/also/") || rel.contains("/crates/also/"),
+        emission_path: EMISSION_PATHS.iter().any(|p| rel == *p || rel.ends_with(&format!("/{p}"))),
+    }
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            // The fixture corpus violates rules on purpose.
+            if name == "fixtures" && dir.file_name().is_some_and(|d| d == "tests") {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Collects every lintable `.rs` file under `root`, sorted, repo-relative
+/// with forward slashes.
+pub fn lintable_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut abs = Vec::new();
+    walk(root, &mut abs)?;
+    let mut rels: Vec<String> = abs
+        .into_iter()
+        .filter_map(|p| {
+            p.strip_prefix(root)
+                .ok()
+                .map(|r| r.to_string_lossy().replace('\\', "/"))
+        })
+        .collect();
+    rels.sort();
+    Ok(rels)
+}
+
+/// Lints the whole workspace rooted at `root`; returns sorted diagnostics.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for rel in lintable_files(root)? {
+        let src = fs::read_to_string(root.join(&rel))?;
+        let ctx = classify(root, &rel);
+        diags.extend(lint_source(&ctx, &src));
+    }
+    diags.sort();
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .to_path_buf()
+    }
+
+    #[test]
+    fn classify_marks_crate_roots_and_also() {
+        let root = repo_root();
+        let c = classify(&root, "crates/also/src/lib.rs");
+        assert!(c.is_crate_root);
+        assert!(c.in_also);
+        assert!(!c.emission_path);
+        let c = classify(&root, "crates/also/src/bits.rs");
+        assert!(!c.is_crate_root);
+        assert!(c.in_also);
+        let c = classify(&root, "crates/par/src/lib.rs");
+        assert!(c.is_crate_root);
+        assert!(c.emission_path);
+        assert!(!c.in_also);
+        let c = classify(&root, "crates/fpm/src/sink.rs");
+        assert!(c.emission_path);
+    }
+
+    #[test]
+    fn walk_skips_vendor_target_and_fixtures() {
+        let root = repo_root();
+        let files = lintable_files(&root).unwrap();
+        assert!(!files.is_empty());
+        assert!(files.iter().all(|f| !f.starts_with("vendor/")));
+        assert!(files.iter().all(|f| !f.starts_with("target/")));
+        assert!(files.iter().all(|f| !f.contains("tests/fixtures/")));
+        assert!(files.iter().any(|f| f == "crates/also/src/bits.rs"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Fixture-based tests for the `also-lint` rules: one good and one bad
+//! fixture per rule under `tests/fixtures/`. Bad fixtures must trigger
+//! exactly their own rule; good fixtures must lint clean under the same
+//! file context.
+
+use std::fs;
+use std::path::Path;
+use xtask::{lint_source, to_json, FileCtx};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn ctx(name: &str) -> FileCtx {
+    FileCtx {
+        path: format!("tests/fixtures/{name}"),
+        // R2 only fires on crate roots; the r2 fixtures model one.
+        is_crate_root: name.starts_with("r2"),
+        in_also: false,
+        // R3 only fires on emission/merge-path modules.
+        emission_path: name.starts_with("r3"),
+    }
+}
+
+fn check(name: &str, expected_rule: &str, expect_bad: bool) {
+    let diags = lint_source(&ctx(name), &fixture(name));
+    if expect_bad {
+        assert!(
+            !diags.is_empty(),
+            "{name}: expected ≥1 `{expected_rule}` diagnostic, got none"
+        );
+        for d in &diags {
+            assert_eq!(
+                d.rule, expected_rule,
+                "{name}: expected only `{expected_rule}`, got {d}"
+            );
+        }
+    } else {
+        assert!(
+            diags.is_empty(),
+            "{name}: expected clean, got: {}",
+            diags
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+}
+
+#[test]
+fn r1_safety_comments() {
+    check("r1_good.rs", "safety-comments", false);
+    check("r1_bad.rs", "safety-comments", true);
+}
+
+#[test]
+fn r2_lint_headers() {
+    check("r2_good.rs", "lint-headers", false);
+    check("r2_bad.rs", "lint-headers", true);
+    // Both headers are missing, so both must be reported.
+    let diags = lint_source(&ctx("r2_bad.rs"), &fixture("r2_bad.rs"));
+    assert_eq!(diags.len(), 2);
+}
+
+#[test]
+fn r3_deterministic_iteration() {
+    check("r3_good.rs", "deterministic-iteration", false);
+    check("r3_bad.rs", "deterministic-iteration", true);
+    // Both the `for … in &map` loop and the `.keys()` call are caught.
+    let diags = lint_source(&ctx("r3_bad.rs"), &fixture("r3_bad.rs"));
+    assert_eq!(diags.len(), 2);
+    // Off the emission path the same source is fine.
+    let mut off = ctx("r3_bad.rs");
+    off.emission_path = false;
+    assert!(lint_source(&off, &fixture("r3_bad.rs")).is_empty());
+}
+
+#[test]
+fn r4_hot_loop_alloc() {
+    check("r4_good.rs", "hot-loop-alloc", false);
+    check("r4_bad.rs", "hot-loop-alloc", true);
+}
+
+#[test]
+fn r5_unchecked_indexing() {
+    check("r5_good.rs", "unchecked-indexing", false);
+    check("r5_bad.rs", "unchecked-indexing", true);
+    // The same source inside crates/also is allowed.
+    let mut also = ctx("r5_bad.rs");
+    also.in_also = true;
+    assert!(lint_source(&also, &fixture("r5_bad.rs")).is_empty());
+}
+
+#[test]
+fn json_output_round_trips_fixture_diagnostics() {
+    let diags = lint_source(&ctx("r5_bad.rs"), &fixture("r5_bad.rs"));
+    let json = to_json(&diags);
+    assert!(json.contains("\"count\": 1"));
+    assert!(json.contains("\"rule\": \"unchecked-indexing\""));
+    assert!(json.contains("tests/fixtures/r5_bad.rs"));
+}

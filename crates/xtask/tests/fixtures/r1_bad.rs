@@ -1,0 +1,9 @@
+//! R1 fixture (bad): an `unsafe` block with no SAFETY comment.
+
+static mut COUNTER: u64 = 0;
+
+fn bump() {
+    unsafe {
+        COUNTER += 1;
+    }
+}

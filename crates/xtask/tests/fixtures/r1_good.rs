@@ -1,0 +1,30 @@
+//! R1 fixture (good): every `unsafe` carries a SAFETY justification.
+
+static mut COUNTER: u64 = 0;
+
+fn bump() {
+    // SAFETY: single-threaded fixture; no aliasing of COUNTER.
+    unsafe {
+        COUNTER += 1;
+    }
+}
+
+/// Adds one to the value behind `p`.
+///
+/// # Safety
+/// `p` must be valid for reads and writes and properly aligned.
+#[inline]
+pub unsafe fn bump_raw(p: *mut u64) {
+    // SAFETY: caller upholds the contract documented above.
+    unsafe {
+        *p += 1;
+    }
+}
+
+struct Token(*const u8);
+
+// SAFETY: Token is a read-only tag; the pointer is never dereferenced.
+unsafe impl Send for Token {}
+
+// SAFETY: same argument as Send — no interior mutation through the pointer.
+unsafe impl Sync for Token {}

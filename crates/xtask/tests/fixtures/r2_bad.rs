@@ -1,0 +1,5 @@
+//! R2 fixture (bad): a crate root with neither required header.
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,9 @@
+//! R2 fixture (good): a crate root carrying both required headers.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+/// A documented item, as `missing_docs` demands.
+pub fn answer() -> u32 {
+    42
+}

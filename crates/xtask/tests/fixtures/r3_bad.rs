@@ -1,0 +1,19 @@
+//! R3 fixture (bad): hash-order iteration feeding emission order.
+
+use std::collections::HashMap;
+
+struct Index {
+    by_prefix: HashMap<Vec<u32>, usize>,
+}
+
+impl Index {
+    fn emit_all(&self, out: &mut Vec<usize>) {
+        for entry in &self.by_prefix {
+            out.push(*entry.1);
+        }
+    }
+
+    fn keys_in_hash_order(&self) -> usize {
+        self.by_prefix.keys().count()
+    }
+}

@@ -1,0 +1,19 @@
+//! R3 fixture (good): hash collections on the emission path used only
+//! for order-free lookups, plus one justified allow-listed iteration.
+
+use std::collections::HashMap;
+
+struct Index {
+    by_prefix: HashMap<Vec<u32>, usize>,
+}
+
+impl Index {
+    fn lookup(&self, key: &[u32]) -> Option<usize> {
+        self.by_prefix.get(key).copied()
+    }
+
+    fn total(&self) -> usize {
+        // also-lint: allow(deterministic-iteration) — values are summed, a commutative fold
+        self.by_prefix.values().sum()
+    }
+}

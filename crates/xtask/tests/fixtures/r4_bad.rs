@@ -1,0 +1,10 @@
+//! R4 fixture (bad): a hot function that allocates per element.
+
+// also-lint: hot
+fn accumulate(occ: &[u32]) -> Vec<u32> {
+    let mut touched = Vec::new();
+    for &item in occ {
+        touched.push(item);
+    }
+    touched
+}

@@ -1,0 +1,17 @@
+//! R4 fixture (good): a hot function that only writes into
+//! preallocated storage, plus one justified allow-listed push.
+
+// also-lint: hot
+fn accumulate(counts: &mut [u64], occ: &[u32], touched: &mut Vec<u32>) {
+    for &item in occ {
+        counts[item as usize] += 1;
+        if counts[item as usize] == 1 {
+            // also-lint: allow(hot-loop-alloc) — touched preallocated to n_ranks by the caller
+            touched.push(item);
+        }
+    }
+}
+
+fn cold_setup(n: usize) -> Vec<u64> {
+    vec![0; n]
+}

@@ -1,0 +1,7 @@
+//! R5 fixture (bad): unchecked indexing outside `crates/also`.
+
+fn nth(words: &[u64], i: usize) -> u64 {
+    debug_assert!(i < words.len());
+    // SAFETY: i is checked against len by every caller.
+    unsafe { *words.get_unchecked(i) }
+}

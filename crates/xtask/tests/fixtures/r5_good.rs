@@ -1,0 +1,9 @@
+//! R5 fixture (good): bounds-checked indexing outside `crates/also`.
+
+fn first(words: &[u64]) -> u64 {
+    words.first().copied().unwrap_or(0)
+}
+
+fn nth(words: &[u64], i: usize) -> u64 {
+    words.get(i).copied().unwrap_or(0)
+}

@@ -23,6 +23,9 @@
 //! assert!(patterns.iter().any(|p| p.items == vec![1, 2] && p.support == 2));
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
 pub use also;
 pub use apriori;
 pub use eclat;
