@@ -5,7 +5,13 @@
 //! fpm-mine --dataset ds1 --scale smoke --kernel eclat --variant simd --out patterns.txt
 //! fpm-mine --dataset ds3 --scale ci --kernel fpgrowth --variant base --count-only
 //! fpm-mine --input db.dat --minsup 50 --kernel lcm --advise
+//! fpm-mine serve --stdio
+//! fpm-mine serve --addr 127.0.0.1:7878 --workers 4 --mine-threads 4
 //! ```
+//!
+//! The `serve` subcommand runs the `fpm-serve` mining service: one JSON
+//! request per input line, one JSON response per output line (see the
+//! README's `serve` quickstart for the request shape).
 //!
 //! Kernels: `lcm` (default), `eclat`, `fpgrowth`, `apriori`, `hmine`.
 //! Variants: each kernel's Figure 8 columns (`base`, `lex`, …, `all`);
@@ -240,7 +246,103 @@ fn mine_with<S: PatternSink>(
     Ok(())
 }
 
+fn serve_usage() -> ! {
+    eprintln!(
+        "usage: fpm-mine serve (--stdio | --addr HOST:PORT)
+                [--workers N] [--queue-depth N] [--cache N]
+                [--mine-threads N] [--max-bound X] [--max-conns N]
+
+  one JSON request per line in, one JSON response per line out, e.g.
+  {{\"dataset\":{{\"name\":\"ds1\",\"scale\":\"smoke\"}},\"kernel\":\"lcm\",
+    \"min_support\":30,\"deadline_ms\":5000,\"max_patterns\":1000}}
+
+  --workers       worker threads draining the job queue (default 2)
+  --queue-depth   queued jobs beyond which submissions reject (default 64)
+  --cache         result-cache entries, 0 disables (default 32)
+  --mine-threads  threads per mining run, >1 uses the par runtime (default serial)
+  --max-bound     admission ceiling on the candidate bound (default unlimited)
+  --max-conns     with --addr: exit after N connections (default: serve forever)"
+    );
+    std::process::exit(2);
+}
+
+fn run_serve(argv: &[String]) -> ExitCode {
+    let mut cfg = serve::ServeConfig::default();
+    let mut addr: Option<String> = None;
+    let mut stdio = false;
+    let mut max_conns: Option<usize> = None;
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| serve_usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--stdio" => stdio = true,
+            "--addr" => addr = Some(value(&mut i)),
+            "--workers" => cfg.workers = value(&mut i).parse().unwrap_or_else(|_| serve_usage()),
+            "--queue-depth" => {
+                cfg.queue_depth = value(&mut i).parse().unwrap_or_else(|_| serve_usage())
+            }
+            "--cache" => {
+                cfg.cache_capacity = value(&mut i).parse().unwrap_or_else(|_| serve_usage())
+            }
+            "--mine-threads" => {
+                cfg.mine_threads = value(&mut i).parse().unwrap_or_else(|_| serve_usage())
+            }
+            "--max-bound" => {
+                cfg.max_candidate_bound = value(&mut i).parse().unwrap_or_else(|_| serve_usage())
+            }
+            "--max-conns" => {
+                max_conns = Some(value(&mut i).parse().unwrap_or_else(|_| serve_usage()))
+            }
+            "--help" | "-h" => serve_usage(),
+            other => {
+                eprintln!("unknown serve argument {other}");
+                serve_usage()
+            }
+        }
+        i += 1;
+    }
+    if stdio == addr.is_some() {
+        eprintln!("serve needs exactly one of --stdio or --addr");
+        serve_usage();
+    }
+    let service = serve::MineService::start(cfg);
+    let result = if stdio {
+        serve::serve_stdio(&service)
+    } else {
+        let addr = addr.expect("checked above");
+        match std::net::TcpListener::bind(&addr) {
+            Ok(listener) => {
+                eprintln!(
+                    "serving on {}",
+                    listener.local_addr().map(|a| a.to_string()).unwrap_or(addr)
+                );
+                serve::serve_tcp(&service, listener, max_conns)
+            }
+            Err(e) => {
+                eprintln!("cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    service.shutdown();
+    eprint!("{}", service.metrics().render());
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("serve") {
+        return run_serve(&raw[1..]);
+    }
     let args = parse_args();
     let (db, minsup) = load(&args);
     eprintln!(

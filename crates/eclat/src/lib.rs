@@ -27,12 +27,13 @@
 pub mod parallel;
 pub mod tidlist;
 
-pub use parallel::{mine_parallel, mine_parallel_into};
+pub use parallel::{mine_parallel, mine_parallel_controlled_into, mine_parallel_into};
 
 use also::bits::{BitVec, OneRange};
 use also::simd::{and_into_count, Popcount};
+use fpm::control::MineControl;
 use fpm::vertical::VerticalBitDb;
-use fpm::{remap, PatternSink, TransactionDb, TranslateSink};
+use fpm::{remap, ControlledSink, PatternSink, TransactionDb, TranslateSink};
 use memsim::{NullProbe, Probe};
 
 /// Pattern selection for an Eclat run.
@@ -130,6 +131,34 @@ pub fn mine_probed<P: Probe, S: PatternSink>(
     probe: &mut P,
     sink: &mut S,
 ) -> EclatStats {
+    mine_probed_controlled(db, minsup, cfg, probe, &MineControl::unlimited(), sink)
+}
+
+/// [`mine`] under a cooperative [`MineControl`]: the equivalence-class
+/// recursion polls the control once per class member and unwinds when it
+/// trips; deliveries are charged against the control's budget. The
+/// patterns reaching `sink` are always a contiguous **prefix** of the
+/// exact sequence [`mine`] would emit; inspect `control.stop_cause()`
+/// for why a run stopped early.
+pub fn mine_controlled<S: PatternSink>(
+    db: &TransactionDb,
+    minsup: u64,
+    cfg: &EclatConfig,
+    control: &MineControl,
+    sink: &mut S,
+) -> EclatStats {
+    mine_probed_controlled(db, minsup, cfg, &mut NullProbe, control, sink)
+}
+
+/// The full-generality entry point: instrumentation probe + control.
+pub fn mine_probed_controlled<P: Probe, S: PatternSink>(
+    db: &TransactionDb,
+    minsup: u64,
+    cfg: &EclatConfig,
+    probe: &mut P,
+    control: &MineControl,
+    sink: &mut S,
+) -> EclatStats {
     let ranked = remap(db, minsup);
     let mut transactions = ranked.transactions.clone();
     if cfg.lex {
@@ -146,13 +175,16 @@ pub fn mine_probed<P: Probe, S: PatternSink>(
         }
     }
     let vdb = VerticalBitDb::from_ranked(&transactions, ranked.n_ranks());
-    let mut translate = TranslateSink::new(&ranked.map, Forward(sink));
+    let mut translate =
+        TranslateSink::new(&ranked.map, ControlledSink::new(control, Forward(sink)));
     let mut miner = Miner {
         minsup: minsup.max(1),
         cfg: *cfg,
         probe,
         sink: &mut translate,
         stats: EclatStats::default(),
+        control,
+        cut: false,
         prefix: Vec::new(),
     };
     miner.run(&vdb);
@@ -180,6 +212,11 @@ struct Miner<'a, P, S> {
     probe: &'a mut P,
     sink: &'a mut S,
     stats: EclatStats,
+    /// Cooperative stop signal, polled once per class member.
+    control: &'a MineControl,
+    /// Set when a control check cut the recursion: the emitted sequence
+    /// is a strict prefix of the full serial output.
+    cut: bool,
     prefix: Vec<u32>,
 }
 
@@ -234,6 +271,10 @@ impl<P: Probe, S: PatternSink> Miner<'_, P, S> {
     /// regions and only *read* `vdb`, which is what makes them safe
     /// parallel tasks.
     fn mine_subtree(&mut self, vdb: &VerticalBitDb, r: u32) {
+        if self.control.should_stop() {
+            self.cut = true;
+            return;
+        }
         self.prefix.push(r);
         self.sink.emit(&self.prefix, vdb.support(r));
         let mut next: Vec<Candidate> = Vec::new();
@@ -256,6 +297,10 @@ impl<P: Probe, S: PatternSink> Miner<'_, P, S> {
 
     fn recurse(&mut self, class: &[Candidate]) {
         for (i, c) in class.iter().enumerate() {
+            if self.control.should_stop() {
+                self.cut = true;
+                return;
+            }
             self.prefix.push(c.item);
             self.sink.emit(&self.prefix, c.support);
             let mut next: Vec<Candidate> = Vec::new();

@@ -29,9 +29,10 @@
 pub mod parallel;
 pub mod tree;
 
-pub use parallel::{mine_parallel, mine_parallel_into};
+pub use parallel::{mine_parallel, mine_parallel_controlled_into, mine_parallel_into};
 
-use fpm::{remap, PatternSink, TransactionDb, TranslateSink};
+use fpm::control::MineControl;
+use fpm::{remap, ControlledSink, PatternSink, TransactionDb, TranslateSink};
 use memsim::{NullProbe, Probe};
 use tree::{FpTree, TreeRepr};
 
@@ -149,6 +150,34 @@ pub fn mine_probed<P: Probe, S: PatternSink>(
     probe: &mut P,
     sink: &mut S,
 ) -> FpStats {
+    mine_probed_controlled(db, minsup, cfg, probe, &MineControl::unlimited(), sink)
+}
+
+/// [`mine`] under a cooperative [`MineControl`]: the conditional-tree
+/// recursion polls the control once per (tree, item) step and unwinds
+/// when it trips; deliveries are charged against the control's budget.
+/// The patterns reaching `sink` are always a contiguous **prefix** of
+/// the exact sequence [`mine`] would emit; inspect
+/// `control.stop_cause()` for why a run stopped early.
+pub fn mine_controlled<S: PatternSink>(
+    db: &TransactionDb,
+    minsup: u64,
+    cfg: &FpConfig,
+    control: &MineControl,
+    sink: &mut S,
+) -> FpStats {
+    mine_probed_controlled(db, minsup, cfg, &mut NullProbe, control, sink)
+}
+
+/// The full-generality entry point: instrumentation probe + control.
+pub fn mine_probed_controlled<P: Probe, S: PatternSink>(
+    db: &TransactionDb,
+    minsup: u64,
+    cfg: &FpConfig,
+    probe: &mut P,
+    control: &MineControl,
+    sink: &mut S,
+) -> FpStats {
     let ranked = remap(db, minsup);
     let mut transactions = ranked.transactions.clone();
     if cfg.lex {
@@ -170,7 +199,8 @@ pub fn mine_probed<P: Probe, S: PatternSink>(
         tree.insert(t, 1, probe);
     }
     tree.finalize();
-    let mut translate = TranslateSink::new(&ranked.map, Forward(sink));
+    let mut translate =
+        TranslateSink::new(&ranked.map, ControlledSink::new(control, Forward(sink)));
     let mut miner = Miner {
         minsup: minsup.max(1),
         cfg: *cfg,
@@ -181,6 +211,8 @@ pub fn mine_probed<P: Probe, S: PatternSink>(
             nodes_built: tree.len() as u64,
             ..FpStats::default()
         },
+        control,
+        cut: false,
         prefix: Vec::new(),
         counts: vec![0u64; n_ranks],
         stamps: vec![0u32; n_ranks],
@@ -203,6 +235,11 @@ struct Miner<'a, P, S> {
     probe: &'a mut P,
     sink: &'a mut S,
     stats: FpStats,
+    /// Cooperative stop signal, polled once per (tree, item) step.
+    control: &'a MineControl,
+    /// Set when a control check cut the recursion: the emitted sequence
+    /// is a strict prefix of the full serial output.
+    cut: bool,
     prefix: Vec<u32>,
     // epoch-stamped conditional support counters
     counts: Vec<u64>,
@@ -224,6 +261,10 @@ impl<P: Probe, S: PatternSink> Miner<'_, P, S> {
     /// of the root tree are independent — the decomposition the parallel
     /// driver deals out as tasks (see [`crate::mine_parallel`]).
     fn mine_item(&mut self, tree: &FpTree, item: u32) {
+        if self.control.should_stop() {
+            self.cut = true;
+            return;
+        }
         let sup = tree.header_sup[item as usize];
         if sup < self.minsup {
             return;

@@ -12,8 +12,11 @@
 
 use crate::tree::FpTree;
 use crate::{FpConfig, FpStats, Miner};
+use fpm::control::MineControl;
 use fpm::types::canonicalize;
-use fpm::{remap, CollectSink, ItemsetCount, PatternSink, TransactionDb, TranslateSink};
+use fpm::{
+    remap, CollectSink, ControlledSink, ItemsetCount, PatternSink, TransactionDb, TranslateSink,
+};
 use memsim::NullProbe;
 use par::ParConfig;
 
@@ -43,6 +46,25 @@ pub fn mine_parallel_into<S: PatternSink>(
     par_cfg: &ParConfig,
     sink: &mut S,
 ) {
+    mine_parallel_controlled_into(db, minsup, cfg, par_cfg, &MineControl::unlimited(), sink);
+}
+
+/// [`mine_parallel_into`] under a cooperative [`MineControl`] — the
+/// serve layer's parallel execution path. Workers poll the control
+/// before every task and inside every recursion spine; per-task buffers
+/// are then merged in task order *up to the first abandoned or truncated
+/// task* ([`fpm::replay_merged_prefix`]), so even a cancelled run's
+/// output is a contiguous prefix of the serial emission sequence.
+/// Returns `true` iff the merged output is the complete serial sequence
+/// (inspect `control.stop_cause()` for why it is not).
+pub fn mine_parallel_controlled_into<S: PatternSink>(
+    db: &TransactionDb,
+    minsup: u64,
+    cfg: &FpConfig,
+    par_cfg: &ParConfig,
+    control: &MineControl,
+    sink: &mut S,
+) -> bool {
     let ranked = remap(db, minsup);
     let mut transactions = ranked.transactions.clone();
     if cfg.lex {
@@ -68,30 +90,39 @@ pub fn mine_parallel_into<S: PatternSink>(
     let tree_ref = &tree;
     let map_ref = &ranked.map;
     let cfg = *cfg;
-    let buffers = par::run_with_state(
+    let buffers = par::run_with_state_until(
         tasks,
         par_cfg,
+        || control.should_stop(),
         |_worker| (),
         |(), item: u32| {
             let mut probe = NullProbe;
-            let mut worker_sink = TranslateSink::new(map_ref, CollectSink::default());
+            let mut worker_sink = TranslateSink::new(
+                map_ref,
+                ControlledSink::new(control, CollectSink::default()),
+            );
             let mut miner = Miner {
                 minsup,
                 cfg,
                 probe: &mut probe,
                 sink: &mut worker_sink,
                 stats: FpStats::default(),
+                control,
+                cut: false,
                 prefix: Vec::new(),
                 counts: vec![0u64; n_ranks],
                 stamps: vec![0u32; n_ranks],
                 epoch: 0,
             };
             miner.mine_item(tree_ref, item);
+            let cut = miner.cut;
             drop(miner);
-            worker_sink.into_inner().patterns
+            let controlled = worker_sink.into_inner();
+            let complete = !cut && controlled.suppressed == 0;
+            (controlled.into_inner().patterns, complete)
         },
     );
-    fpm::replay_merged(buffers, sink);
+    fpm::replay_merged_prefix(buffers, sink)
 }
 
 #[cfg(test)]

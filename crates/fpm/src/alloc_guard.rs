@@ -9,7 +9,7 @@
 //!
 //! ```
 //! let mut buf = Vec::with_capacity(16); // preallocate outside
-//! fpm::alloc_guard::assert_no_alloc(|| {
+//! fpm_core::alloc_guard::assert_no_alloc(|| {
 //!     for i in 0..16u32 {
 //!         buf.push(i); // within capacity: no allocation
 //!     }

@@ -1,0 +1,257 @@
+//! Cooperative cancellation for mining runs.
+//!
+//! A mining query in a service setting must stop in bounded time when its
+//! caller goes away, its deadline passes, or it has produced as much
+//! output as anyone asked for. The kernels are deep recursions, so the
+//! only safe way to stop them early is cooperatively: a shared
+//! [`MineControl`] is threaded into every miner, and the recursion spines
+//! (the per-child loops of LCM's `node`, Eclat's `recurse`, FP-Growth's
+//! header-table walk) call [`MineControl::should_stop`] at node
+//! granularity. Once any stop condition fires the control *trips*
+//! monotonically — every subsequent check observes the trip and unwinds —
+//! so the emitted output is always a contiguous **prefix** of the serial
+//! emission order: the cut only ever removes a tail, never a middle.
+//!
+//! Three conditions can trip a control, with a first-cause-wins record:
+//!
+//! * **cancellation** — [`MineControl::cancel`] from any thread;
+//! * **deadline** — a wall-clock [`Instant`] checked inside
+//!   `should_stop`;
+//! * **budget** — an emitted-pattern quota charged by
+//!   [`ControlledSink`](crate::sink::ControlledSink) on every delivery.
+//!
+//! The fast path of `should_stop` is one relaxed atomic load, so checking
+//! once per recursion node adds nothing measurable to a mining run.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+/// Why a controlled run stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// [`MineControl::cancel`] was called.
+    Cancelled,
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+    /// The emitted-pattern budget was exhausted.
+    BudgetExhausted,
+}
+
+const RUNNING: u8 = 0;
+const TRIP_CANCELLED: u8 = 1;
+const TRIP_DEADLINE: u8 = 2;
+const TRIP_BUDGET: u8 = 3;
+
+/// Shared, thread-safe stop signal for one mining run.
+///
+/// Cheap to check (`should_stop` is a relaxed load until something
+/// trips), cheap to share (`&MineControl` or `Arc<MineControl>` both
+/// work), and monotonic: once tripped it stays tripped, which is what
+/// guarantees the emitted-prefix property of cancelled runs.
+#[derive(Debug)]
+pub struct MineControl {
+    cancelled: AtomicBool,
+    /// First cause to fire, encoded as the `TRIP_*` constants.
+    tripped: AtomicU8,
+    deadline: Option<Instant>,
+    budget: Option<u64>,
+    emitted: AtomicU64,
+}
+
+impl Default for MineControl {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl MineControl {
+    /// A control that never stops on its own — only [`cancel`] can trip
+    /// it. This is what the plain `mine` entry points run under.
+    ///
+    /// [`cancel`]: MineControl::cancel
+    pub fn unlimited() -> Self {
+        MineControl {
+            cancelled: AtomicBool::new(false),
+            tripped: AtomicU8::new(RUNNING),
+            deadline: None,
+            budget: None,
+            emitted: AtomicU64::new(0),
+        }
+    }
+
+    /// A control with an optional wall-clock deadline (from now) and an
+    /// optional emitted-pattern budget.
+    pub fn new(deadline: Option<Duration>, budget: Option<u64>) -> Self {
+        MineControl {
+            deadline: deadline.map(|d| Instant::now() + d),
+            budget,
+            ..Self::unlimited()
+        }
+    }
+
+    /// A control that trips after `timeout` of wall-clock time.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Self::new(Some(timeout), None)
+    }
+
+    /// A control that trips after `budget` delivered patterns.
+    pub fn with_budget(budget: u64) -> Self {
+        Self::new(None, Some(budget))
+    }
+
+    /// Requests cancellation from any thread. Takes effect at the next
+    /// `should_stop` check in every miner sharing this control.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Records `cause` as the trip reason if nothing tripped before it.
+    fn trip(&self, cause: u8) {
+        let _ = self
+            .tripped
+            .compare_exchange(RUNNING, cause, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// The cooperative checkpoint: `true` once the run must unwind.
+    ///
+    /// Called by the kernels at recursion-node granularity and by the
+    /// parallel runtime before each task. The first `true` return also
+    /// records the cause ([`stop_cause`](MineControl::stop_cause)).
+    #[inline]
+    pub fn should_stop(&self) -> bool {
+        if self.tripped.load(Ordering::Relaxed) != RUNNING {
+            return true;
+        }
+        if self.cancelled.load(Ordering::Relaxed) {
+            self.trip(TRIP_CANCELLED);
+            return true;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.trip(TRIP_DEADLINE);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Charges one delivered pattern against the budget; `true` means
+    /// "deliver it". Returns `false` (suppress) once the control has
+    /// tripped for any reason, so a sink wrapped in this control emits a
+    /// clean prefix even if a deadline fires between two recursion
+    /// checkpoints. The delivery that *exactly* exhausts the budget is
+    /// still forwarded, then trips the control.
+    #[inline]
+    pub fn charge_emission(&self) -> bool {
+        if self.tripped.load(Ordering::Relaxed) != RUNNING {
+            return false;
+        }
+        let n = self.emitted.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.budget {
+            Some(b) if n > b => {
+                self.trip(TRIP_BUDGET);
+                false
+            }
+            Some(b) if n == b => {
+                self.trip(TRIP_BUDGET);
+                true
+            }
+            _ => true,
+        }
+    }
+
+    /// Patterns delivered so far under this control.
+    pub fn emitted(&self) -> u64 {
+        self.emitted.load(Ordering::Relaxed)
+    }
+
+    /// Why the run stopped, or `None` while it is still allowed to run.
+    pub fn stop_cause(&self) -> Option<StopCause> {
+        match self.tripped.load(Ordering::Relaxed) {
+            TRIP_CANCELLED => Some(StopCause::Cancelled),
+            TRIP_DEADLINE => Some(StopCause::DeadlineExceeded),
+            TRIP_BUDGET => Some(StopCause::BudgetExhausted),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_stops() {
+        let c = MineControl::unlimited();
+        for _ in 0..1000 {
+            assert!(!c.should_stop());
+            assert!(c.charge_emission());
+        }
+        assert_eq!(c.stop_cause(), None);
+        assert_eq!(c.emitted(), 1000);
+    }
+
+    #[test]
+    fn cancel_trips_and_sticks() {
+        let c = MineControl::unlimited();
+        assert!(!c.should_stop());
+        c.cancel();
+        assert!(c.should_stop());
+        assert!(c.should_stop());
+        assert_eq!(c.stop_cause(), Some(StopCause::Cancelled));
+        // Emissions after the trip are suppressed.
+        assert!(!c.charge_emission());
+    }
+
+    #[test]
+    fn expired_deadline_trips() {
+        let c = MineControl::with_deadline(Duration::from_secs(0));
+        assert!(c.should_stop());
+        assert_eq!(c.stop_cause(), Some(StopCause::DeadlineExceeded));
+    }
+
+    #[test]
+    fn future_deadline_does_not_trip() {
+        let c = MineControl::with_deadline(Duration::from_secs(3600));
+        assert!(!c.should_stop());
+        assert_eq!(c.stop_cause(), None);
+    }
+
+    #[test]
+    fn budget_delivers_exactly_n_then_trips() {
+        let c = MineControl::with_budget(3);
+        assert!(c.charge_emission());
+        assert!(c.charge_emission());
+        assert!(!c.should_stop(), "under budget: keep mining");
+        assert!(c.charge_emission(), "the exhausting delivery is forwarded");
+        assert_eq!(c.stop_cause(), Some(StopCause::BudgetExhausted));
+        assert!(c.should_stop());
+        assert!(!c.charge_emission(), "over budget: suppressed");
+    }
+
+    #[test]
+    fn first_cause_wins() {
+        let c = MineControl::with_budget(1);
+        assert!(c.charge_emission());
+        c.cancel();
+        assert!(c.should_stop());
+        assert_eq!(c.stop_cause(), Some(StopCause::BudgetExhausted));
+    }
+
+    #[test]
+    fn zero_budget_suppresses_everything() {
+        let c = MineControl::with_budget(0);
+        assert!(!c.charge_emission());
+        assert_eq!(c.stop_cause(), Some(StopCause::BudgetExhausted));
+        assert_eq!(c.emitted(), 1, "the attempt is counted, not delivered");
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let c = std::sync::Arc::new(MineControl::unlimited());
+        let c2 = c.clone();
+        let t = std::thread::spawn(move || c2.cancel());
+        t.join().unwrap();
+        assert!(c.should_stop());
+    }
+}

@@ -21,6 +21,8 @@
 #![warn(missing_docs)]
 
 pub mod alloc_guard;
+pub mod bound;
+pub mod control;
 pub mod db;
 pub mod hmine;
 pub mod horizontal;
@@ -34,7 +36,11 @@ pub mod stats;
 pub mod types;
 pub mod vertical;
 
+pub use control::{MineControl, StopCause};
 pub use db::TransactionDb;
 pub use remap::{remap, RankMap, RankedDb};
-pub use sink::{replay_merged, CollectSink, CountSink, PatternSink, RecordSink, StatsSink, TranslateSink};
+pub use sink::{
+    replay_merged, replay_merged_prefix, CollectSink, ControlledSink, CountSink, LimitSink,
+    PatternSink, RecordSink, StatsSink, TranslateSink,
+};
 pub use types::{Item, ItemsetCount, MineKind, Tid};

@@ -1,11 +1,77 @@
-//! Input characterization: bridges [`TransactionDb`] to the advisor's
+//! Input characterization and operational counters.
+//!
+//! Two halves: (a) bridges [`TransactionDb`] to the advisor's
 //! [`InputProfile`](also::advisor::InputProfile) and adds the
 //! dataset-shape statistics the evaluation section reasons with (density,
-//! mean length, scatter of the frequent items).
+//! mean length, scatter of the frequent items); (b) [`MetricSet`], the
+//! small named-counter registry the service layer exports its
+//! per-request and cache metrics through.
 
 use crate::db::TransactionDb;
 use crate::remap::remap;
 use also::advisor::InputProfile;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed registry of named monotonic counters, shareable across
+/// threads (`&MetricSet` / `Arc<MetricSet>`). The name set is declared
+/// once at construction — unknown names panic rather than silently
+/// creating counters, so a typo in an instrumentation site fails the
+/// first test that crosses it. Backed by a `BTreeMap` so snapshots and
+/// rendering are deterministically ordered.
+#[derive(Debug)]
+pub struct MetricSet {
+    counters: BTreeMap<&'static str, AtomicU64>,
+}
+
+impl MetricSet {
+    /// Creates the registry with every counter it will ever hold, all
+    /// starting at zero.
+    pub fn new(names: &[&'static str]) -> Self {
+        MetricSet {
+            counters: names.iter().map(|&n| (n, AtomicU64::new(0))).collect(),
+        }
+    }
+
+    fn counter(&self, name: &str) -> &AtomicU64 {
+        self.counters
+            .get(name)
+            .unwrap_or_else(|| panic!("metric {name:?} was not declared at MetricSet::new"))
+    }
+
+    /// Adds `v` to `name`.
+    pub fn add(&self, name: &str, v: u64) {
+        self.counter(name).fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Adds 1 to `name`.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name`.
+    pub fn get(&self, name: &str) -> u64 {
+        self.counter(name).load(Ordering::Relaxed)
+    }
+
+    /// All counters, sorted by name.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.counters
+            .iter()
+            .map(|(&n, c)| (n, c.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Renders `name value` lines, sorted by name.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (n, v) in self.snapshot() {
+            writeln!(out, "{n} {v}").expect("write to String cannot fail");
+        }
+        out
+    }
+}
 
 /// Measures the profile of a raw database at a given support threshold:
 /// the database is rank-remapped first (so "frequent items" means
@@ -51,6 +117,46 @@ mod tests {
         let p_thresh = profile(&db, 2);
         assert_eq!(p_thresh.n_items, 2); // only items 0 and 1 survive
         assert!(p_thresh.nnz < p_all.nnz);
+    }
+
+    #[test]
+    fn metric_set_counts_and_snapshots_deterministically() {
+        let m = MetricSet::new(&["b.miss", "a.hit", "evictions"]);
+        m.incr("a.hit");
+        m.add("b.miss", 3);
+        assert_eq!(m.get("a.hit"), 1);
+        assert_eq!(m.get("b.miss"), 3);
+        assert_eq!(m.get("evictions"), 0);
+        assert_eq!(
+            m.snapshot(),
+            vec![("a.hit", 1), ("b.miss", 3), ("evictions", 0)]
+        );
+        assert_eq!(m.render(), "a.hit 1\nb.miss 3\nevictions 0\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "was not declared")]
+    fn metric_set_rejects_undeclared_names() {
+        MetricSet::new(&["known"]).incr("unknown");
+    }
+
+    #[test]
+    fn metric_set_is_shareable_across_threads() {
+        let m = std::sync::Arc::new(MetricSet::new(&["n"]));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.incr("n");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.get("n"), 4000);
     }
 
     #[test]

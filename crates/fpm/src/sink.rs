@@ -7,6 +7,7 @@
 //! [`CollectSink`] behind a [`TranslateSink`] that maps rank ids back to
 //! original item ids for cross-miner comparison.
 
+use crate::control::MineControl;
 use crate::remap::RankMap;
 use crate::types::{Item, ItemsetCount};
 
@@ -135,6 +136,135 @@ pub fn replay_merged<S: PatternSink>(
     }
 }
 
+/// The cancellation-aware variant of [`replay_merged`]: merges per-task
+/// buffers from a *controlled* parallel run back into serial emission
+/// order, truncating at the first task whose output may be incomplete.
+///
+/// Each slot is `None` if the scheduler abandoned the task (never ran),
+/// or `Some((buffer, complete))` where `complete` says the task observed
+/// no stop signal — its buffer is its full serial output. Tasks run out
+/// of order under work stealing, so after a trip the completed set can
+/// be an arbitrary subset; replaying in task order and stopping at the
+/// first abandoned-or-truncated task is exactly what restores the serial
+/// **prefix** guarantee (a truncated task's own buffer is itself a prefix
+/// of that task's serial output, so it is replayed before stopping).
+///
+/// Returns `true` iff every task was present and complete — i.e. the
+/// merged output is the *entire* serial sequence.
+pub fn replay_merged_prefix<S: PatternSink>(
+    buffers: impl IntoIterator<Item = Option<(Vec<ItemsetCount>, bool)>>,
+    sink: &mut S,
+) -> bool {
+    for slot in buffers {
+        match slot {
+            Some((buffer, complete)) => {
+                for p in buffer {
+                    sink.emit(&p.items, p.support);
+                }
+                if !complete {
+                    return false;
+                }
+            }
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Forwards the first `limit` patterns, then drops the rest. The cheap,
+/// local-only way to take a prefix of a miner's output — the service
+/// layer's `max_patterns` truncation and "only need the head" tests both
+/// ride on it. For *stopping the miner* early (not just dropping the
+/// tail) combine with a budgeted [`MineControl`] via [`ControlledSink`].
+#[derive(Debug, Clone)]
+pub struct LimitSink<S> {
+    inner: S,
+    limit: u64,
+    /// Patterns forwarded to the inner sink (`<= limit`).
+    pub emitted: u64,
+    /// Patterns dropped after the limit was reached.
+    pub suppressed: u64,
+}
+
+impl<S: PatternSink> LimitSink<S> {
+    /// Wraps `inner`, forwarding only the first `limit` emissions.
+    pub fn new(limit: u64, inner: S) -> Self {
+        LimitSink {
+            inner,
+            limit,
+            emitted: 0,
+            suppressed: 0,
+        }
+    }
+
+    /// Whether the limit was reached and at least one pattern dropped.
+    pub fn truncated(&self) -> bool {
+        self.suppressed > 0
+    }
+
+    /// Unwraps the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: PatternSink> PatternSink for LimitSink<S> {
+    #[inline]
+    fn emit(&mut self, itemset: &[Item], support: u64) {
+        if self.emitted < self.limit {
+            self.emitted += 1;
+            self.inner.emit(itemset, support);
+        } else {
+            self.suppressed += 1;
+        }
+    }
+}
+
+/// Gates every delivery through a shared [`MineControl`]: each emission
+/// is charged against the control's budget, and once the control trips —
+/// budget, deadline, or cancellation — all further emissions are
+/// suppressed. Because the control trips monotonically and the kernels
+/// only ever cut recursion *tails* at their checkpoints, the patterns
+/// that reach the inner sink are always a contiguous prefix of the serial
+/// emission order.
+#[derive(Debug)]
+pub struct ControlledSink<'c, S> {
+    control: &'c MineControl,
+    inner: S,
+    /// Emissions suppressed because the control had tripped. Zero means
+    /// this sink observed the run's full output (nothing was cut *at this
+    /// sink* — the parallel drivers use that to tell complete task
+    /// buffers from truncated ones).
+    pub suppressed: u64,
+}
+
+impl<'c, S: PatternSink> ControlledSink<'c, S> {
+    /// Wraps `inner`, charging every delivery to `control`.
+    pub fn new(control: &'c MineControl, inner: S) -> Self {
+        ControlledSink {
+            control,
+            inner,
+            suppressed: 0,
+        }
+    }
+
+    /// Unwraps the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: PatternSink> PatternSink for ControlledSink<'_, S> {
+    #[inline]
+    fn emit(&mut self, itemset: &[Item], support: u64) {
+        if self.control.charge_emission() {
+            self.inner.emit(itemset, support);
+        } else {
+            self.suppressed += 1;
+        }
+    }
+}
+
 /// Records every emission as one line of portable bytes
 /// (`item,item,...:support\n`). Two runs are behaviourally identical iff
 /// their recorded bytes are identical — this is what the parallel
@@ -196,6 +326,68 @@ mod tests {
         b.emit(&[1, 2], 1);
         b.emit(&[], 1);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn limit_sink_forwards_exactly_the_prefix() {
+        let mut s = LimitSink::new(2, CollectSink::default());
+        s.emit(&[1], 3);
+        s.emit(&[1, 2], 2);
+        s.emit(&[2], 9);
+        s.emit(&[3], 1);
+        assert_eq!(s.emitted, 2);
+        assert_eq!(s.suppressed, 2);
+        assert!(s.truncated());
+        let got = s.into_inner().patterns;
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].items, vec![1]);
+        assert_eq!(got[1].items, vec![1, 2]);
+    }
+
+    #[test]
+    fn limit_sink_zero_limit_drops_all() {
+        let mut s = LimitSink::new(0, CountSink::default());
+        s.emit(&[1], 1);
+        assert_eq!(s.emitted, 0);
+        assert_eq!(s.suppressed, 1);
+        assert_eq!(s.into_inner().count, 0);
+    }
+
+    #[test]
+    fn limit_sink_under_limit_is_transparent() {
+        let mut s = LimitSink::new(10, CountSink::default());
+        s.emit(&[1], 1);
+        s.emit(&[2], 1);
+        assert!(!s.truncated());
+        assert_eq!(s.into_inner().count, 2);
+    }
+
+    #[test]
+    fn controlled_sink_enforces_budget() {
+        let control = crate::control::MineControl::with_budget(2);
+        let mut s = ControlledSink::new(&control, CollectSink::default());
+        s.emit(&[1], 1);
+        s.emit(&[2], 1);
+        s.emit(&[3], 1);
+        assert_eq!(s.suppressed, 1);
+        let got = s.into_inner().patterns;
+        assert_eq!(got.len(), 2);
+        assert_eq!(
+            control.stop_cause(),
+            Some(crate::control::StopCause::BudgetExhausted)
+        );
+    }
+
+    #[test]
+    fn controlled_sink_suppresses_after_cancel() {
+        let control = crate::control::MineControl::unlimited();
+        let mut s = ControlledSink::new(&control, CountSink::default());
+        s.emit(&[1], 1);
+        control.cancel();
+        assert!(control.should_stop());
+        s.emit(&[2], 1);
+        assert_eq!(s.suppressed, 1);
+        assert_eq!(s.into_inner().count, 1);
     }
 
     #[test]

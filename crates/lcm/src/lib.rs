@@ -24,9 +24,10 @@ pub mod projdb;
 pub mod rmdup;
 
 pub use miner::LcmStats;
-pub use parallel::mine_parallel;
+pub use parallel::{mine_parallel, mine_parallel_controlled_into};
 
-use fpm::{remap, PatternSink, TransactionDb, TranslateSink};
+use fpm::control::MineControl;
+use fpm::{remap, ControlledSink, PatternSink, TransactionDb, TranslateSink};
 use memsim::{NullProbe, Probe};
 
 /// Pattern selection for an LCM run.
@@ -135,6 +136,34 @@ pub fn mine_probed<P: Probe, S: PatternSink>(
     probe: &mut P,
     sink: &mut S,
 ) -> LcmStats {
+    mine_probed_controlled(db, minsup, cfg, probe, &MineControl::unlimited(), sink)
+}
+
+/// [`mine`] under a cooperative [`MineControl`]: the recursion polls the
+/// control once per (node, child) step and unwinds when it trips, and
+/// every delivery is charged against the control's budget. The patterns
+/// that reach `sink` are always a contiguous **prefix** of the exact
+/// sequence [`mine`] would emit; inspect `control.stop_cause()` to learn
+/// whether (and why) the run stopped early.
+pub fn mine_controlled<S: PatternSink>(
+    db: &TransactionDb,
+    minsup: u64,
+    cfg: &LcmConfig,
+    control: &MineControl,
+    sink: &mut S,
+) -> LcmStats {
+    mine_probed_controlled(db, minsup, cfg, &mut NullProbe, control, sink)
+}
+
+/// The full-generality entry point: instrumentation probe + control.
+pub fn mine_probed_controlled<P: Probe, S: PatternSink>(
+    db: &TransactionDb,
+    minsup: u64,
+    cfg: &LcmConfig,
+    probe: &mut P,
+    control: &MineControl,
+    sink: &mut S,
+) -> LcmStats {
     let ranked = remap(db, minsup);
     let mut transactions = ranked.transactions.clone();
     if cfg.lex {
@@ -150,8 +179,9 @@ pub fn mine_probed<P: Probe, S: PatternSink>(
             probe.instr(10 * t.len() as u64);
         }
     }
-    let mut translate = TranslateSink::new(&ranked.map, Forward(sink));
-    let mut miner = miner::Miner::new(*cfg, minsup, ranked.n_ranks(), probe, &mut translate);
+    let mut translate =
+        TranslateSink::new(&ranked.map, ControlledSink::new(control, Forward(sink)));
+    let mut miner = miner::Miner::new(*cfg, minsup, ranked.n_ranks(), probe, control, &mut translate);
     miner.run(&transactions);
     miner.stats
 }

@@ -20,6 +20,7 @@
 use crate::projdb::{OccEntry, ProjDb, TransHead};
 use crate::rmdup::{rm_dup_trans, BucketImpl};
 use crate::LcmConfig;
+use fpm::control::MineControl;
 use fpm::PatternSink;
 use memsim::Probe;
 
@@ -158,6 +159,11 @@ pub(crate) struct Miner<'a, P, S> {
     pub probe: &'a mut P,
     pub sink: &'a mut S,
     pub stats: LcmStats,
+    /// Cooperative stop signal, polled once per (node, child) step.
+    pub control: &'a MineControl,
+    /// Set when a [`MineControl`] check cut this recursion: the emitted
+    /// sequence is a strict prefix of the full serial output.
+    pub cut: bool,
     prefix: Vec<u32>,
     counters: Counters,
     /// Frequent-child marks for projection (epoch-stamped).
@@ -175,6 +181,7 @@ impl<'a, P: Probe, S: PatternSink> Miner<'a, P, S> {
         minsup: u64,
         n_ranks: usize,
         probe: &'a mut P,
+        control: &'a MineControl,
         sink: &'a mut S,
     ) -> Self {
         Miner {
@@ -184,6 +191,8 @@ impl<'a, P: Probe, S: PatternSink> Miner<'a, P, S> {
             probe,
             sink,
             stats: LcmStats::default(),
+            control,
+            cut: false,
             prefix: Vec::new(),
             counters: Counters::new(n_ranks, cfg.compact_counters),
             fmark: vec![0; n_ranks],
@@ -242,6 +251,13 @@ impl<'a, P: Probe, S: PatternSink> Miner<'a, P, S> {
             _ => None,
         };
         for (ci, &(j, sup)) in children.iter().enumerate() {
+            // Cancellation checkpoint (deadline / cancel / budget): the
+            // trip is monotonic, so every frame up the stack returns too
+            // and only a *tail* of the DFS emission order is cut.
+            if self.control.should_stop() {
+                self.cut = true;
+                return;
+            }
             self.prefix.push(j);
             self.sink.emit(&self.prefix, sup);
             self.stats.emitted += 1;
@@ -483,7 +499,8 @@ mod tests {
         ] {
             let mut probe = NullProbe;
             let mut sink = CountSink::default();
-            let mut miner = Miner::new(cfg, 1, 6, &mut probe, &mut sink);
+            let control = MineControl::unlimited();
+            let mut miner = Miner::new(cfg, 1, 6, &mut probe, &control, &mut sink);
             let mut root = ProjDb::from_ranked(&transactions);
             root.build_occ(6, miner.probe);
             // Columns must be non-trivial or the test proves nothing.

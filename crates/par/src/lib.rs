@@ -77,6 +77,12 @@ impl ParConfig {
     }
 
     /// The worker count actually used for `n_tasks` tasks.
+    ///
+    /// Total for every input: clamped to the task count from above and to
+    /// `1` from below, so `n_tasks == 0` (and any `n_threads`) yields `1`
+    /// — callers sizing a pool before they know whether work exists (the
+    /// serve layer does) can call this unconditionally and never receive
+    /// a zero-width pool. Locked in by `effective_threads_with_no_tasks`.
     pub fn effective_threads(&self, n_tasks: usize) -> usize {
         let requested = if self.n_threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -169,6 +175,42 @@ where
     I: Fn(usize) -> S + Sync,
     F: Fn(&mut S, T) -> R + Sync,
 {
+    run_with_state_until(tasks, par, || false, init, f)
+        .into_iter()
+        .map(|r| r.expect("scheduler completed with an unexecuted task"))
+        .collect()
+}
+
+/// [`run_with_state`] with a cooperative stop predicate — the
+/// cancellation hook of the serve layer.
+///
+/// Every worker polls `stop()` before executing each task and before
+/// scanning victims to steal; once it returns `true`, workers finish the
+/// task they are on, abandon everything still queued, and join. The
+/// result vector therefore has `Some` in the slot of every task that ran
+/// and `None` for the abandoned ones. `stop` must be monotonic (once
+/// `true`, stays `true`) — `fpm`'s `MineControl::should_stop` is, and it
+/// is the intended predicate: pass `|| control.should_stop()`.
+///
+/// Which tasks are abandoned depends on steal timing and is *not*
+/// deterministic; callers that need a deterministic output (the kernels'
+/// controlled parallel drivers) must handle that at merge time — e.g.
+/// replay completed task buffers in rank order only up to the first
+/// incomplete task.
+pub fn run_with_state_until<T, S, R, C, I, F>(
+    tasks: Vec<T>,
+    par: &ParConfig,
+    stop: C,
+    init: I,
+    f: F,
+) -> Vec<Option<R>>
+where
+    T: Send,
+    R: Send,
+    C: Fn() -> bool + Sync,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
     let n_tasks = tasks.len();
     if n_tasks == 0 {
         return Vec::new();
@@ -189,11 +231,18 @@ where
     if n_workers == 1 {
         // Serial fast path: same code path shape, no thread spawn.
         let mut state = init(0);
-        while let Some((idx, task)) = lock(&deques[0]).pop_front() {
-            slots[idx] = Some(f(&mut state, task));
+        loop {
+            if stop() {
+                break;
+            }
+            match lock(&deques[0]).pop_front() {
+                Some((idx, task)) => slots[idx] = Some(f(&mut state, task)),
+                None => break,
+            }
         }
     } else {
         let deques = &deques;
+        let stop = &stop;
         let init = &init;
         let f = &f;
         let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
@@ -207,6 +256,12 @@ where
                         let mut stolen: VecDeque<(usize, T)> =
                             VecDeque::with_capacity(steal_max);
                         loop {
+                            // Cooperative cancellation: abandon whatever
+                            // is still queued. Other workers observe the
+                            // same (monotonic) predicate and do likewise.
+                            if stop() {
+                                return out;
+                            }
                             // Own deque first, front to back.
                             let own = lock(&deques[w]).pop_front();
                             if let Some((idx, task)) = own {
@@ -250,9 +305,6 @@ where
     }
 
     slots
-        .into_iter()
-        .map(|r| r.expect("scheduler completed with an unexecuted task"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -396,5 +448,80 @@ mod tests {
         assert_eq!(cfg.effective_threads(0), 1);
         // Explicit counts clamp to the task count.
         assert_eq!(ParConfig::with_threads(100).effective_threads(3), 3);
+    }
+
+    #[test]
+    fn effective_threads_with_no_tasks() {
+        // The serve worker pool sizes itself before knowing whether any
+        // work exists; n_tasks == 0 must be total and never return 0,
+        // whatever the configured thread count.
+        for n_threads in [0usize, 1, 2, 7, 100] {
+            assert_eq!(
+                ParConfig::with_threads(n_threads).effective_threads(0),
+                1,
+                "n_threads={n_threads}"
+            );
+        }
+        // And the scheduler accepts the degenerate call outright.
+        let out = run_tasks(Vec::<u8>::new(), &ParConfig::default(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stop_predicate_abandons_remaining_tasks() {
+        use std::sync::atomic::AtomicBool;
+        for threads in [1usize, 4] {
+            let hit = AtomicBool::new(false);
+            let out = run_with_state_until(
+                (0..128u32).collect::<Vec<u32>>(),
+                &ParConfig::with_threads(threads),
+                || hit.load(Ordering::Relaxed),
+                |_w| (),
+                |(), x| {
+                    // Small per-task pause so the trip lands while other
+                    // workers still have queued work to abandon.
+                    std::thread::sleep(std::time::Duration::from_micros(500));
+                    if x == 5 {
+                        hit.store(true, Ordering::Relaxed);
+                    }
+                    x
+                },
+            );
+            assert_eq!(out.len(), 128);
+            let ran = out.iter().flatten().count();
+            assert!(ran < 128, "threads={threads}: stop must abandon work");
+            // Task 5 itself always completes (stop is polled *between*
+            // tasks, never mid-task).
+            assert_eq!(out[5], Some(5), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn never_stopping_predicate_runs_everything() {
+        let out = run_with_state_until(
+            (0..64u32).collect::<Vec<u32>>(),
+            &ParConfig::with_threads(3),
+            || false,
+            |_w| (),
+            |(), x| x * 2,
+        );
+        assert_eq!(
+            out,
+            (0..64u32).map(|x| Some(x * 2)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn pre_tripped_stop_runs_nothing() {
+        for threads in [1usize, 4] {
+            let out = run_with_state_until(
+                (0..32u32).collect::<Vec<u32>>(),
+                &ParConfig::with_threads(threads),
+                || true,
+                |_w| (),
+                |(), x| x,
+            );
+            assert!(out.iter().all(|r| r.is_none()), "threads={threads}");
+        }
     }
 }

@@ -1,0 +1,166 @@
+//! Result cache: repeated queries skip mining entirely.
+//!
+//! Keyed by `(dataset fingerprint, kernel, min_support)` — the three
+//! inputs that determine a miner's output exactly. Only *complete,
+//! untruncated* runs are inserted, so a hit can serve any request
+//! (budget-limited callers get a prefix of the cached list, which is by
+//! construction the same prefix a fresh truncated run would emit).
+//!
+//! Eviction is least-recently-used via a monotonic stamp; the map is a
+//! `BTreeMap` so iteration during eviction is deterministic (the R3
+//! `deterministic-iteration` rule of the emission path).
+
+use fpm::{ItemsetCount, TransactionDb};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// `(dataset fingerprint, kernel code, min_support)`.
+pub type CacheKey = (u64, u8, u64);
+
+/// FNV-1a over the full transaction content — shape and items — so two
+/// datasets collide only with 64-bit-hash probability. Deterministic
+/// across runs and platforms.
+pub fn fingerprint(db: &TransactionDb) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(db.len() as u64);
+    for t in db.transactions() {
+        eat(t.len() as u64);
+        for &item in t {
+            eat(item as u64);
+        }
+    }
+    h
+}
+
+struct Entry {
+    patterns: Arc<Vec<ItemsetCount>>,
+    stamp: u64,
+}
+
+/// A bounded LRU map from [`CacheKey`] to a complete pattern list.
+/// Not internally synchronized — the service wraps it in a `Mutex`.
+pub struct ResultCache {
+    capacity: usize,
+    clock: u64,
+    map: BTreeMap<CacheKey, Entry>,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` results (`0` disables
+    /// caching entirely).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            clock: 0,
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<Vec<ItemsetCount>>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|e| {
+            e.stamp = clock;
+            Arc::clone(&e.patterns)
+        })
+    }
+
+    /// Inserts a complete result, evicting the least-recently-used
+    /// entry if the cache is full. Returns the number of evictions
+    /// (0 or 1).
+    pub fn insert(&mut self, key: CacheKey, patterns: Arc<Vec<ItemsetCount>>) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        self.clock += 1;
+        let mut evicted = 0;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&oldest);
+                evicted = 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                patterns,
+                stamp: self.clock,
+            },
+        );
+        evicted
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pats(n: u64) -> Arc<Vec<ItemsetCount>> {
+        Arc::new(vec![ItemsetCount {
+            items: vec![n as u32],
+            support: n,
+        }])
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_contents() {
+        let a = TransactionDb::from_transactions(vec![vec![1, 2], vec![3]]);
+        let b = TransactionDb::from_transactions(vec![vec![1], vec![2, 3]]);
+        let c = TransactionDb::from_transactions(vec![vec![1, 2], vec![3]]);
+        assert_ne!(fingerprint(&a), fingerprint(&b), "same items, split differently");
+        assert_eq!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        assert_eq!(c.insert((1, 0, 1), pats(1)), 0);
+        assert_eq!(c.insert((2, 0, 1), pats(2)), 0);
+        assert!(c.get(&(1, 0, 1)).is_some()); // refresh key 1
+        assert_eq!(c.insert((3, 0, 1), pats(3)), 1); // evicts key 2
+        assert!(c.get(&(2, 0, 1)).is_none());
+        assert!(c.get(&(1, 0, 1)).is_some());
+        assert!(c.get(&(3, 0, 1)).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_does_not_evict() {
+        let mut c = ResultCache::new(1);
+        assert_eq!(c.insert((1, 0, 1), pats(1)), 0);
+        assert_eq!(c.insert((1, 0, 1), pats(9)), 0, "same key: overwrite in place");
+        assert_eq!(c.get(&(1, 0, 1)).unwrap()[0].support, 9);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        assert_eq!(c.insert((1, 0, 1), pats(1)), 0);
+        assert!(c.get(&(1, 0, 1)).is_none());
+        assert!(c.is_empty());
+    }
+}

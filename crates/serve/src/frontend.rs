@@ -1,0 +1,140 @@
+//! Wire frontends: the line-delimited JSON protocol over any
+//! reader/writer pair, a TCP acceptor, and a stdin/stdout binding.
+//!
+//! One request per line, one response line per request, in order. A
+//! malformed line gets a `rejected` response (with the parse error as
+//! the reason) and the connection stays up — one bad client line must
+//! not take down a batch.
+
+use crate::request::{parse_request, render_response, MineResponse, MineStats};
+use crate::service::MineService;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// Drives the line protocol over `input`/`output` until EOF. Each line
+/// is parsed, submitted, and awaited; responses are written in request
+/// order, flushed per line (a client pipelining a batch sees answers as
+/// they land).
+pub fn serve_lines<R: BufRead, W: Write>(
+    service: &MineService,
+    input: R,
+    mut output: W,
+) -> io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse_request(&line) {
+            Ok(request) => service.mine(request),
+            Err(e) => MineResponse::rejected(format!("parse error: {e}"), MineStats::default()),
+        };
+        output.write_all(render_response(&response).as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+    }
+    Ok(())
+}
+
+/// Serves one TCP connection with the line protocol.
+pub fn serve_connection(service: &MineService, stream: TcpStream) -> io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    serve_lines(service, reader, stream)
+}
+
+/// Accept loop: one thread per connection, all sharing `service` (and
+/// therefore its queue, cache, and metrics). `max_conns` bounds how
+/// many connections are accepted before returning — `None` serves
+/// forever; tests and the CI batch job pass `Some(1)`.
+pub fn serve_tcp(
+    service: &MineService,
+    listener: TcpListener,
+    max_conns: Option<usize>,
+) -> io::Result<()> {
+    std::thread::scope(|scope| {
+        for (accepted, stream) in listener.incoming().enumerate() {
+            let stream = stream?;
+            let service = service.clone();
+            scope.spawn(move || {
+                // Per-connection I/O errors (client hangup) end that
+                // connection only.
+                let _ = serve_connection(&service, stream);
+            });
+            if max_conns.is_some_and(|m| accepted + 1 >= m) {
+                break;
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Binds the line protocol to stdin/stdout: the `fpm-mine serve --stdio`
+/// mode, and the simplest way to script a query batch.
+pub fn serve_stdio(service: &MineService) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    serve_lines(service, stdin.lock(), stdout.lock())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeConfig;
+
+    fn toy_line(kernel: &str, extra: &str) -> String {
+        format!(
+            r#"{{"dataset":{{"inline":[[0,2,5],[1,2,5],[0,2,5],[3,4],[0,1,2,3,4,5]]}},"kernel":"{kernel}","min_support":2{extra}}}"#
+        )
+    }
+
+    #[test]
+    fn line_protocol_roundtrip() {
+        let svc = MineService::start(ServeConfig::default());
+        let input = format!(
+            "{}\n\n{}\nnot json at all\n",
+            toy_line("lcm", ""),
+            toy_line("eclat", r#","include_patterns":false"#)
+        );
+        let mut out = Vec::new();
+        serve_lines(&svc, input.as_bytes(), &mut out).unwrap();
+        let lines: Vec<String> = out.lines().map(|l| l.unwrap()).collect();
+        assert_eq!(lines.len(), 3, "blank line skipped, bad line answered");
+        let first = crate::json::parse(&lines[0]).unwrap();
+        assert_eq!(first.get("outcome").unwrap().as_str(), Some("complete"));
+        assert!(first.get("patterns").is_some());
+        let second = crate::json::parse(&lines[1]).unwrap();
+        assert!(second.get("patterns").is_none(), "count-only");
+        let third = crate::json::parse(&lines[2]).unwrap();
+        assert_eq!(third.get("outcome").unwrap().as_str(), Some("rejected"));
+        assert!(third
+            .get("reason")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .starts_with("parse error"));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn tcp_frontend_answers_a_batch() {
+        let svc = MineService::start(ServeConfig::default());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let svc2 = svc.clone();
+        let server = std::thread::spawn(move || serve_tcp(&svc2, listener, Some(1)));
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let batch = format!("{}\n{}\n", toy_line("lcm", ""), toy_line("fpgrowth", ""));
+        stream.write_all(batch.as_bytes()).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let reader = std::io::BufReader::new(stream);
+        let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let v = crate::json::parse(line).unwrap();
+            assert_eq!(v.get("outcome").unwrap().as_str(), Some("complete"));
+        }
+        server.join().unwrap().unwrap();
+        svc.shutdown();
+    }
+}

@@ -1,0 +1,58 @@
+//! # `fpm-serve` — the mining service layer
+//!
+//! Batch miners answer one query and exit; a *service* answers a stream
+//! of queries from callers with latency expectations. This crate turns
+//! the workspace's kernels into such a service (DESIGN.md §10):
+//!
+//! * a bounded **worker pool** ([`MineService`]) draining a FIFO job
+//!   queue, each job a [`MineRequest`] naming a dataset, kernel, and
+//!   support threshold;
+//! * **deadlines, budgets, and cancellation** via the cooperative
+//!   [`fpm::MineControl`] threaded through every kernel's recursion
+//!   spine — a stopped run's output is always a contiguous *prefix* of
+//!   the serial emission order, never a scramble;
+//! * an LRU **result cache** keyed by `(dataset fingerprint, kernel,
+//!   min_support)` so repeated queries skip mining entirely;
+//! * **admission control** from the Geerts-style candidate bound
+//!   ([`fpm::bound`]): requests whose search space provably exceeds a
+//!   ceiling are rejected before any work is spent;
+//! * two frontends over one request model: the in-process handle
+//!   ([`MineService::mine`] / [`MineService::submit`]) and a
+//!   line-delimited JSON protocol over TCP or stdio
+//!   ([`frontend::serve_tcp`], [`frontend::serve_stdio`]);
+//! * per-request **metrics** through [`fpm::metrics::MetricSet`]
+//!   ([`MineService::metrics`]).
+//!
+//! Every response carries an [`Outcome`]: `Complete`, `Cancelled`,
+//! `DeadlineExceeded`, or `Rejected`.
+//!
+//! ```
+//! use fpm_serve::{DatasetSpec, Kernel, MineRequest, MineService, Outcome, ServeConfig};
+//!
+//! let svc = MineService::start(ServeConfig::default());
+//! let resp = svc.mine(MineRequest::new(
+//!     DatasetSpec::Inline(vec![vec![1, 2, 3], vec![1, 2], vec![2, 3]]),
+//!     Kernel::Lcm,
+//!     2,
+//! ));
+//! assert_eq!(resp.outcome, Outcome::Complete);
+//! assert!(resp.count > 0);
+//! svc.shutdown();
+//! ```
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod frontend;
+pub mod json;
+pub mod request;
+pub mod service;
+
+pub use cache::{fingerprint, ResultCache};
+pub use frontend::{serve_connection, serve_lines, serve_stdio, serve_tcp};
+pub use request::{
+    parse_request, render_response, DatasetSpec, Kernel, MineRequest, MineResponse, MineStats,
+    Outcome,
+};
+pub use service::{MineService, ServeConfig, Ticket, METRIC_NAMES};

@@ -1,0 +1,432 @@
+//! Request/response model of the mining service and its JSON codec.
+//!
+//! One request names a dataset, a kernel, and a support threshold, plus
+//! the service-level limits (deadline, pattern budget); one response
+//! reports an [`Outcome`], the patterns (or just their count), and the
+//! per-request statistics. The same structs travel over both frontends:
+//! in-process callers hold them directly, the line protocol maps them
+//! through [`parse_request`] / [`render_response`].
+
+use crate::json::{self, num, Json};
+use fpm::{ItemsetCount, TransactionDb};
+use quest::{Dataset, Scale};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which miner executes the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// `fpm-lcm` (array-based horizontal).
+    Lcm,
+    /// `fpm-eclat` (vertical bit matrix).
+    Eclat,
+    /// `fpm-fpgrowth` (prefix tree).
+    FpGrowth,
+}
+
+impl Kernel {
+    /// Parses `lcm` / `eclat` / `fpgrowth`.
+    pub fn by_label(label: &str) -> Option<Kernel> {
+        match label.to_ascii_lowercase().as_str() {
+            "lcm" => Some(Kernel::Lcm),
+            "eclat" => Some(Kernel::Eclat),
+            "fpgrowth" => Some(Kernel::FpGrowth),
+            _ => None,
+        }
+    }
+
+    /// The wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Kernel::Lcm => "lcm",
+            Kernel::Eclat => "eclat",
+            Kernel::FpGrowth => "fpgrowth",
+        }
+    }
+
+    /// A stable one-byte code for cache keys.
+    pub fn code(&self) -> u8 {
+        match self {
+            Kernel::Lcm => 0,
+            Kernel::Eclat => 1,
+            Kernel::FpGrowth => 2,
+        }
+    }
+
+    /// All kernels the service dispatches to.
+    pub const ALL: [Kernel; 3] = [Kernel::Lcm, Kernel::Eclat, Kernel::FpGrowth];
+}
+
+/// Where the transactions come from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetSpec {
+    /// Transactions shipped inline with the request.
+    Inline(Vec<Vec<u32>>),
+    /// One of the paper's evaluation datasets, generated on demand and
+    /// cached inside the service (deterministic generators).
+    Named {
+        /// Which Table 6 dataset.
+        dataset: Dataset,
+        /// Reproduction scale.
+        scale: Scale,
+    },
+    /// A FIMI `.dat` file on the server's filesystem.
+    Path(String),
+}
+
+impl DatasetSpec {
+    /// Loads/generates the transactions. `Err` carries a caller-visible
+    /// reason (the request is rejected, the server keeps running).
+    pub fn resolve(&self) -> Result<TransactionDb, String> {
+        match self {
+            DatasetSpec::Inline(rows) => Ok(TransactionDb::from_transactions(rows.clone())),
+            DatasetSpec::Named { dataset, scale } => Ok(dataset.generate(*scale)),
+            DatasetSpec::Path(path) => {
+                fpm::io::read_dat_file(path).map_err(|e| format!("cannot read {path:?}: {e}"))
+            }
+        }
+    }
+}
+
+/// One mining query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MineRequest {
+    /// The input transactions.
+    pub dataset: DatasetSpec,
+    /// The kernel to run.
+    pub kernel: Kernel,
+    /// Minimum support (absolute count).
+    pub min_support: u64,
+    /// Wall-clock limit, armed at *submit* time — queue wait counts
+    /// against it, as a caller experiences latency.
+    pub deadline: Option<Duration>,
+    /// Emitted-pattern budget; the response is truncated to a prefix of
+    /// the serial emission order once it is reached.
+    pub max_patterns: Option<u64>,
+    /// `false` returns only the count (and statistics), not the
+    /// patterns themselves.
+    pub include_patterns: bool,
+}
+
+impl MineRequest {
+    /// A request with no limits, returning the full pattern list.
+    pub fn new(dataset: DatasetSpec, kernel: Kernel, min_support: u64) -> Self {
+        MineRequest {
+            dataset,
+            kernel,
+            min_support,
+            deadline: None,
+            max_patterns: None,
+            include_patterns: true,
+        }
+    }
+}
+
+/// How a request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The full answer (possibly budget-truncated — see
+    /// [`MineStats::truncated`]) was produced.
+    Complete,
+    /// The caller cancelled mid-run; patterns are a prefix of the
+    /// serial emission order.
+    Cancelled,
+    /// The deadline passed before mining finished; patterns are a
+    /// prefix of the serial emission order.
+    DeadlineExceeded,
+    /// The service refused to mine (queue full, admission bound, bad
+    /// dataset); see [`MineResponse::reason`].
+    Rejected,
+}
+
+impl Outcome {
+    /// The wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Complete => "complete",
+            Outcome::Cancelled => "cancelled",
+            Outcome::DeadlineExceeded => "deadline_exceeded",
+            Outcome::Rejected => "rejected",
+        }
+    }
+
+    /// Parses a wire label.
+    pub fn by_label(label: &str) -> Option<Outcome> {
+        match label {
+            "complete" => Some(Outcome::Complete),
+            "cancelled" => Some(Outcome::Cancelled),
+            "deadline_exceeded" => Some(Outcome::DeadlineExceeded),
+            "rejected" => Some(Outcome::Rejected),
+            _ => None,
+        }
+    }
+}
+
+/// Per-request observability, echoed in every response.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MineStats {
+    /// Patterns delivered (equals `patterns.len()` when included).
+    pub emitted: u64,
+    /// `true` when the pattern budget cut the output short (the outcome
+    /// stays [`Outcome::Complete`]: the prefix *is* the answer asked
+    /// for).
+    pub truncated: bool,
+    /// `true` when the result came from the cache without mining.
+    pub cache_hit: bool,
+    /// Milliseconds spent queued before a worker picked the job up.
+    pub queue_ms: u64,
+    /// Milliseconds spent resolving the dataset + mining.
+    pub mine_ms: u64,
+    /// The admission-control candidate bound computed for this request
+    /// (0 when it was not computed — cache hits and early rejects).
+    pub candidate_bound: f64,
+}
+
+/// The answer to one [`MineRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MineResponse {
+    /// How the request ended.
+    pub outcome: Outcome,
+    /// Frequent itemsets in the kernel's serial emission order —
+    /// `None` when the request asked for counts only, or on rejection.
+    pub patterns: Option<Arc<Vec<ItemsetCount>>>,
+    /// Number of patterns delivered.
+    pub count: u64,
+    /// Human-readable cause, set for [`Outcome::Rejected`].
+    pub reason: Option<String>,
+    /// Per-request statistics.
+    pub stats: MineStats,
+}
+
+impl MineResponse {
+    /// A rejection with `reason` and otherwise-empty fields.
+    pub fn rejected(reason: impl Into<String>, stats: MineStats) -> Self {
+        MineResponse {
+            outcome: Outcome::Rejected,
+            patterns: None,
+            count: 0,
+            reason: Some(reason.into()),
+            stats,
+        }
+    }
+}
+
+/// Parses one request line of the wire protocol. The shape is
+///
+/// ```json
+/// {"dataset": {"inline": [[1,2,3],[1,2]]},
+///  "kernel": "lcm", "min_support": 2,
+///  "deadline_ms": 250, "max_patterns": 1000, "include_patterns": true}
+/// ```
+///
+/// with `{"name": "ds1", "scale": "smoke"}` or `{"path": "db.dat"}` as
+/// the other dataset forms. `deadline_ms`, `max_patterns`, and
+/// `include_patterns` are optional.
+pub fn parse_request(line: &str) -> Result<MineRequest, String> {
+    let v = json::parse(line)?;
+    let dataset = v.get("dataset").ok_or("missing \"dataset\"")?;
+    let dataset = if let Some(rows) = dataset.get("inline") {
+        let rows = rows.as_arr().ok_or("\"inline\" must be an array")?;
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            let row = row.as_arr().ok_or("\"inline\" rows must be arrays")?;
+            let mut t = Vec::with_capacity(row.len());
+            for item in row {
+                let item = item.as_u64().ok_or("items must be non-negative integers")?;
+                t.push(u32::try_from(item).map_err(|_| format!("item {item} exceeds u32"))?);
+            }
+            out.push(t);
+        }
+        DatasetSpec::Inline(out)
+    } else if let Some(name) = dataset.get("name") {
+        let name = name.as_str().ok_or("\"name\" must be a string")?;
+        let ds = Dataset::by_label(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
+        let scale = match dataset.get("scale") {
+            None => Scale::Smoke,
+            Some(s) => {
+                let s = s.as_str().ok_or("\"scale\" must be a string")?;
+                Scale::by_label(s).ok_or_else(|| format!("unknown scale {s:?}"))?
+            }
+        };
+        DatasetSpec::Named { dataset: ds, scale }
+    } else if let Some(path) = dataset.get("path") {
+        DatasetSpec::Path(path.as_str().ok_or("\"path\" must be a string")?.to_string())
+    } else {
+        return Err("\"dataset\" needs one of \"inline\", \"name\", \"path\"".into());
+    };
+
+    let kernel = v
+        .get("kernel")
+        .and_then(Json::as_str)
+        .ok_or("missing \"kernel\"")?;
+    let kernel = Kernel::by_label(kernel).ok_or_else(|| format!("unknown kernel {kernel:?}"))?;
+    let min_support = v
+        .get("min_support")
+        .and_then(Json::as_u64)
+        .ok_or("missing or invalid \"min_support\"")?;
+    let deadline = match v.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(d) => Some(Duration::from_millis(
+            d.as_u64().ok_or("\"deadline_ms\" must be a non-negative integer")?,
+        )),
+    };
+    let max_patterns = match v.get("max_patterns") {
+        None | Some(Json::Null) => None,
+        Some(m) => Some(m.as_u64().ok_or("\"max_patterns\" must be a non-negative integer")?),
+    };
+    let include_patterns = match v.get("include_patterns") {
+        None => true,
+        Some(b) => b.as_bool().ok_or("\"include_patterns\" must be a boolean")?,
+    };
+    Ok(MineRequest {
+        dataset,
+        kernel,
+        min_support,
+        deadline,
+        max_patterns,
+        include_patterns,
+    })
+}
+
+/// Renders one response line of the wire protocol (no trailing newline).
+pub fn render_response(resp: &MineResponse) -> String {
+    let mut members = vec![
+        ("outcome".to_string(), Json::Str(resp.outcome.label().into())),
+        ("count".to_string(), num(resp.count)),
+    ];
+    if let Some(reason) = &resp.reason {
+        members.push(("reason".to_string(), Json::Str(reason.clone())));
+    }
+    if let Some(patterns) = &resp.patterns {
+        let arr = patterns
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    (
+                        "items".to_string(),
+                        Json::Arr(p.items.iter().map(|&i| num(i as u64)).collect()),
+                    ),
+                    ("support".to_string(), num(p.support)),
+                ])
+            })
+            .collect();
+        members.push(("patterns".to_string(), Json::Arr(arr)));
+    }
+    let s = &resp.stats;
+    members.push((
+        "stats".to_string(),
+        Json::Obj(vec![
+            ("emitted".to_string(), num(s.emitted)),
+            ("truncated".to_string(), Json::Bool(s.truncated)),
+            ("cache_hit".to_string(), Json::Bool(s.cache_hit)),
+            ("queue_ms".to_string(), num(s.queue_ms)),
+            ("mine_ms".to_string(), num(s.mine_ms)),
+            ("candidate_bound".to_string(), Json::Num(s.candidate_bound)),
+        ]),
+    ));
+    Json::Obj(members).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_inline_request() {
+        let r = parse_request(
+            r#"{"dataset":{"inline":[[1,2,3],[1,2]]},"kernel":"lcm","min_support":2,
+               "deadline_ms":250,"max_patterns":10,"include_patterns":false}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r.dataset,
+            DatasetSpec::Inline(vec![vec![1, 2, 3], vec![1, 2]])
+        );
+        assert_eq!(r.kernel, Kernel::Lcm);
+        assert_eq!(r.min_support, 2);
+        assert_eq!(r.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(r.max_patterns, Some(10));
+        assert!(!r.include_patterns);
+    }
+
+    #[test]
+    fn parses_named_and_path_datasets() {
+        let r = parse_request(
+            r#"{"dataset":{"name":"ds2","scale":"ci"},"kernel":"eclat","min_support":5}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r.dataset,
+            DatasetSpec::Named {
+                dataset: Dataset::Ds2,
+                scale: Scale::Ci
+            }
+        );
+        assert_eq!(r.deadline, None);
+        assert!(r.include_patterns);
+
+        let r = parse_request(
+            r#"{"dataset":{"path":"x.dat"},"kernel":"fpgrowth","min_support":1}"#,
+        )
+        .unwrap();
+        assert_eq!(r.dataset, DatasetSpec::Path("x.dat".into()));
+        assert_eq!(r.kernel, Kernel::FpGrowth);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "not json",
+            r#"{"kernel":"lcm","min_support":1}"#,
+            r#"{"dataset":{"inline":[[1]]},"min_support":1}"#,
+            r#"{"dataset":{"inline":[[1]]},"kernel":"nope","min_support":1}"#,
+            r#"{"dataset":{"inline":[[1]]},"kernel":"lcm"}"#,
+            r#"{"dataset":{"name":"ds9"},"kernel":"lcm","min_support":1}"#,
+            r#"{"dataset":{"inline":[[-1]]},"kernel":"lcm","min_support":1}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn renders_response_with_patterns() {
+        let resp = MineResponse {
+            outcome: Outcome::Complete,
+            patterns: Some(Arc::new(vec![ItemsetCount {
+                items: vec![1, 2],
+                support: 3,
+            }])),
+            count: 1,
+            reason: None,
+            stats: MineStats {
+                emitted: 1,
+                mine_ms: 4,
+                candidate_bound: 7.0,
+                ..MineStats::default()
+            },
+        };
+        let line = render_response(&resp);
+        let v = crate::json::parse(&line).unwrap();
+        assert_eq!(v.get("outcome").unwrap().as_str(), Some("complete"));
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(1));
+        let p = &v.get("patterns").unwrap().as_arr().unwrap()[0];
+        assert_eq!(p.get("support").unwrap().as_u64(), Some(3));
+        let stats = v.get("stats").unwrap();
+        assert_eq!(stats.get("candidate_bound").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn outcome_labels_roundtrip() {
+        for o in [
+            Outcome::Complete,
+            Outcome::Cancelled,
+            Outcome::DeadlineExceeded,
+            Outcome::Rejected,
+        ] {
+            assert_eq!(Outcome::by_label(o.label()), Some(o));
+        }
+        for k in Kernel::ALL {
+            assert_eq!(Kernel::by_label(k.label()), Some(k));
+        }
+    }
+}

@@ -1,0 +1,692 @@
+//! The mining service: bounded worker pool, job queue, admission
+//! control, result cache, and per-request metrics.
+//!
+//! ## Request lifecycle
+//!
+//! 1. **Submit** ([`MineService::submit`]): the request's [`MineControl`]
+//!    is created — arming the deadline *now*, so queue wait counts
+//!    against it — and the job enters the bounded queue. A full queue
+//!    rejects synchronously (the caller learns immediately, the pool's
+//!    latency stays bounded).
+//! 2. **Pickup**: a worker pops the job in FIFO order. A control that
+//!    tripped while queued (deadline passed, caller cancelled) is
+//!    answered without mining — with an *empty* pattern list, which is
+//!    the correct zero-length prefix of the serial order.
+//! 3. **Cache probe**: complete results are cached by
+//!    `(dataset fingerprint, kernel, min_support)`; a hit answers from
+//!    memory (budget-limited callers get a prefix of the cached list).
+//! 4. **Admission**: on a miss, the Geerts-style
+//!    [`candidate_bound`](fpm::bound::candidate_bound) is computed from
+//!    shape facts alone; a bound above the configured ceiling rejects
+//!    the request before any mining work is spent.
+//! 5. **Mine**: the kernel runs under the control — serial, or on the
+//!    work-stealing runtime when [`ServeConfig::mine_threads`] > 1 —
+//!    and the stop cause maps to the response [`Outcome`].
+//!
+//! Every step increments [`MineService::metrics`] counters, so tests
+//! (and operators) can verify, e.g., that a cache hit really skipped
+//! mining.
+
+use crate::cache::{fingerprint, CacheKey, ResultCache};
+use crate::request::{DatasetSpec, Kernel, MineRequest, MineResponse, MineStats, Outcome};
+use fpm::control::{MineControl, StopCause};
+use fpm::metrics::MetricSet;
+use fpm::{CollectSink, ItemsetCount, TransactionDb};
+use par::ParConfig;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Tuning knobs of one [`MineService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads draining the job queue (min 1).
+    pub workers: usize,
+    /// Maximum queued (not yet picked up) jobs; submissions beyond it
+    /// are rejected synchronously.
+    pub queue_depth: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Admission ceiling: requests whose candidate bound exceeds this
+    /// are rejected without mining. `f64::INFINITY` admits everything.
+    pub max_candidate_bound: f64,
+    /// Threads for one mining run: 0 or 1 = serial in the worker;
+    /// n > 1 = the shared work-stealing runtime with n threads.
+    pub mine_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_depth: 64,
+            cache_capacity: 32,
+            max_candidate_bound: f64::INFINITY,
+            mine_threads: 0,
+        }
+    }
+}
+
+/// Counter names exported through [`MineService::metrics`].
+pub const METRIC_NAMES: &[&str] = &[
+    "requests_submitted",
+    "requests_completed",
+    "requests_cancelled",
+    "requests_deadline_exceeded",
+    "requests_rejected",
+    "rejected_queue_full",
+    "rejected_admission",
+    "rejected_bad_dataset",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "mined_runs",
+    "patterns_emitted",
+];
+
+struct Job {
+    request: MineRequest,
+    control: Arc<MineControl>,
+    submitted: Instant,
+    tx: mpsc::Sender<MineResponse>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    queue: Mutex<QueueState>,
+    ready: Condvar,
+    cache: Mutex<ResultCache>,
+    /// Named (generated) datasets, keyed by `(label, scale factor)` —
+    /// generating DS1 once per server instead of once per request.
+    datasets: Mutex<BTreeMap<(&'static str, usize), Arc<TransactionDb>>>,
+    metrics: Arc<MetricSet>,
+}
+
+/// A handle to one in-flight request: cancel it, then (or instead)
+/// wait for its response.
+pub struct Ticket {
+    rx: mpsc::Receiver<MineResponse>,
+    control: Arc<MineControl>,
+}
+
+impl Ticket {
+    /// The request's control — shared with the mining run, so
+    /// [`MineControl::cancel`] takes effect at the next recursion
+    /// checkpoint.
+    pub fn control(&self) -> &Arc<MineControl> {
+        &self.control
+    }
+
+    /// Requests cooperative cancellation.
+    pub fn cancel(&self) {
+        self.control.cancel();
+    }
+
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> MineResponse {
+        self.rx.recv().unwrap_or_else(|_| {
+            MineResponse::rejected("service shut down", MineStats::default())
+        })
+    }
+}
+
+/// The multi-threaded mining service. Cheap to clone (an `Arc` handle);
+/// all clones share the queue, cache, and metrics.
+#[derive(Clone)]
+pub struct MineService {
+    inner: Arc<Inner>,
+    /// Worker handles, joined by [`MineService::shutdown`].
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl MineService {
+    /// Starts the worker pool.
+    pub fn start(cfg: ServeConfig) -> Self {
+        let inner = Arc::new(Inner {
+            cfg,
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            cache: Mutex::new(ResultCache::new(cfg.cache_capacity)),
+            datasets: Mutex::new(BTreeMap::new()),
+            metrics: Arc::new(MetricSet::new(METRIC_NAMES)),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        MineService {
+            inner,
+            workers: Arc::new(Mutex::new(workers)),
+        }
+    }
+
+    /// The service's operational counters (see [`METRIC_NAMES`]).
+    pub fn metrics(&self) -> Arc<MetricSet> {
+        Arc::clone(&self.inner.metrics)
+    }
+
+    /// Enqueues a request. Always returns a [`Ticket`]; queue-full and
+    /// post-shutdown rejections are delivered through it so callers have
+    /// one uniform wait path.
+    pub fn submit(&self, request: MineRequest) -> Ticket {
+        let metrics = &self.inner.metrics;
+        metrics.incr("requests_submitted");
+        let control = Arc::new(MineControl::new(request.deadline, request.max_patterns));
+        let (tx, rx) = mpsc::channel();
+        let ticket = Ticket {
+            rx,
+            control: Arc::clone(&control),
+        };
+        let mut q = self.inner.queue.lock().expect("queue lock poisoned");
+        let reject = if q.shutdown {
+            Some("service shut down")
+        } else if q.jobs.len() >= self.inner.cfg.queue_depth {
+            Some("queue full")
+        } else {
+            None
+        };
+        if let Some(reason) = reject {
+            drop(q);
+            metrics.incr("requests_rejected");
+            if reason == "queue full" {
+                metrics.incr("rejected_queue_full");
+            }
+            let _ = tx.send(MineResponse::rejected(reason, MineStats::default()));
+            return ticket;
+        }
+        q.jobs.push_back(Job {
+            request,
+            control,
+            submitted: Instant::now(),
+            tx,
+        });
+        drop(q);
+        self.inner.ready.notify_one();
+        ticket
+    }
+
+    /// Submit + wait: the blocking in-process entry point.
+    pub fn mine(&self, request: MineRequest) -> MineResponse {
+        self.submit(request).wait()
+    }
+
+    /// Stops accepting work, drains the queue, and joins the workers.
+    /// Jobs already queued are still answered.
+    pub fn shutdown(&self) {
+        {
+            let mut q = self.inner.queue.lock().expect("queue lock poisoned");
+            q.shutdown = true;
+        }
+        self.inner.ready.notify_all();
+        let handles: Vec<JoinHandle<()>> = {
+            let mut w = self.workers.lock().expect("worker list lock poisoned");
+            w.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut q = inner.queue.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = inner
+                    .ready
+                    .wait(q)
+                    .expect("queue lock poisoned while waiting");
+            }
+        };
+        let response = handle_job(inner, &job);
+        let _ = job.tx.send(response);
+    }
+}
+
+fn handle_job(inner: &Inner, job: &Job) -> MineResponse {
+    let metrics = &inner.metrics;
+    let queue_ms = job.submitted.elapsed().as_millis() as u64;
+    let picked_up = Instant::now();
+    let control = &job.control;
+    let req = &job.request;
+    let mut stats = MineStats {
+        queue_ms,
+        ..MineStats::default()
+    };
+
+    // Tripped while queued: answer without mining. The empty pattern
+    // list is the zero-length prefix of the serial emission order.
+    if control.should_stop() {
+        let outcome = outcome_of(control.stop_cause());
+        count_outcome(metrics, outcome);
+        return MineResponse {
+            outcome,
+            patterns: req.include_patterns.then(|| Arc::new(Vec::new())),
+            count: 0,
+            reason: None,
+            stats,
+        };
+    }
+
+    let db = match resolve_dataset(inner, &req.dataset) {
+        Ok(db) => db,
+        Err(reason) => {
+            metrics.incr("requests_rejected");
+            metrics.incr("rejected_bad_dataset");
+            return MineResponse::rejected(reason, stats);
+        }
+    };
+    let key: CacheKey = (fingerprint(&db), req.kernel.code(), req.min_support);
+
+    // Cache probe before admission: a cached answer is free to serve no
+    // matter how large the search space was.
+    let cached = inner.cache.lock().expect("cache lock poisoned").get(&key);
+    if let Some(full) = cached {
+        metrics.incr("cache_hits");
+        stats.cache_hit = true;
+        stats.mine_ms = picked_up.elapsed().as_millis() as u64;
+        let (patterns, truncated) = match req.max_patterns {
+            Some(b) if (b as usize) < full.len() => {
+                (Arc::new(full[..b as usize].to_vec()), true)
+            }
+            _ => (full, false),
+        };
+        stats.truncated = truncated;
+        stats.emitted = patterns.len() as u64;
+        metrics.add("patterns_emitted", stats.emitted);
+        metrics.incr("requests_completed");
+        return MineResponse {
+            outcome: Outcome::Complete,
+            count: patterns.len() as u64,
+            patterns: req.include_patterns.then_some(patterns),
+            reason: None,
+            stats,
+        };
+    }
+    metrics.incr("cache_misses");
+
+    // Admission control: the Geerts-style bound from shape facts alone.
+    let bound = fpm::bound::candidate_bound(&db, req.min_support);
+    stats.candidate_bound = bound;
+    if bound > inner.cfg.max_candidate_bound {
+        metrics.incr("requests_rejected");
+        metrics.incr("rejected_admission");
+        return MineResponse::rejected(
+            format!(
+                "candidate bound {bound:.3e} exceeds admission ceiling {:.3e}",
+                inner.cfg.max_candidate_bound
+            ),
+            stats,
+        );
+    }
+
+    metrics.incr("mined_runs");
+    let (patterns, fully_merged) = run_kernel(inner, req.kernel, &db, req.min_support, control);
+    stats.mine_ms = picked_up.elapsed().as_millis() as u64;
+    let cause = control.stop_cause();
+    let outcome = outcome_of(cause);
+    stats.truncated = cause == Some(StopCause::BudgetExhausted);
+    stats.emitted = patterns.len() as u64;
+    metrics.add("patterns_emitted", stats.emitted);
+    count_outcome(metrics, outcome);
+
+    let patterns = Arc::new(patterns);
+    if cause.is_none() && fully_merged {
+        let evicted = inner
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(key, Arc::clone(&patterns));
+        metrics.add("cache_evictions", evicted);
+    }
+    MineResponse {
+        outcome,
+        count: patterns.len() as u64,
+        patterns: req.include_patterns.then_some(patterns),
+        reason: None,
+        stats,
+    }
+}
+
+/// Maps a control's stop cause to the response outcome. A budget trip
+/// is still `Complete`: the caller asked for at most N patterns and got
+/// the first N of the serial order ([`MineStats::truncated`] flags it).
+fn outcome_of(cause: Option<StopCause>) -> Outcome {
+    match cause {
+        None | Some(StopCause::BudgetExhausted) => Outcome::Complete,
+        Some(StopCause::Cancelled) => Outcome::Cancelled,
+        Some(StopCause::DeadlineExceeded) => Outcome::DeadlineExceeded,
+    }
+}
+
+fn count_outcome(metrics: &MetricSet, outcome: Outcome) {
+    metrics.incr(match outcome {
+        Outcome::Complete => "requests_completed",
+        Outcome::Cancelled => "requests_cancelled",
+        Outcome::DeadlineExceeded => "requests_deadline_exceeded",
+        Outcome::Rejected => "requests_rejected",
+    });
+}
+
+fn resolve_dataset(inner: &Inner, spec: &DatasetSpec) -> Result<Arc<TransactionDb>, String> {
+    match spec {
+        DatasetSpec::Named { dataset, scale } => {
+            let key = (dataset.label(), scale.factor());
+            if let Some(db) = inner
+                .datasets
+                .lock()
+                .expect("dataset cache lock poisoned")
+                .get(&key)
+            {
+                return Ok(Arc::clone(db));
+            }
+            // Generate outside the lock: generation is the slow part and
+            // the generators are deterministic, so a racing duplicate
+            // insert is harmless.
+            let db = Arc::new(dataset.generate(*scale));
+            inner
+                .datasets
+                .lock()
+                .expect("dataset cache lock poisoned")
+                .insert(key, Arc::clone(&db));
+            Ok(db)
+        }
+        other => other.resolve().map(Arc::new),
+    }
+}
+
+fn run_kernel(
+    inner: &Inner,
+    kernel: Kernel,
+    db: &TransactionDb,
+    minsup: u64,
+    control: &MineControl,
+) -> (Vec<ItemsetCount>, bool) {
+    let mut sink = CollectSink::default();
+    let threads = inner.cfg.mine_threads;
+    let fully_merged = if threads > 1 {
+        let par_cfg = ParConfig::with_threads(threads);
+        match kernel {
+            Kernel::Lcm => lcm::mine_parallel_controlled_into(
+                db,
+                minsup,
+                &lcm::LcmConfig::all(),
+                &par_cfg,
+                control,
+                &mut sink,
+            ),
+            Kernel::Eclat => eclat::mine_parallel_controlled_into(
+                db,
+                minsup,
+                &eclat::EclatConfig::all(),
+                &par_cfg,
+                control,
+                &mut sink,
+            ),
+            Kernel::FpGrowth => fpgrowth::mine_parallel_controlled_into(
+                db,
+                minsup,
+                &fpgrowth::FpConfig::all(),
+                &par_cfg,
+                control,
+                &mut sink,
+            ),
+        }
+    } else {
+        match kernel {
+            Kernel::Lcm => {
+                lcm::mine_controlled(db, minsup, &lcm::LcmConfig::all(), control, &mut sink);
+            }
+            Kernel::Eclat => {
+                eclat::mine_controlled(db, minsup, &eclat::EclatConfig::all(), control, &mut sink);
+            }
+            Kernel::FpGrowth => {
+                fpgrowth::mine_controlled(
+                    db,
+                    minsup,
+                    &fpgrowth::FpConfig::all(),
+                    control,
+                    &mut sink,
+                );
+            }
+        }
+        true
+    };
+    (sink.patterns, fully_merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn toy_spec() -> DatasetSpec {
+        DatasetSpec::Inline(vec![
+            vec![0, 2, 5],
+            vec![1, 2, 5],
+            vec![0, 2, 5],
+            vec![3, 4],
+            vec![0, 1, 2, 3, 4, 5],
+        ])
+    }
+
+    #[test]
+    fn completes_and_matches_serial() {
+        let svc = MineService::start(ServeConfig::default());
+        for kernel in Kernel::ALL {
+            let resp = svc.mine(MineRequest::new(toy_spec(), kernel, 2));
+            assert_eq!(resp.outcome, Outcome::Complete, "{}", kernel.label());
+            let got = resp.patterns.expect("patterns included by default");
+            let db = toy_spec().resolve().unwrap();
+            let mut sink = CollectSink::default();
+            match kernel {
+                Kernel::Lcm => {
+                    lcm::mine(&db, 2, &lcm::LcmConfig::all(), &mut sink);
+                }
+                Kernel::Eclat => {
+                    eclat::mine(&db, 2, &eclat::EclatConfig::all(), &mut sink);
+                }
+                Kernel::FpGrowth => {
+                    fpgrowth::mine(&db, 2, &fpgrowth::FpConfig::all(), &mut sink);
+                }
+            }
+            assert_eq!(*got, sink.patterns, "{}", kernel.label());
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn budget_truncates_but_stays_complete() {
+        let svc = MineService::start(ServeConfig::default());
+        let full = svc.mine(MineRequest::new(toy_spec(), Kernel::Lcm, 2));
+        let mut limited = MineRequest::new(toy_spec(), Kernel::Lcm, 2);
+        limited.max_patterns = Some(3);
+        let resp = svc.mine(limited);
+        assert_eq!(resp.outcome, Outcome::Complete);
+        assert!(resp.stats.truncated);
+        assert_eq!(resp.count, 3);
+        let full = full.patterns.unwrap();
+        let got = resp.patterns.unwrap();
+        assert_eq!(*got, full[..3], "budget output is a prefix of the full run");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn count_only_omits_patterns() {
+        let svc = MineService::start(ServeConfig::default());
+        let mut req = MineRequest::new(toy_spec(), Kernel::Eclat, 2);
+        req.include_patterns = false;
+        let resp = svc.mine(req);
+        assert_eq!(resp.outcome, Outcome::Complete);
+        assert!(resp.patterns.is_none());
+        assert!(resp.count > 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn admission_bound_rejects_wide_requests() {
+        let svc = MineService::start(ServeConfig {
+            max_candidate_bound: 2.0,
+            ..ServeConfig::default()
+        });
+        let resp = svc.mine(MineRequest::new(toy_spec(), Kernel::Lcm, 2));
+        assert_eq!(resp.outcome, Outcome::Rejected);
+        assert!(resp.reason.unwrap().contains("admission ceiling"));
+        assert_eq!(svc.metrics().get("rejected_admission"), 1);
+        assert_eq!(svc.metrics().get("mined_runs"), 0, "no mining was spent");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn bad_dataset_rejects() {
+        let svc = MineService::start(ServeConfig::default());
+        let resp = svc.mine(MineRequest::new(
+            DatasetSpec::Path("/nonexistent/file.dat".into()),
+            Kernel::Lcm,
+            2,
+        ));
+        assert_eq!(resp.outcome, Outcome::Rejected);
+        assert_eq!(svc.metrics().get("rejected_bad_dataset"), 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn cache_hit_skips_mining() {
+        let svc = MineService::start(ServeConfig::default());
+        let cold = svc.mine(MineRequest::new(toy_spec(), Kernel::FpGrowth, 2));
+        assert!(!cold.stats.cache_hit);
+        assert_eq!(svc.metrics().get("mined_runs"), 1);
+        let warm = svc.mine(MineRequest::new(toy_spec(), Kernel::FpGrowth, 2));
+        assert!(warm.stats.cache_hit);
+        assert_eq!(svc.metrics().get("mined_runs"), 1, "second run never mined");
+        assert_eq!(svc.metrics().get("cache_hits"), 1);
+        assert_eq!(warm.patterns, cold.patterns, "hit is byte-identical");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn cache_hit_serves_budget_prefix() {
+        let svc = MineService::start(ServeConfig::default());
+        let cold = svc.mine(MineRequest::new(toy_spec(), Kernel::Lcm, 2));
+        let mut req = MineRequest::new(toy_spec(), Kernel::Lcm, 2);
+        req.max_patterns = Some(2);
+        let warm = svc.mine(req);
+        assert!(warm.stats.cache_hit);
+        assert!(warm.stats.truncated);
+        assert_eq!(*warm.patterns.unwrap(), cold.patterns.unwrap()[..2]);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn queue_full_rejects_synchronously() {
+        // Depth 0 makes rejection deterministic regardless of how fast
+        // the worker drains.
+        let svc = MineService::start(ServeConfig {
+            workers: 1,
+            queue_depth: 0,
+            ..ServeConfig::default()
+        });
+        let resp = svc.mine(MineRequest::new(toy_spec(), Kernel::Lcm, 2));
+        assert_eq!(resp.outcome, Outcome::Rejected);
+        assert_eq!(resp.reason.as_deref(), Some("queue full"));
+        assert_eq!(svc.metrics().get("rejected_queue_full"), 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn pre_expired_deadline_answers_without_mining() {
+        let svc = MineService::start(ServeConfig::default());
+        let mut req = MineRequest::new(toy_spec(), Kernel::Lcm, 2);
+        req.deadline = Some(Duration::from_millis(0));
+        let resp = svc.mine(req);
+        assert_eq!(resp.outcome, Outcome::DeadlineExceeded);
+        assert_eq!(resp.count, 0);
+        assert_eq!(svc.metrics().get("mined_runs"), 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn cancel_before_pickup_yields_cancelled() {
+        // Depth 2, one worker: stuff a slow-ish job first so the second
+        // is still queued when we cancel it.
+        let svc = MineService::start(ServeConfig {
+            workers: 1,
+            queue_depth: 8,
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        });
+        let first = svc.submit(MineRequest::new(
+            DatasetSpec::Named {
+                dataset: quest::Dataset::Ds1,
+                scale: quest::Scale::Smoke,
+            },
+            Kernel::Lcm,
+            30,
+        ));
+        let second = svc.submit(MineRequest::new(toy_spec(), Kernel::Lcm, 2));
+        second.cancel();
+        let resp = second.wait();
+        assert_eq!(resp.outcome, Outcome::Cancelled);
+        assert!(resp.count <= 7, "cancelled output is a (possibly empty) prefix");
+        let _ = first.wait();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_rejects() {
+        let svc = MineService::start(ServeConfig::default());
+        svc.shutdown();
+        let resp = svc.mine(MineRequest::new(toy_spec(), Kernel::Lcm, 2));
+        assert_eq!(resp.outcome, Outcome::Rejected);
+        assert_eq!(resp.reason.as_deref(), Some("service shut down"));
+    }
+
+    #[test]
+    fn named_dataset_generated_once() {
+        let svc = MineService::start(ServeConfig::default());
+        let spec = DatasetSpec::Named {
+            dataset: quest::Dataset::Ds1,
+            scale: quest::Scale::Smoke,
+        };
+        let a = svc.mine(MineRequest::new(spec.clone(), Kernel::Lcm, 60));
+        let b = svc.mine(MineRequest::new(spec, Kernel::Lcm, 60));
+        assert_eq!(a.outcome, Outcome::Complete);
+        assert!(b.stats.cache_hit, "same named dataset: result cache hit");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn parallel_mining_matches_serial_service() {
+        let serial = MineService::start(ServeConfig::default());
+        let parallel = MineService::start(ServeConfig {
+            mine_threads: 3,
+            ..ServeConfig::default()
+        });
+        for kernel in Kernel::ALL {
+            let a = serial.mine(MineRequest::new(toy_spec(), kernel, 2));
+            let b = parallel.mine(MineRequest::new(toy_spec(), kernel, 2));
+            assert_eq!(a.patterns, b.patterns, "{}", kernel.label());
+        }
+        serial.shutdown();
+        parallel.shutdown();
+    }
+}

@@ -13,8 +13,10 @@ use std::path::{Path, PathBuf};
 
 /// Modules on the emission/merge path, where iteration order becomes
 /// output order: pattern sinks, the closed/maximal post-filter, the
-/// parallel runtime's merge, and each kernel's parallel adapter. These
-/// carry PR 1's byte-identical-to-serial determinism guarantee, so R3
+/// parallel runtime's merge, each kernel's parallel adapter, and the
+/// whole serve layer (its cache eviction, response rendering, and
+/// prefix merge all feed caller-visible output). These carry PR 1's
+/// byte-identical-to-serial determinism guarantee, so R3
 /// (deterministic-iteration) applies to them.
 pub const EMISSION_PATHS: &[&str] = &[
     "crates/fpm/src/sink.rs",
@@ -25,6 +27,11 @@ pub const EMISSION_PATHS: &[&str] = &[
     "crates/fpgrowth/src/parallel.rs",
     "crates/apriori/src/lib.rs",
     "crates/memsim/src/classify.rs",
+    "crates/serve/src/cache.rs",
+    "crates/serve/src/service.rs",
+    "crates/serve/src/request.rs",
+    "crates/serve/src/json.rs",
+    "crates/serve/src/frontend.rs",
 ];
 
 /// Directory names never descended into.
@@ -127,6 +134,13 @@ mod tests {
         assert!(!c.in_also);
         let c = classify(&root, "crates/fpm/src/sink.rs");
         assert!(c.emission_path);
+        // The serve layer renders caller-visible output, so all of it
+        // carries R3.
+        let c = classify(&root, "crates/serve/src/cache.rs");
+        assert!(c.emission_path);
+        let c = classify(&root, "crates/serve/src/lib.rs");
+        assert!(c.is_crate_root);
+        assert!(!c.emission_path, "the crate root holds no iteration");
     }
 
     #[test]

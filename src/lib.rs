@@ -3,8 +3,9 @@
 //! Re-exports the whole workspace: the ALSO tuning-pattern library
 //! ([`also`]), the mining substrate ([`fpm`]), the dataset generators
 //! ([`quest`]), the memory-hierarchy simulator ([`memsim`]), the shared
-//! work-stealing parallel runtime ([`par`]) and the four miners
-//! ([`lcm`], [`eclat`], [`fpgrowth`], [`apriori`]).
+//! work-stealing parallel runtime ([`par`]), the four miners
+//! ([`lcm`], [`eclat`], [`fpgrowth`], [`apriori`]), and the mining
+//! service layer ([`serve`]).
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! system inventory; the runnable entry points live in `examples/`.
@@ -35,3 +36,4 @@ pub use lcm;
 pub use memsim;
 pub use par;
 pub use quest;
+pub use serve;

@@ -1,0 +1,230 @@
+//! Service-layer conformance: stopped runs emit serial-order prefixes,
+//! and cache hits are byte-identical to cold runs.
+//!
+//! The service's central claim (DESIGN.md §10) is that *every* response
+//! — complete, budget-truncated, cancelled, or deadline-cut — is a
+//! contiguous prefix of the kernel's deterministic serial emission
+//! order. This suite drives the claim through both execution paths
+//! (serial `mine_controlled` and the work-stealing
+//! `mine_parallel_controlled_into`) for all three kernels, across every
+//! budget value, and property-tests the cache-hit path end to end.
+
+use fpm::control::MineControl;
+use fpm::{CollectSink, ItemsetCount, TransactionDb};
+use par::ParConfig;
+use proptest::prelude::*;
+use serve::{DatasetSpec, Kernel, MineRequest, MineService, Outcome, ServeConfig};
+
+fn toy() -> TransactionDb {
+    TransactionDb::from_transactions(vec![
+        vec![0, 2, 5],
+        vec![1, 2, 5],
+        vec![0, 2, 5],
+        vec![3, 4],
+        vec![0, 1, 2, 3, 4, 5],
+    ])
+}
+
+/// The full serial emission sequence (not canonicalized — order is the
+/// property under test).
+fn serial(kernel: Kernel, db: &TransactionDb, minsup: u64) -> Vec<ItemsetCount> {
+    let mut sink = CollectSink::default();
+    match kernel {
+        Kernel::Lcm => {
+            lcm::mine(db, minsup, &lcm::LcmConfig::all(), &mut sink);
+        }
+        Kernel::Eclat => {
+            eclat::mine(db, minsup, &eclat::EclatConfig::all(), &mut sink);
+        }
+        Kernel::FpGrowth => {
+            fpgrowth::mine(db, minsup, &fpgrowth::FpConfig::all(), &mut sink);
+        }
+    }
+    sink.patterns
+}
+
+fn controlled_serial(
+    kernel: Kernel,
+    db: &TransactionDb,
+    minsup: u64,
+    control: &MineControl,
+) -> Vec<ItemsetCount> {
+    let mut sink = CollectSink::default();
+    match kernel {
+        Kernel::Lcm => {
+            lcm::mine_controlled(db, minsup, &lcm::LcmConfig::all(), control, &mut sink);
+        }
+        Kernel::Eclat => {
+            eclat::mine_controlled(db, minsup, &eclat::EclatConfig::all(), control, &mut sink);
+        }
+        Kernel::FpGrowth => {
+            fpgrowth::mine_controlled(db, minsup, &fpgrowth::FpConfig::all(), control, &mut sink);
+        }
+    }
+    sink.patterns
+}
+
+fn controlled_parallel(
+    kernel: Kernel,
+    db: &TransactionDb,
+    minsup: u64,
+    control: &MineControl,
+    threads: usize,
+) -> (Vec<ItemsetCount>, bool) {
+    let mut sink = CollectSink::default();
+    let p = ParConfig::with_threads(threads);
+    let complete = match kernel {
+        Kernel::Lcm => lcm::mine_parallel_controlled_into(
+            db,
+            minsup,
+            &lcm::LcmConfig::all(),
+            &p,
+            control,
+            &mut sink,
+        ),
+        Kernel::Eclat => eclat::mine_parallel_controlled_into(
+            db,
+            minsup,
+            &eclat::EclatConfig::all(),
+            &p,
+            control,
+            &mut sink,
+        ),
+        Kernel::FpGrowth => fpgrowth::mine_parallel_controlled_into(
+            db,
+            minsup,
+            &fpgrowth::FpConfig::all(),
+            &p,
+            control,
+            &mut sink,
+        ),
+    };
+    (sink.patterns, complete)
+}
+
+/// Serial controlled runs under every budget value emit exactly the
+/// first `budget` patterns of the serial order — for all three kernels.
+#[test]
+fn budget_prefixes_match_serial_order_serially() {
+    let db = toy();
+    for kernel in Kernel::ALL {
+        let full = serial(kernel, &db, 2);
+        assert!(full.len() > 4, "{}: toy must emit enough", kernel.label());
+        for budget in 0..=full.len() as u64 + 2 {
+            let control = MineControl::with_budget(budget);
+            let got = controlled_serial(kernel, &db, 2, &control);
+            let want = budget.min(full.len() as u64) as usize;
+            assert_eq!(
+                got,
+                full[..want],
+                "{} budget={budget}: must be the exact serial prefix",
+                kernel.label()
+            );
+        }
+    }
+}
+
+/// The same property through the work-stealing parallel path: whatever
+/// a tripped run merges is a contiguous serial-order prefix.
+#[test]
+fn parallel_cut_output_is_a_serial_prefix() {
+    let db = toy();
+    for kernel in Kernel::ALL {
+        let full = serial(kernel, &db, 2);
+        for threads in [1usize, 2, 3, 7] {
+            for budget in [0u64, 1, 3, 5, full.len() as u64, full.len() as u64 + 5] {
+                let control = MineControl::with_budget(budget);
+                let (got, complete) = controlled_parallel(kernel, &db, 2, &control, threads);
+                assert!(
+                    got.len() as u64 <= budget,
+                    "{} threads={threads} budget={budget}: over-delivered",
+                    kernel.label()
+                );
+                assert_eq!(
+                    got,
+                    full[..got.len()],
+                    "{} threads={threads} budget={budget}: not a serial prefix",
+                    kernel.label()
+                );
+                if budget > full.len() as u64 {
+                    assert!(complete, "{}: nothing tripped", kernel.label());
+                    assert_eq!(got, full);
+                }
+            }
+        }
+    }
+}
+
+/// Pre-cancelled controls yield the empty prefix everywhere.
+#[test]
+fn cancelled_before_start_emits_nothing() {
+    let db = toy();
+    for kernel in Kernel::ALL {
+        let control = MineControl::unlimited();
+        control.cancel();
+        assert!(controlled_serial(kernel, &db, 2, &control).is_empty());
+        let (got, complete) = controlled_parallel(kernel, &db, 2, &control, 3);
+        assert!(got.is_empty(), "{}", kernel.label());
+        assert!(!complete);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random databases, all kernels, serial + parallel: every budget
+    /// cut is a prefix of the full serial order.
+    #[test]
+    fn random_budget_cuts_are_serial_prefixes(
+        db in prop::collection::vec(
+            prop::collection::btree_set(0u32..10, 0..6)
+                .prop_map(|s| s.into_iter().collect::<Vec<u32>>()),
+            0..30),
+        minsup in 1u64..4,
+        budget in 0u64..40,
+        threads in 1usize..5,
+    ) {
+        let db = TransactionDb::from_transactions(db);
+        for kernel in Kernel::ALL {
+            let full = serial(kernel, &db, minsup);
+            let control = MineControl::with_budget(budget);
+            let got = controlled_serial(kernel, &db, minsup, &control);
+            let want = (budget as usize).min(full.len());
+            prop_assert_eq!(&got, &full[..want], "{} serial", kernel.label());
+
+            let control = MineControl::with_budget(budget);
+            let (got, _) = controlled_parallel(kernel, &db, minsup, &control, threads);
+            prop_assert!(got.len() as u64 <= budget);
+            prop_assert_eq!(&got, &full[..got.len()], "{} parallel", kernel.label());
+        }
+    }
+
+    /// End-to-end through the service: a cache hit answers byte-identical
+    /// to the cold run that populated it, without mining again.
+    #[test]
+    fn cache_hits_are_byte_identical_to_cold_runs(
+        db in prop::collection::vec(
+            prop::collection::btree_set(0u32..10, 0..6)
+                .prop_map(|s| s.into_iter().collect::<Vec<u32>>()),
+            1..25),
+        minsup in 1u64..4,
+    ) {
+        let svc = MineService::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        for kernel in Kernel::ALL {
+            let req = || MineRequest::new(DatasetSpec::Inline(db.clone()), kernel, minsup);
+            let cold = svc.mine(req());
+            prop_assert_eq!(cold.outcome, Outcome::Complete);
+            prop_assert!(!cold.stats.cache_hit);
+            let mined = svc.metrics().get("mined_runs");
+            let hit = svc.mine(req());
+            prop_assert_eq!(hit.outcome, Outcome::Complete);
+            prop_assert!(hit.stats.cache_hit, "{}", kernel.label());
+            prop_assert_eq!(svc.metrics().get("mined_runs"), mined, "hit must not mine");
+            prop_assert_eq!(hit.patterns, cold.patterns, "{}", kernel.label());
+        }
+        svc.shutdown();
+    }
+}
