@@ -125,19 +125,18 @@ fn bench_node_layout(c: &mut Criterion) {
 fn bench_threads(c: &mut Criterion) {
     let db = Dataset::Ds1.generate(Scale::Smoke);
     let minsup = Dataset::Ds1.support(Scale::Smoke);
-    type Runner = fn(&fpm::TransactionDb, u64, &ParConfig, &mut CountSink);
-    let kernels: [(&str, Runner); 3] = [
-        ("threads_lcm", |db, ms, p, sink| {
-            lcm::parallel::mine_parallel_into(db, ms, &lcm::LcmConfig::all(), p, sink)
-        }),
-        ("threads_eclat", |db, ms, p, sink| {
-            eclat::mine_parallel_into(db, ms, &eclat::EclatConfig::all(), p, sink)
-        }),
-        ("threads_fpgrowth", |db, ms, p, sink| {
-            fpgrowth::mine_parallel_into(db, ms, &fpgrowth::FpConfig::all(), p, sink)
-        }),
+    let kernels: [(&str, exec::KernelConfig); 3] = [
+        ("threads_lcm", exec::KernelConfig::Lcm(lcm::LcmConfig::all())),
+        (
+            "threads_eclat",
+            exec::KernelConfig::Eclat(eclat::EclatConfig::all()),
+        ),
+        (
+            "threads_fpgrowth",
+            exec::KernelConfig::FpGrowth(fpgrowth::FpConfig::all()),
+        ),
     ];
-    for (group, run) in kernels {
+    for (group, cfg) in kernels {
         let mut g = c.benchmark_group(group);
         g.sample_size(10);
         for threads in [1usize, 2, 4, 8] {
@@ -145,10 +144,11 @@ fn bench_threads(c: &mut Criterion) {
                 BenchmarkId::from_parameter(threads),
                 &threads,
                 |b, &threads| {
-                    let p = ParConfig::with_threads(threads);
+                    let plan = exec::MinePlan::new(cfg, minsup)
+                        .par_config(ParConfig::with_threads(threads));
                     b.iter(|| {
                         let mut sink = CountSink::default();
-                        run(&db, minsup, &p, &mut sink);
+                        plan.execute(&db, &mut sink);
                         sink.count
                     })
                 },

@@ -170,6 +170,17 @@ pub enum KernelConfig {
     Fp(fpgrowth::FpConfig),
 }
 
+impl KernelConfig {
+    /// The executor-side equivalent, for plan-driven (parallel) runs.
+    fn to_exec(self) -> exec::KernelConfig {
+        match self {
+            KernelConfig::Lcm(c) => exec::KernelConfig::Lcm(c),
+            KernelConfig::Eclat(c) => exec::KernelConfig::Eclat(c),
+            KernelConfig::Fp(c) => exec::KernelConfig::FpGrowth(c),
+        }
+    }
+}
+
 /// Runs one variant under one costing; returns `(cost, patterns)`.
 pub fn run_variant(
     cfg: &KernelConfig,
@@ -195,18 +206,9 @@ pub fn run_variant(
                         }
                     }
                 } else {
-                    let p = par::ParConfig::with_threads(threads);
-                    match cfg {
-                        KernelConfig::Lcm(c) => {
-                            lcm::parallel::mine_parallel_into(db, minsup, c, &p, &mut sink)
-                        }
-                        KernelConfig::Eclat(c) => {
-                            eclat::mine_parallel_into(db, minsup, c, &p, &mut sink)
-                        }
-                        KernelConfig::Fp(c) => {
-                            fpgrowth::mine_parallel_into(db, minsup, c, &p, &mut sink)
-                        }
-                    }
+                    let plan = exec::MinePlan::new(cfg.to_exec(), minsup)
+                        .par_config(par::ParConfig::with_threads(threads));
+                    plan.execute(db, &mut sink);
                 }
                 patterns = sink.count;
                 patterns

@@ -188,61 +188,17 @@ fn mine_with<S: PatternSink>(
     threads: Option<usize>,
     sink: &mut S,
 ) -> Result<(), String> {
-    let par_cfg = threads.map(par::ParConfig::with_threads);
-    match kernel {
-        "lcm" => {
-            let cfg = lcm::variants()
-                .into_iter()
-                .find(|(n, _)| *n == variant)
-                .map(|(_, c)| c)
-                .ok_or_else(|| format!("lcm has no variant {variant:?}"))?;
-            match par_cfg {
-                Some(p) => lcm::parallel::mine_parallel_into(db, minsup, &cfg, &p, sink),
-                None => {
-                    lcm::mine(db, minsup, &cfg, sink);
-                }
-            }
+    let mut plan = exec::MinePlan::by_label(kernel, minsup)?.variant(variant)?;
+    if let Some(n) = threads {
+        if !plan.config().supports_parallel() {
+            return Err(format!(
+                "--threads is not supported for {}",
+                plan.config().label()
+            ));
         }
-        "eclat" => {
-            let cfg = eclat::variants()
-                .into_iter()
-                .find(|(n, _)| *n == variant)
-                .map(|(_, c)| c)
-                .ok_or_else(|| format!("eclat has no variant {variant:?}"))?;
-            match par_cfg {
-                Some(p) => eclat::mine_parallel_into(db, minsup, &cfg, &p, sink),
-                None => {
-                    eclat::mine(db, minsup, &cfg, sink);
-                }
-            }
-        }
-        "fpgrowth" => {
-            let cfg = fpgrowth::variants()
-                .into_iter()
-                .find(|(n, _)| *n == variant)
-                .map(|(_, c)| c)
-                .ok_or_else(|| format!("fpgrowth has no variant {variant:?}"))?;
-            match par_cfg {
-                Some(p) => fpgrowth::mine_parallel_into(db, minsup, &cfg, &p, sink),
-                None => {
-                    fpgrowth::mine(db, minsup, &cfg, sink);
-                }
-            }
-        }
-        "apriori" => {
-            if par_cfg.is_some() {
-                return Err("--threads is not supported for apriori".into());
-            }
-            apriori::mine(db, minsup, sink)
-        }
-        "hmine" => {
-            if par_cfg.is_some() {
-                return Err("--threads is not supported for hmine".into());
-            }
-            fpm::hmine::mine(db, minsup, sink)
-        }
-        other => return Err(format!("unknown kernel {other:?}")),
+        plan = plan.threads(n);
     }
+    plan.execute(db, sink);
     Ok(())
 }
 

@@ -24,10 +24,10 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
-pub mod parallel;
+pub mod spine;
 pub mod tidlist;
 
-pub use parallel::{mine_parallel, mine_parallel_controlled_into, mine_parallel_into};
+pub use spine::EclatSpine;
 
 use also::bits::{BitVec, OneRange};
 use also::simd::{and_into_count, Popcount};
@@ -124,6 +124,11 @@ pub fn mine<S: PatternSink>(
 }
 
 /// [`mine`] with memory-access instrumentation (see [`memsim`]).
+///
+/// These two serial entry points are the kernel's whole mining surface.
+/// Control (cancellation, deadlines, budgets) and parallelism are
+/// composed once, above the kernel, by `fpm-exec`'s `MinePlan` driving
+/// this crate's [`spine`] implementation.
 pub fn mine_probed<P: Probe, S: PatternSink>(
     db: &TransactionDb,
     minsup: u64,
@@ -131,34 +136,7 @@ pub fn mine_probed<P: Probe, S: PatternSink>(
     probe: &mut P,
     sink: &mut S,
 ) -> EclatStats {
-    mine_probed_controlled(db, minsup, cfg, probe, &MineControl::unlimited(), sink)
-}
-
-/// [`mine`] under a cooperative [`MineControl`]: the equivalence-class
-/// recursion polls the control once per class member and unwinds when it
-/// trips; deliveries are charged against the control's budget. The
-/// patterns reaching `sink` are always a contiguous **prefix** of the
-/// exact sequence [`mine`] would emit; inspect `control.stop_cause()`
-/// for why a run stopped early.
-pub fn mine_controlled<S: PatternSink>(
-    db: &TransactionDb,
-    minsup: u64,
-    cfg: &EclatConfig,
-    control: &MineControl,
-    sink: &mut S,
-) -> EclatStats {
-    mine_probed_controlled(db, minsup, cfg, &mut NullProbe, control, sink)
-}
-
-/// The full-generality entry point: instrumentation probe + control.
-pub fn mine_probed_controlled<P: Probe, S: PatternSink>(
-    db: &TransactionDb,
-    minsup: u64,
-    cfg: &EclatConfig,
-    probe: &mut P,
-    control: &MineControl,
-    sink: &mut S,
-) -> EclatStats {
+    let control = MineControl::unlimited();
     let ranked = remap(db, minsup);
     let mut transactions = ranked.transactions.clone();
     if cfg.lex {
@@ -176,14 +154,14 @@ pub fn mine_probed_controlled<P: Probe, S: PatternSink>(
     }
     let vdb = VerticalBitDb::from_ranked(&transactions, ranked.n_ranks());
     let mut translate =
-        TranslateSink::new(&ranked.map, ControlledSink::new(control, Forward(sink)));
+        TranslateSink::new(&ranked.map, ControlledSink::new(&control, Forward(sink)));
     let mut miner = Miner {
         minsup: minsup.max(1),
         cfg: *cfg,
         probe,
         sink: &mut translate,
         stats: EclatStats::default(),
-        control,
+        control: &control,
         cut: false,
         prefix: Vec::new(),
     };
@@ -191,7 +169,7 @@ pub fn mine_probed_controlled<P: Probe, S: PatternSink>(
     miner.stats
 }
 
-struct Forward<'a, S>(&'a mut S);
+pub(crate) struct Forward<'a, S>(pub(crate) &'a mut S);
 impl<S: PatternSink> PatternSink for Forward<'_, S> {
     fn emit(&mut self, itemset: &[u32], support: u64) {
         self.0.emit(itemset, support);
@@ -206,18 +184,18 @@ struct Candidate {
     support: u64,
 }
 
-struct Miner<'a, P, S> {
-    minsup: u64,
-    cfg: EclatConfig,
-    probe: &'a mut P,
-    sink: &'a mut S,
-    stats: EclatStats,
+pub(crate) struct Miner<'a, P, S> {
+    pub(crate) minsup: u64,
+    pub(crate) cfg: EclatConfig,
+    pub(crate) probe: &'a mut P,
+    pub(crate) sink: &'a mut S,
+    pub(crate) stats: EclatStats,
     /// Cooperative stop signal, polled once per class member.
-    control: &'a MineControl,
+    pub(crate) control: &'a MineControl,
     /// Set when a control check cut the recursion: the emitted sequence
     /// is a strict prefix of the full serial output.
-    cut: bool,
-    prefix: Vec<u32>,
+    pub(crate) cut: bool,
+    pub(crate) prefix: Vec<u32>,
 }
 
 /// Models the memory behaviour of the 16-bit-table popcount for the
@@ -257,8 +235,8 @@ fn instrs_per_word(p: Popcount) -> u64 {
 impl<P: Probe, S: PatternSink> Miner<'_, P, S> {
     fn run(&mut self, vdb: &VerticalBitDb) {
         // The root equivalence class splits into one independent subtree
-        // per frequent first item — the same decomposition the parallel
-        // driver deals out as tasks (see [`mine_parallel`]).
+        // per frequent first item — the same decomposition the spine
+        // hands `fpm-exec` as root tasks (see [`crate::spine`]).
         for r in 0..vdb.n_items() as u32 {
             self.mine_subtree(vdb, r);
         }
@@ -270,7 +248,7 @@ impl<P: Probe, S: PatternSink> Miner<'_, P, S> {
     /// recurses. Subtrees for different `r` touch disjoint lattice
     /// regions and only *read* `vdb`, which is what makes them safe
     /// parallel tasks.
-    fn mine_subtree(&mut self, vdb: &VerticalBitDb, r: u32) {
+    pub(crate) fn mine_subtree(&mut self, vdb: &VerticalBitDb, r: u32) {
         if self.control.should_stop() {
             self.cut = true;
             return;

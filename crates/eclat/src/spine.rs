@@ -1,0 +1,75 @@
+//! Eclat's [`KernelSpine`] implementation — the kernel's task-parallel
+//! skeleton consumed by `fpm-exec`'s `MinePlan` (DESIGN.md §11).
+//!
+//! The root equivalence class splits into one independent subtree per
+//! first (lowest-rank) item; subtrees only *read* the shared vertical
+//! bit matrix, and their outputs in item order concatenate to the
+//! serial emission sequence of [`crate::mine`].
+
+use crate::{EclatConfig, EclatStats, Forward, Miner};
+use fpm::control::MineControl;
+use fpm::exec::KernelSpine;
+use fpm::vertical::VerticalBitDb;
+use fpm::{remap, PatternSink, RankMap, TransactionDb, TranslateSink};
+use memsim::Probe;
+
+/// The spine handle: a zero-sized type carrying the associated items.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EclatSpine;
+
+/// The shared read-only root of an Eclat run: remapped rank space plus
+/// the vertical bit matrix.
+pub struct EclatPrepared {
+    map: RankMap,
+    vdb: VerticalBitDb,
+    minsup: u64,
+    cfg: EclatConfig,
+}
+
+impl KernelSpine for EclatSpine {
+    type Config = EclatConfig;
+    type Prepared = EclatPrepared;
+    /// The first (lowest-rank) item of one root subtree.
+    type Task = u32;
+
+    fn prepare(db: &TransactionDb, minsup: u64, cfg: &Self::Config) -> Self::Prepared {
+        let ranked = remap(db, minsup);
+        let mut transactions = ranked.transactions.clone();
+        if cfg.lex {
+            also::lexorder::lex_order(&mut transactions);
+        }
+        let vdb = VerticalBitDb::from_ranked(&transactions, ranked.n_ranks());
+        EclatPrepared {
+            map: ranked.map,
+            vdb,
+            minsup,
+            cfg: *cfg,
+        }
+    }
+
+    fn root_tasks(prepared: &Self::Prepared) -> Vec<Self::Task> {
+        (0..prepared.vdb.n_items() as u32).collect()
+    }
+
+    fn mine_task<P: Probe, S: PatternSink>(
+        prepared: &Self::Prepared,
+        task: Self::Task,
+        probe: &mut P,
+        control: &MineControl,
+        sink: &mut S,
+    ) -> bool {
+        let mut translate = TranslateSink::new(&prepared.map, Forward(sink));
+        let mut miner = Miner {
+            minsup: prepared.minsup.max(1),
+            cfg: prepared.cfg,
+            probe,
+            sink: &mut translate,
+            stats: EclatStats::default(),
+            control,
+            cut: false,
+            prefix: Vec::new(),
+        };
+        miner.mine_subtree(&prepared.vdb, task);
+        !miner.cut
+    }
+}

@@ -1,7 +1,7 @@
 //! Sparse vertical representations: **tid-lists** and **diffsets** —
 //! the other side of the paper's Feature 2 design space (§3.3, P2 data
 //! structure adaptation), and the dEclat algorithm of Zaki & Gouda
-//! (KDD'03, the paper's reference [33]).
+//! (KDD'03, the paper's reference \[33\]).
 //!
 //! A dense bit matrix spends one bit per (item, transaction) *cell*; a
 //! tid-list spends 32 bits per *occurrence*. Below ~1/32 density the

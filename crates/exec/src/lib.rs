@@ -1,0 +1,548 @@
+//! # `fpm-exec` — the unified mining executor
+//!
+//! PRs 1–3 grew each kernel a parallel, a controlled, and a probed
+//! entry point; this crate collapses that matrix into one execution
+//! path. A [`MinePlan`] names *what* to mine (kernel variant × minimum
+//! support) and *how* (serial or the `fpm-par` work-stealing runtime,
+//! deadline, pattern budget); [`MinePlan::execute`] is then the only
+//! place in the workspace that wires the [`KernelSpine`] contract,
+//! [`ControlledSink`] budget charging, and the deterministic
+//! rank-ordered merge together. Every caller — the serve layer, the
+//! CLI, benches, conformance tests — builds a plan instead of naming a
+//! kernel function (also-lint rule R6 `kernel-entry` enforces this).
+//!
+//! The invariant inherited from PR 1 and kept by every plan: the
+//! emitted pattern sequence is **byte-identical** to the kernel's
+//! serial emission order — at every thread count, and, when a deadline,
+//! budget, or cancellation trips the run, as a contiguous prefix of it
+//! (DESIGN.md §11).
+//!
+//! ```
+//! use fpm::{CollectSink, TransactionDb};
+//! use fpm_exec::MinePlan;
+//!
+//! let db = TransactionDb::from_transactions(vec![vec![1, 2], vec![1, 2, 3]]);
+//! let mut sink = CollectSink::default();
+//! let summary = MinePlan::by_label("lcm", 2)
+//!     .unwrap()
+//!     .threads(2)
+//!     .execute(&db, &mut sink);
+//! assert!(summary.complete);
+//! assert_eq!(summary.emitted, sink.patterns.len() as u64);
+//! ```
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+use fpm::control::{MineControl, StopCause};
+use fpm::exec::KernelSpine;
+use fpm::{CollectSink, ControlledSink, PatternSink, TransactionDb};
+use memsim::NullProbe;
+use par::ParConfig;
+use std::time::Duration;
+
+/// One kernel variant: which miner runs and with which ablation flags.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelConfig {
+    /// `fpm-lcm` with its [`lcm::LcmConfig`] variant flags.
+    Lcm(lcm::LcmConfig),
+    /// `fpm-eclat` with its [`eclat::EclatConfig`] variant flags.
+    Eclat(eclat::EclatConfig),
+    /// `fpm-fpgrowth` with its [`fpgrowth::FpConfig`] variant flags.
+    FpGrowth(fpgrowth::FpConfig),
+    /// The `fpm-apriori` reference miner (serial only, no variants).
+    Apriori,
+    /// The `fpm::hmine` reference miner (serial only, no variants).
+    HMine,
+}
+
+impl KernelConfig {
+    /// The all-patterns configuration of a service kernel.
+    pub fn from_kernel(kernel: fpm::Kernel) -> KernelConfig {
+        match kernel {
+            fpm::Kernel::Lcm => KernelConfig::Lcm(lcm::LcmConfig::all()),
+            fpm::Kernel::Eclat => KernelConfig::Eclat(eclat::EclatConfig::all()),
+            fpm::Kernel::FpGrowth => KernelConfig::FpGrowth(fpgrowth::FpConfig::all()),
+        }
+    }
+
+    /// Parses a kernel label (`lcm`, `eclat`, `fpgrowth`, `apriori`,
+    /// `hmine`), yielding its all-patterns configuration.
+    pub fn by_label(label: &str) -> Result<KernelConfig, String> {
+        if let Some(k) = fpm::Kernel::by_label(label) {
+            return Ok(KernelConfig::from_kernel(k));
+        }
+        match label.to_ascii_lowercase().as_str() {
+            "apriori" => Ok(KernelConfig::Apriori),
+            "hmine" => Ok(KernelConfig::HMine),
+            _ => Err(format!("unknown kernel {label:?}")),
+        }
+    }
+
+    /// Replaces the variant flags with the kernel's named Figure 8
+    /// variant (`base`, `lex`, …, `all`). The reference miners have no
+    /// variants and accept any name unchanged (they always run their
+    /// one implementation).
+    pub fn variant(self, name: &str) -> Result<KernelConfig, String> {
+        fn pick<C>(
+            kernel: &str,
+            name: &str,
+            variants: Vec<(&'static str, C)>,
+        ) -> Result<C, String> {
+            variants
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, c)| c)
+                .ok_or_else(|| format!("{kernel} has no variant {name:?}"))
+        }
+        match self {
+            KernelConfig::Lcm(_) => Ok(KernelConfig::Lcm(pick("lcm", name, lcm::variants())?)),
+            KernelConfig::Eclat(_) => {
+                Ok(KernelConfig::Eclat(pick("eclat", name, eclat::variants())?))
+            }
+            KernelConfig::FpGrowth(_) => Ok(KernelConfig::FpGrowth(pick(
+                "fpgrowth",
+                name,
+                fpgrowth::variants(),
+            )?)),
+            KernelConfig::Apriori | KernelConfig::HMine => Ok(self),
+        }
+    }
+
+    /// The kernel's label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelConfig::Lcm(_) => "lcm",
+            KernelConfig::Eclat(_) => "eclat",
+            KernelConfig::FpGrowth(_) => "fpgrowth",
+            KernelConfig::Apriori => "apriori",
+            KernelConfig::HMine => "hmine",
+        }
+    }
+
+    /// Whether the kernel has a task-parallel spine. The reference
+    /// miners (apriori, hmine) are serial-only.
+    pub fn supports_parallel(&self) -> bool {
+        !matches!(self, KernelConfig::Apriori | KernelConfig::HMine)
+    }
+}
+
+/// How a plan schedules its root tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// In-order streaming on the calling thread.
+    Serial,
+    /// The `fpm-par` work-stealing runtime with a deterministic merge.
+    Parallel(ParConfig),
+}
+
+/// What one [`MinePlan::execute`] run did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecSummary {
+    /// `true` iff the full serial emission sequence reached the sink —
+    /// nothing tripped and no task was abandoned or truncated.
+    pub complete: bool,
+    /// Patterns delivered to the caller's sink.
+    pub emitted: u64,
+    /// Why the run stopped early, `None` when nothing tripped.
+    pub stop_cause: Option<StopCause>,
+}
+
+/// A mining run, fully described: kernel variant × minimum support ×
+/// scheduling × limits. Build one, then [`execute`](MinePlan::execute)
+/// it against any database; the output reaching the sink is always the
+/// kernel's serial emission order (or, under a trip, a contiguous
+/// prefix of it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinePlan {
+    config: KernelConfig,
+    minsup: u64,
+    mode: Mode,
+    deadline: Option<Duration>,
+    max_patterns: Option<u64>,
+}
+
+impl MinePlan {
+    /// A serial, unlimited plan for `config` at `minsup`.
+    pub fn new(config: KernelConfig, minsup: u64) -> MinePlan {
+        MinePlan {
+            config,
+            minsup,
+            mode: Mode::Serial,
+            deadline: None,
+            max_patterns: None,
+        }
+    }
+
+    /// A plan for a service [`Kernel`](fpm::Kernel) (all-patterns
+    /// configuration).
+    pub fn kernel(kernel: fpm::Kernel, minsup: u64) -> MinePlan {
+        Self::new(KernelConfig::from_kernel(kernel), minsup)
+    }
+
+    /// A plan parsed from a kernel label (`lcm`, …, `apriori`,
+    /// `hmine`).
+    pub fn by_label(label: &str, minsup: u64) -> Result<MinePlan, String> {
+        Ok(Self::new(KernelConfig::by_label(label)?, minsup))
+    }
+
+    /// Selects a named Figure 8 variant for the plan's kernel.
+    pub fn variant(mut self, name: &str) -> Result<MinePlan, String> {
+        self.config = self.config.variant(name)?;
+        Ok(self)
+    }
+
+    /// The plan's kernel configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.config
+    }
+
+    /// Worker thread count: `1` streams serially on the calling thread,
+    /// `0` runs the work-stealing runtime with auto-detected
+    /// parallelism, `n > 1` with `n` workers. Output is byte-identical
+    /// across all values.
+    pub fn threads(self, n: usize) -> MinePlan {
+        match n {
+            1 => MinePlan {
+                mode: Mode::Serial,
+                ..self
+            },
+            n => self.par_config(ParConfig::with_threads(n)),
+        }
+    }
+
+    /// Full control over the work-stealing runtime (thread count and
+    /// steal granularity). Always schedules through the runtime, even
+    /// at one thread.
+    pub fn par_config(self, par_cfg: ParConfig) -> MinePlan {
+        MinePlan {
+            mode: Mode::Parallel(par_cfg),
+            ..self
+        }
+    }
+
+    /// Arms a wall-clock deadline, measured from the `execute` call.
+    pub fn deadline(self, deadline: Duration) -> MinePlan {
+        MinePlan {
+            deadline: Some(deadline),
+            ..self
+        }
+    }
+
+    /// Arms an emitted-pattern budget: the run stops after delivering
+    /// the first `n` patterns of the serial order.
+    pub fn max_patterns(self, n: u64) -> MinePlan {
+        MinePlan {
+            max_patterns: Some(n),
+            ..self
+        }
+    }
+
+    /// Runs the plan, delivering patterns (original item ids, serial
+    /// emission order) to `sink`. Arms a fresh [`MineControl`] from the
+    /// plan's deadline and budget; use
+    /// [`execute_controlled`](MinePlan::execute_controlled) to share an
+    /// externally owned control (the serve layer's cancellation path).
+    pub fn execute<S: PatternSink>(&self, db: &TransactionDb, sink: &mut S) -> ExecSummary {
+        let control = MineControl::new(self.deadline, self.max_patterns);
+        self.execute_controlled(db, &control, sink)
+    }
+
+    /// [`execute`](MinePlan::execute) under a caller-owned
+    /// [`MineControl`] — arm deadlines/budgets on the control itself
+    /// (the plan's own `deadline`/`max_patterns` are ignored here).
+    pub fn execute_controlled<S: PatternSink>(
+        &self,
+        db: &TransactionDb,
+        control: &MineControl,
+        sink: &mut S,
+    ) -> ExecSummary {
+        let mut tally = Tally { inner: sink, emitted: 0 };
+        let complete = match &self.config {
+            KernelConfig::Lcm(cfg) => {
+                drive::<lcm::LcmSpine, _>(db, cfg, self.minsup, self.mode, control, &mut tally)
+            }
+            KernelConfig::Eclat(cfg) => {
+                drive::<eclat::EclatSpine, _>(db, cfg, self.minsup, self.mode, control, &mut tally)
+            }
+            KernelConfig::FpGrowth(cfg) => {
+                drive::<fpgrowth::FpSpine, _>(db, cfg, self.minsup, self.mode, control, &mut tally)
+            }
+            KernelConfig::Apriori => {
+                let mut controlled = ControlledSink::new(control, &mut tally);
+                apriori::mine(db, self.minsup, &mut controlled);
+                controlled.suppressed == 0 && !control.should_stop()
+            }
+            KernelConfig::HMine => {
+                let mut controlled = ControlledSink::new(control, &mut tally);
+                fpm::hmine::mine(db, self.minsup, &mut controlled);
+                controlled.suppressed == 0 && !control.should_stop()
+            }
+        };
+        ExecSummary {
+            complete,
+            emitted: tally.emitted,
+            stop_cause: control.stop_cause(),
+        }
+    }
+}
+
+/// Counts deliveries on their way to the caller's sink.
+struct Tally<'a, S> {
+    inner: &'a mut S,
+    emitted: u64,
+}
+
+impl<S: PatternSink> PatternSink for Tally<'_, S> {
+    #[inline]
+    fn emit(&mut self, itemset: &[u32], support: u64) {
+        self.emitted += 1;
+        self.inner.emit(itemset, support);
+    }
+}
+
+/// The one generic driver behind every spine kernel: prepare once,
+/// enumerate root tasks in serial emission order, then either stream
+/// them in order (serial) or deal them to the work-stealing runtime and
+/// merge per-task buffers back in task order (parallel). Returns `true`
+/// iff the full serial sequence reached `sink`.
+fn drive<K: KernelSpine, S: PatternSink>(
+    db: &TransactionDb,
+    cfg: &K::Config,
+    minsup: u64,
+    mode: Mode,
+    control: &MineControl,
+    sink: &mut S,
+) -> bool {
+    let prepared = K::prepare(db, minsup, cfg);
+    let tasks = K::root_tasks(&prepared);
+    match mode {
+        Mode::Serial => {
+            // One controlled sink around the caller's: emissions stream
+            // straight through in task order, each charged against the
+            // control's budget exactly as the kernels' retired serial
+            // controlled entry points did.
+            let mut controlled = ControlledSink::new(control, sink);
+            let mut cut = false;
+            for task in tasks {
+                if control.should_stop() {
+                    cut = true;
+                    break;
+                }
+                if !K::mine_task(&prepared, task, &mut NullProbe, control, &mut controlled) {
+                    cut = true;
+                    break;
+                }
+            }
+            !cut && controlled.suppressed == 0
+        }
+        Mode::Parallel(par_cfg) => {
+            // Each task mines into a private buffer whose completeness
+            // is tracked per task; the rank-ordered prefix replay then
+            // restores the serial sequence (or a contiguous prefix of
+            // it when anything tripped).
+            let prepared = &prepared;
+            let buffers = par::run_with_state_until(
+                tasks,
+                &par_cfg,
+                || control.should_stop(),
+                |_worker| (),
+                |(), task| {
+                    let mut controlled = ControlledSink::new(control, CollectSink::default());
+                    let done =
+                        K::mine_task(prepared, task, &mut NullProbe, control, &mut controlled);
+                    let complete = done && controlled.suppressed == 0;
+                    (controlled.into_inner().patterns, complete)
+                },
+            );
+            fpm::replay_merged_prefix(buffers, sink)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpm::types::canonicalize;
+    use fpm::{CollectSink, ItemsetCount, RecordSink};
+
+    fn toy() -> TransactionDb {
+        TransactionDb::from_transactions(vec![
+            vec![0, 2, 5],
+            vec![1, 2, 5],
+            vec![0, 2, 5],
+            vec![3, 4],
+            vec![0, 1, 2, 3, 4, 5],
+        ])
+    }
+
+    fn serial_reference(kernel: fpm::Kernel, db: &TransactionDb, minsup: u64) -> Vec<u8> {
+        let mut sink = RecordSink::default();
+        match kernel {
+            fpm::Kernel::Lcm => {
+                lcm::mine(db, minsup, &lcm::LcmConfig::all(), &mut sink);
+            }
+            fpm::Kernel::Eclat => {
+                eclat::mine(db, minsup, &eclat::EclatConfig::all(), &mut sink);
+            }
+            fpm::Kernel::FpGrowth => {
+                fpgrowth::mine(db, minsup, &fpgrowth::FpConfig::all(), &mut sink);
+            }
+        }
+        sink.bytes
+    }
+
+    #[test]
+    fn plan_output_is_byte_identical_to_serial_mine() {
+        let db = toy();
+        for kernel in fpm::Kernel::ALL {
+            let want = serial_reference(kernel, &db, 2);
+            for threads in [1usize, 0, 2, 7] {
+                let mut sink = RecordSink::default();
+                let summary = MinePlan::kernel(kernel, 2).threads(threads).execute(&db, &mut sink);
+                assert!(summary.complete, "{} threads={threads}", kernel.label());
+                assert_eq!(summary.stop_cause, None);
+                assert_eq!(sink.bytes, want, "{} threads={threads}", kernel.label());
+            }
+        }
+    }
+
+    #[test]
+    fn budget_cuts_to_exact_serial_prefix() {
+        let db = toy();
+        for kernel in fpm::Kernel::ALL {
+            let full = serial_reference(kernel, &db, 2);
+            let full_lines: Vec<&[u8]> = full.split_inclusive(|&b| b == b'\n').collect();
+            for budget in [0u64, 1, 3, full_lines.len() as u64 + 5] {
+                for threads in [1usize, 3] {
+                    let mut sink = RecordSink::default();
+                    let summary = MinePlan::kernel(kernel, 2)
+                        .threads(threads)
+                        .max_patterns(budget)
+                        .execute(&db, &mut sink);
+                    let cap = budget.min(full_lines.len() as u64) as usize;
+                    // Serial delivers exactly the first `budget` patterns;
+                    // parallel charges the shared budget in racing task
+                    // order, so it may keep fewer — but what it keeps is
+                    // always a contiguous serial prefix.
+                    let got_lines = sink.bytes.split_inclusive(|&b| b == b'\n').count();
+                    if threads == 1 {
+                        assert_eq!(got_lines, cap, "{} budget={budget}", kernel.label());
+                    } else {
+                        assert!(got_lines <= cap, "{} budget={budget}", kernel.label());
+                    }
+                    let want_bytes: Vec<u8> = full_lines[..got_lines]
+                        .iter()
+                        .flat_map(|l| l.iter().copied())
+                        .collect();
+                    assert_eq!(
+                        sink.bytes,
+                        want_bytes,
+                        "{} threads={threads} budget={budget}",
+                        kernel.label()
+                    );
+                    assert_eq!(summary.emitted, got_lines as u64);
+                    if budget < full_lines.len() as u64 {
+                        assert!(!summary.complete);
+                        assert_eq!(summary.stop_cause, Some(StopCause::BudgetExhausted));
+                    } else {
+                        assert!(summary.complete, "{} threads={threads}", kernel.label());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn external_control_cancellation_yields_empty_prefix() {
+        let db = toy();
+        let control = MineControl::unlimited();
+        control.cancel();
+        for kernel in fpm::Kernel::ALL {
+            let mut sink = CollectSink::default();
+            let summary =
+                MinePlan::kernel(kernel, 2).threads(3).execute_controlled(&db, &control, &mut sink);
+            assert!(sink.patterns.is_empty(), "{}", kernel.label());
+            assert!(!summary.complete);
+            assert_eq!(summary.stop_cause, Some(StopCause::Cancelled));
+        }
+    }
+
+    #[test]
+    fn labels_variants_and_errors() {
+        assert!(MinePlan::by_label("lcm", 2).unwrap().variant("tile").is_ok());
+        assert!(MinePlan::by_label("eclat", 2).unwrap().variant("simd").is_ok());
+        let err = MinePlan::by_label("eclat", 2).unwrap().variant("tile").unwrap_err();
+        assert!(err.contains("eclat has no variant"), "{err}");
+        let err = MinePlan::by_label("nope", 1).unwrap_err();
+        assert!(err.contains("unknown kernel"), "{err}");
+        // Reference miners: no variants, serial-only.
+        let plan = MinePlan::by_label("apriori", 1).unwrap();
+        assert!(!plan.config().supports_parallel());
+        assert!(MinePlan::by_label("hmine", 1).unwrap().variant("anything").is_ok());
+    }
+
+    #[test]
+    fn reference_miners_mine_and_respect_budget() {
+        let db = toy();
+        let mut expect = CollectSink::default();
+        apriori::mine(&db, 2, &mut expect);
+        let mut got = CollectSink::default();
+        let summary = MinePlan::by_label("apriori", 2).unwrap().execute(&db, &mut got);
+        assert!(summary.complete);
+        assert_eq!(
+            canonicalize(got.patterns.clone()),
+            canonicalize(expect.patterns)
+        );
+
+        let mut cut: CollectSink = CollectSink::default();
+        let summary = MinePlan::by_label("hmine", 2).unwrap().max_patterns(3).execute(&db, &mut cut);
+        assert_eq!(cut.patterns.len(), 3);
+        assert!(!summary.complete);
+        assert_eq!(summary.stop_cause, Some(StopCause::BudgetExhausted));
+    }
+
+    #[test]
+    fn empty_database_is_complete_and_empty() {
+        for threads in [1usize, 4] {
+            let mut sink = CollectSink::default();
+            let summary = MinePlan::kernel(fpm::Kernel::Lcm, 1)
+                .threads(threads)
+                .execute(&TransactionDb::default(), &mut sink);
+            assert!(summary.complete);
+            assert_eq!(summary.emitted, 0);
+            assert!(sink.patterns.is_empty());
+        }
+    }
+
+    #[test]
+    fn steal_granularity_does_not_change_output() {
+        let db = toy();
+        let want = serial_reference(fpm::Kernel::Eclat, &db, 1);
+        for granularity in [1usize, 2, 8] {
+            let mut sink = RecordSink::default();
+            MinePlan::kernel(fpm::Kernel::Eclat, 1)
+                .par_config(ParConfig {
+                    n_threads: 4,
+                    steal_granularity: granularity,
+                })
+                .execute(&db, &mut sink);
+            assert_eq!(sink.bytes, want, "granularity={granularity}");
+        }
+    }
+
+    #[test]
+    fn canonical_sets_agree_across_kernels() {
+        let db = toy();
+        let mut reference: Option<Vec<ItemsetCount>> = None;
+        for label in ["lcm", "eclat", "fpgrowth", "apriori", "hmine"] {
+            let mut sink = CollectSink::default();
+            MinePlan::by_label(label, 2).unwrap().execute(&db, &mut sink);
+            let got = canonicalize(sink.patterns);
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(&got, want, "{label}"),
+            }
+        }
+    }
+}

@@ -26,10 +26,10 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
-pub mod parallel;
+pub mod spine;
 pub mod tree;
 
-pub use parallel::{mine_parallel, mine_parallel_controlled_into, mine_parallel_into};
+pub use spine::FpSpine;
 
 use fpm::control::MineControl;
 use fpm::{remap, ControlledSink, PatternSink, TransactionDb, TranslateSink};
@@ -96,7 +96,7 @@ impl FpConfig {
         }
     }
 
-    fn repr(&self) -> TreeRepr {
+    pub(crate) fn repr(&self) -> TreeRepr {
         TreeRepr {
             adapt: self.adapt,
             aggregate: self.aggregate,
@@ -143,6 +143,11 @@ pub fn mine<S: PatternSink>(
 }
 
 /// [`mine`] with memory instrumentation (see [`memsim`]).
+///
+/// These two serial entry points are the kernel's whole mining surface.
+/// Control (cancellation, deadlines, budgets) and parallelism are
+/// composed once, above the kernel, by `fpm-exec`'s `MinePlan` driving
+/// this crate's [`spine`] implementation.
 pub fn mine_probed<P: Probe, S: PatternSink>(
     db: &TransactionDb,
     minsup: u64,
@@ -150,34 +155,7 @@ pub fn mine_probed<P: Probe, S: PatternSink>(
     probe: &mut P,
     sink: &mut S,
 ) -> FpStats {
-    mine_probed_controlled(db, minsup, cfg, probe, &MineControl::unlimited(), sink)
-}
-
-/// [`mine`] under a cooperative [`MineControl`]: the conditional-tree
-/// recursion polls the control once per (tree, item) step and unwinds
-/// when it trips; deliveries are charged against the control's budget.
-/// The patterns reaching `sink` are always a contiguous **prefix** of
-/// the exact sequence [`mine`] would emit; inspect
-/// `control.stop_cause()` for why a run stopped early.
-pub fn mine_controlled<S: PatternSink>(
-    db: &TransactionDb,
-    minsup: u64,
-    cfg: &FpConfig,
-    control: &MineControl,
-    sink: &mut S,
-) -> FpStats {
-    mine_probed_controlled(db, minsup, cfg, &mut NullProbe, control, sink)
-}
-
-/// The full-generality entry point: instrumentation probe + control.
-pub fn mine_probed_controlled<P: Probe, S: PatternSink>(
-    db: &TransactionDb,
-    minsup: u64,
-    cfg: &FpConfig,
-    probe: &mut P,
-    control: &MineControl,
-    sink: &mut S,
-) -> FpStats {
+    let control = MineControl::unlimited();
     let ranked = remap(db, minsup);
     let mut transactions = ranked.transactions.clone();
     if cfg.lex {
@@ -200,7 +178,7 @@ pub fn mine_probed_controlled<P: Probe, S: PatternSink>(
     }
     tree.finalize();
     let mut translate =
-        TranslateSink::new(&ranked.map, ControlledSink::new(control, Forward(sink)));
+        TranslateSink::new(&ranked.map, ControlledSink::new(&control, Forward(sink)));
     let mut miner = Miner {
         minsup: minsup.max(1),
         cfg: *cfg,
@@ -211,7 +189,7 @@ pub fn mine_probed_controlled<P: Probe, S: PatternSink>(
             nodes_built: tree.len() as u64,
             ..FpStats::default()
         },
-        control,
+        control: &control,
         cut: false,
         prefix: Vec::new(),
         counts: vec![0u64; n_ranks],
@@ -222,29 +200,29 @@ pub fn mine_probed_controlled<P: Probe, S: PatternSink>(
     miner.stats
 }
 
-struct Forward<'a, S>(&'a mut S);
+pub(crate) struct Forward<'a, S>(pub(crate) &'a mut S);
 impl<S: PatternSink> PatternSink for Forward<'_, S> {
     fn emit(&mut self, itemset: &[u32], support: u64) {
         self.0.emit(itemset, support);
     }
 }
 
-struct Miner<'a, P, S> {
-    minsup: u64,
-    cfg: FpConfig,
-    probe: &'a mut P,
-    sink: &'a mut S,
-    stats: FpStats,
+pub(crate) struct Miner<'a, P, S> {
+    pub(crate) minsup: u64,
+    pub(crate) cfg: FpConfig,
+    pub(crate) probe: &'a mut P,
+    pub(crate) sink: &'a mut S,
+    pub(crate) stats: FpStats,
     /// Cooperative stop signal, polled once per (tree, item) step.
-    control: &'a MineControl,
+    pub(crate) control: &'a MineControl,
     /// Set when a control check cut the recursion: the emitted sequence
     /// is a strict prefix of the full serial output.
-    cut: bool,
-    prefix: Vec<u32>,
+    pub(crate) cut: bool,
+    pub(crate) prefix: Vec<u32>,
     // epoch-stamped conditional support counters
-    counts: Vec<u64>,
-    stamps: Vec<u32>,
-    epoch: u32,
+    pub(crate) counts: Vec<u64>,
+    pub(crate) stamps: Vec<u32>,
+    pub(crate) epoch: u32,
 }
 
 impl<P: Probe, S: PatternSink> Miner<'_, P, S> {
@@ -258,9 +236,11 @@ impl<P: Probe, S: PatternSink> Miner<'_, P, S> {
     /// Mines the subtree of itemsets whose *last* (highest-rank) item is
     /// `item`: emits the extended prefix, builds `item`'s conditional
     /// tree, and recurses into it. Conditional trees for different items
-    /// of the root tree are independent — the decomposition the parallel
-    /// driver deals out as tasks (see [`crate::mine_parallel`]).
-    fn mine_item(&mut self, tree: &FpTree, item: u32) {
+    /// of the root tree are independent — the decomposition the [`spine`]
+    /// hands to the parallel driver as tasks.
+    ///
+    /// [`spine`]: crate::spine
+    pub(crate) fn mine_item(&mut self, tree: &FpTree, item: u32) {
         if self.control.should_stop() {
             self.cut = true;
             return;

@@ -74,7 +74,7 @@ impl TransactionDb {
     }
 
     /// The support of a single item, by scan (used by tests; miners use
-    /// the counted supports from [`crate::remap`]).
+    /// the counted supports from [`crate::remap()`]).
     pub fn item_support(&self, item: Item) -> u64 {
         self.transactions
             .iter()

@@ -1,0 +1,65 @@
+//! The kernel execution contract: [`KernelSpine`].
+//!
+//! Every mining kernel in this workspace parallelises and cancels the
+//! same way (DESIGN.md §11): the search space splits at the root into
+//! independent first-item subtrees, each subtree is mined serially with
+//! the shared [`MineControl`] polled at recursion-node granularity, and
+//! subtree outputs concatenated in root-task order reproduce the
+//! kernel's serial emission sequence exactly. `KernelSpine` captures
+//! that shape as a trait, so the one generic driver in `fpm-exec` can
+//! wire probes, control, sinks, and the work-stealing runtime for all
+//! kernels at once instead of once per kernel.
+//!
+//! Implementations live with the kernels (`fpm-lcm`, `fpm-eclat`,
+//! `fpm-fpgrowth`); the only caller is `fpm-exec`'s `MinePlan`. Direct
+//! use anywhere else is rejected by also-lint rule R6 (`kernel-entry`).
+
+use crate::control::MineControl;
+use crate::db::TransactionDb;
+use crate::sink::PatternSink;
+use memsim::Probe;
+
+/// One kernel's task-parallel skeleton: prepare the database once,
+/// enumerate the root subtrees in serial emission order, mine any one
+/// subtree into a sink.
+///
+/// # Contract
+///
+/// * `root_tasks` returns subtrees in the kernel's **serial emission
+///   order**: mining the tasks one by one into the same sink must
+///   produce the exact byte sequence of the kernel's serial `mine`.
+/// * `mine_task` emits patterns in **original item ids** (the spine owns
+///   the rank translation), polls `control` at recursion-node
+///   granularity, and returns `false` iff it observed a stop signal and
+///   cut its subtree short — so its output may be a proper prefix of
+///   the subtree's serial output (always a prefix, never a reordering).
+/// * Tasks are independent: mining them concurrently from shared
+///   `&Prepared` is safe, and per-task outputs concatenated in task
+///   order equal the serial sequence.
+pub trait KernelSpine {
+    /// Kernel configuration (ablation variant flags).
+    type Config: Clone + Send + Sync;
+    /// The prepared database: remapped, restructured, ready to mine.
+    type Prepared: Send + Sync;
+    /// One root subtree, cheap to copy across worker threads.
+    type Task: Copy + Send + Sync;
+
+    /// Remaps and restructures `db` for mining at `minsup`. Preparation
+    /// is uncontrolled (it does no emission) and unprobed — simulation
+    /// runs charge preparation through the kernel's own `mine_probed`.
+    fn prepare(db: &TransactionDb, minsup: u64, cfg: &Self::Config) -> Self::Prepared;
+
+    /// The root subtrees in serial emission order.
+    fn root_tasks(prepared: &Self::Prepared) -> Vec<Self::Task>;
+
+    /// Mines one subtree into `sink`, charging memory traffic to
+    /// `probe` and polling `control` per recursion node. Returns `true`
+    /// iff the subtree was mined to completion (no stop signal seen).
+    fn mine_task<P: Probe, S: PatternSink>(
+        prepared: &Self::Prepared,
+        task: Self::Task,
+        probe: &mut P,
+        control: &MineControl,
+        sink: &mut S,
+    ) -> bool;
+}

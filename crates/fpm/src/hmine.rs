@@ -1,4 +1,4 @@
-//! H-Mine (Pei et al., ICDM'01 — the paper's reference [25]):
+//! H-Mine (Pei et al., ICDM'01 — the paper's reference \[25\]):
 //! hyper-structure mining of frequent patterns.
 //!
 //! H-Mine is the fourth algorithm family the paper's related-work section

@@ -24,6 +24,7 @@ pub mod alloc_guard;
 pub mod bound;
 pub mod control;
 pub mod db;
+pub mod exec;
 pub mod hmine;
 pub mod horizontal;
 pub mod io;
@@ -43,4 +44,4 @@ pub use sink::{
     replay_merged, replay_merged_prefix, CollectSink, ControlledSink, CountSink, LimitSink,
     PatternSink, RecordSink, StatsSink, TranslateSink,
 };
-pub use types::{Item, ItemsetCount, MineKind, Tid};
+pub use types::{Item, ItemsetCount, Kernel, MineKind, Tid};

@@ -1,7 +1,7 @@
 //! Input characterization and operational counters.
 //!
 //! Two halves: (a) bridges [`TransactionDb`] to the advisor's
-//! [`InputProfile`](also::advisor::InputProfile) and adds the
+//! [`InputProfile`] and adds the
 //! dataset-shape statistics the evaluation section reasons with (density,
 //! mean length, scatter of the frequent items); (b) [`MetricSet`], the
 //! small named-counter registry the service layer exports its

@@ -8,7 +8,7 @@ use crate::db::TransactionDb;
 use crate::types::{Item, ItemsetCount, MineKind};
 
 /// Mines every frequent itemset of `db` at threshold `minsup`
-/// (`minsup == 0` is treated as 1, matching [`crate::remap`]).
+/// (`minsup == 0` is treated as 1, matching [`crate::remap()`]).
 ///
 /// Only use on small inputs: the candidate space is pruned by the Apriori
 /// property (an infrequent itemset has no frequent extensions) but support

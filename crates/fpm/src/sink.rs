@@ -19,6 +19,13 @@ pub trait PatternSink {
     fn emit(&mut self, itemset: &[Item], support: u64);
 }
 
+impl<S: PatternSink + ?Sized> PatternSink for &mut S {
+    #[inline]
+    fn emit(&mut self, itemset: &[Item], support: u64) {
+        (**self).emit(itemset, support);
+    }
+}
+
 /// Counts patterns; the cheapest sink.
 #[derive(Debug, Default, Clone)]
 pub struct CountSink {

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// An item identifier. In *raw* databases this is the external label; in
-/// *ranked* databases (after [`crate::remap`]) it is the frequency rank,
+/// *ranked* databases (after [`crate::remap()`]) it is the frequency rank,
 /// with `0` the most frequent item — which makes "decreasing frequency
 /// order" plain ascending integer order everywhere downstream.
 pub type Item = u32;
@@ -46,6 +46,56 @@ impl MineKind {
     }
 }
 
+/// Which mining kernel executes a run.
+///
+/// This is the workspace-wide kernel identity: the serve layer keys its
+/// result cache on it, the CLI parses it from `--kernel`, and the exec
+/// layer dispatches a `MinePlan` through it. (The serial-only reference
+/// miners — apriori, hmine — are not listed here: they have no parallel
+/// spine and the service never dispatches to them.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// `fpm-lcm` (array-based horizontal).
+    Lcm,
+    /// `fpm-eclat` (vertical bit matrix).
+    Eclat,
+    /// `fpm-fpgrowth` (prefix tree).
+    FpGrowth,
+}
+
+impl Kernel {
+    /// Parses `lcm` / `eclat` / `fpgrowth`.
+    pub fn by_label(label: &str) -> Option<Kernel> {
+        match label.to_ascii_lowercase().as_str() {
+            "lcm" => Some(Kernel::Lcm),
+            "eclat" => Some(Kernel::Eclat),
+            "fpgrowth" => Some(Kernel::FpGrowth),
+            _ => None,
+        }
+    }
+
+    /// The wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Kernel::Lcm => "lcm",
+            Kernel::Eclat => "eclat",
+            Kernel::FpGrowth => "fpgrowth",
+        }
+    }
+
+    /// A stable one-byte code for cache keys.
+    pub fn code(&self) -> u8 {
+        match self {
+            Kernel::Lcm => 0,
+            Kernel::Eclat => 1,
+            Kernel::FpGrowth => 2,
+        }
+    }
+
+    /// All kernels the service dispatches to.
+    pub const ALL: [Kernel; 3] = [Kernel::Lcm, Kernel::Eclat, Kernel::FpGrowth];
+}
+
 /// Canonicalizes a result set for comparison: sorts each itemset's items
 /// and then the list of patterns. Every cross-miner equivalence test goes
 /// through this.
@@ -70,6 +120,19 @@ mod tests {
         let c = canonicalize(raw);
         assert_eq!(c[0].items, vec![1]);
         assert_eq!(c[1].items, vec![1, 3]);
+    }
+
+    #[test]
+    fn kernel_labels_roundtrip() {
+        for k in Kernel::ALL {
+            assert_eq!(Kernel::by_label(k.label()), Some(k));
+        }
+        assert_eq!(Kernel::by_label("LCM"), Some(Kernel::Lcm));
+        assert_eq!(Kernel::by_label("nope"), None);
+        // Cache keys depend on these codes staying put.
+        assert_eq!(Kernel::Lcm.code(), 0);
+        assert_eq!(Kernel::Eclat.code(), 1);
+        assert_eq!(Kernel::FpGrowth.code(), 2);
     }
 
     #[test]

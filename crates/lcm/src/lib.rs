@@ -19,12 +19,12 @@
 #![warn(missing_docs)]
 
 pub mod miner;
-pub mod parallel;
 pub mod projdb;
 pub mod rmdup;
+pub mod spine;
 
 pub use miner::LcmStats;
-pub use parallel::{mine_parallel, mine_parallel_controlled_into};
+pub use spine::LcmSpine;
 
 use fpm::control::MineControl;
 use fpm::{remap, ControlledSink, PatternSink, TransactionDb, TranslateSink};
@@ -129,6 +129,11 @@ pub fn mine<S: PatternSink>(
 }
 
 /// [`mine`] with memory instrumentation (see [`memsim`]).
+///
+/// These two serial entry points are the kernel's whole mining surface.
+/// Control (cancellation, deadlines, budgets) and parallelism are
+/// composed once, above the kernel, by `fpm-exec`'s `MinePlan` driving
+/// this crate's [`spine`] implementation.
 pub fn mine_probed<P: Probe, S: PatternSink>(
     db: &TransactionDb,
     minsup: u64,
@@ -136,34 +141,7 @@ pub fn mine_probed<P: Probe, S: PatternSink>(
     probe: &mut P,
     sink: &mut S,
 ) -> LcmStats {
-    mine_probed_controlled(db, minsup, cfg, probe, &MineControl::unlimited(), sink)
-}
-
-/// [`mine`] under a cooperative [`MineControl`]: the recursion polls the
-/// control once per (node, child) step and unwinds when it trips, and
-/// every delivery is charged against the control's budget. The patterns
-/// that reach `sink` are always a contiguous **prefix** of the exact
-/// sequence [`mine`] would emit; inspect `control.stop_cause()` to learn
-/// whether (and why) the run stopped early.
-pub fn mine_controlled<S: PatternSink>(
-    db: &TransactionDb,
-    minsup: u64,
-    cfg: &LcmConfig,
-    control: &MineControl,
-    sink: &mut S,
-) -> LcmStats {
-    mine_probed_controlled(db, minsup, cfg, &mut NullProbe, control, sink)
-}
-
-/// The full-generality entry point: instrumentation probe + control.
-pub fn mine_probed_controlled<P: Probe, S: PatternSink>(
-    db: &TransactionDb,
-    minsup: u64,
-    cfg: &LcmConfig,
-    probe: &mut P,
-    control: &MineControl,
-    sink: &mut S,
-) -> LcmStats {
+    let control = MineControl::unlimited();
     let ranked = remap(db, minsup);
     let mut transactions = ranked.transactions.clone();
     if cfg.lex {
@@ -180,13 +158,14 @@ pub fn mine_probed_controlled<P: Probe, S: PatternSink>(
         }
     }
     let mut translate =
-        TranslateSink::new(&ranked.map, ControlledSink::new(control, Forward(sink)));
-    let mut miner = miner::Miner::new(*cfg, minsup, ranked.n_ranks(), probe, control, &mut translate);
+        TranslateSink::new(&ranked.map, ControlledSink::new(&control, Forward(sink)));
+    let mut miner =
+        miner::Miner::new(*cfg, minsup, ranked.n_ranks(), probe, &control, &mut translate);
     miner.run(&transactions);
     miner.stats
 }
 
-struct Forward<'a, S>(&'a mut S);
+pub(crate) struct Forward<'a, S>(pub(crate) &'a mut S);
 impl<S: PatternSink> PatternSink for Forward<'_, S> {
     fn emit(&mut self, itemset: &[u32], support: u64) {
         self.0.emit(itemset, support);

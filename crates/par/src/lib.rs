@@ -38,8 +38,8 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
-/// Parallel runtime configuration, shared by every kernel's
-/// `mine_parallel` and surfaced through the CLI `--threads` flag.
+/// Parallel runtime configuration, shared by every kernel through the
+/// `fpm-exec` plan executor and surfaced via the CLI `--threads` flag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParConfig {
     /// Worker thread count. `0` means "pick for me": the host's available

@@ -13,49 +13,10 @@ use quest::{Dataset, Scale};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Which miner executes the request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Kernel {
-    /// `fpm-lcm` (array-based horizontal).
-    Lcm,
-    /// `fpm-eclat` (vertical bit matrix).
-    Eclat,
-    /// `fpm-fpgrowth` (prefix tree).
-    FpGrowth,
-}
-
-impl Kernel {
-    /// Parses `lcm` / `eclat` / `fpgrowth`.
-    pub fn by_label(label: &str) -> Option<Kernel> {
-        match label.to_ascii_lowercase().as_str() {
-            "lcm" => Some(Kernel::Lcm),
-            "eclat" => Some(Kernel::Eclat),
-            "fpgrowth" => Some(Kernel::FpGrowth),
-            _ => None,
-        }
-    }
-
-    /// The wire label.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Kernel::Lcm => "lcm",
-            Kernel::Eclat => "eclat",
-            Kernel::FpGrowth => "fpgrowth",
-        }
-    }
-
-    /// A stable one-byte code for cache keys.
-    pub fn code(&self) -> u8 {
-        match self {
-            Kernel::Lcm => 0,
-            Kernel::Eclat => 1,
-            Kernel::FpGrowth => 2,
-        }
-    }
-
-    /// All kernels the service dispatches to.
-    pub const ALL: [Kernel; 3] = [Kernel::Lcm, Kernel::Eclat, Kernel::FpGrowth];
-}
+// The kernel taxonomy moved into the substrate (`fpm::Kernel`) so the
+// executor, CLI, and service all dispatch over one enum; re-exported
+// here because `serve::Kernel` is this crate's wire vocabulary.
+pub use fpm::Kernel;
 
 /// Where the transactions come from.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -29,10 +29,10 @@
 
 use crate::cache::{fingerprint, CacheKey, ResultCache};
 use crate::request::{DatasetSpec, Kernel, MineRequest, MineResponse, MineStats, Outcome};
+use exec::MinePlan;
 use fpm::control::{MineControl, StopCause};
 use fpm::metrics::MetricSet;
 use fpm::{CollectSink, ItemsetCount, TransactionDb};
-use par::ParConfig;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -421,57 +421,14 @@ fn run_kernel(
     minsup: u64,
     control: &MineControl,
 ) -> (Vec<ItemsetCount>, bool) {
+    // `mine_threads` 0 means "serial in the worker" here (the pool is
+    // the parallelism), so it does NOT fall through to the runtime's
+    // auto-detection the way `MinePlan::threads(0)` would.
     let mut sink = CollectSink::default();
-    let threads = inner.cfg.mine_threads;
-    let fully_merged = if threads > 1 {
-        let par_cfg = ParConfig::with_threads(threads);
-        match kernel {
-            Kernel::Lcm => lcm::mine_parallel_controlled_into(
-                db,
-                minsup,
-                &lcm::LcmConfig::all(),
-                &par_cfg,
-                control,
-                &mut sink,
-            ),
-            Kernel::Eclat => eclat::mine_parallel_controlled_into(
-                db,
-                minsup,
-                &eclat::EclatConfig::all(),
-                &par_cfg,
-                control,
-                &mut sink,
-            ),
-            Kernel::FpGrowth => fpgrowth::mine_parallel_controlled_into(
-                db,
-                minsup,
-                &fpgrowth::FpConfig::all(),
-                &par_cfg,
-                control,
-                &mut sink,
-            ),
-        }
-    } else {
-        match kernel {
-            Kernel::Lcm => {
-                lcm::mine_controlled(db, minsup, &lcm::LcmConfig::all(), control, &mut sink);
-            }
-            Kernel::Eclat => {
-                eclat::mine_controlled(db, minsup, &eclat::EclatConfig::all(), control, &mut sink);
-            }
-            Kernel::FpGrowth => {
-                fpgrowth::mine_controlled(
-                    db,
-                    minsup,
-                    &fpgrowth::FpConfig::all(),
-                    control,
-                    &mut sink,
-                );
-            }
-        }
-        true
-    };
-    (sink.patterns, fully_merged)
+    let summary = MinePlan::kernel(kernel, minsup)
+        .threads(inner.cfg.mine_threads.max(1))
+        .execute_controlled(db, control, &mut sink);
+    (sink.patterns, summary.complete)
 }
 
 #[cfg(test)]
@@ -498,17 +455,8 @@ mod tests {
             let got = resp.patterns.expect("patterns included by default");
             let db = toy_spec().resolve().unwrap();
             let mut sink = CollectSink::default();
-            match kernel {
-                Kernel::Lcm => {
-                    lcm::mine(&db, 2, &lcm::LcmConfig::all(), &mut sink);
-                }
-                Kernel::Eclat => {
-                    eclat::mine(&db, 2, &eclat::EclatConfig::all(), &mut sink);
-                }
-                Kernel::FpGrowth => {
-                    fpgrowth::mine(&db, 2, &fpgrowth::FpConfig::all(), &mut sink);
-                }
-            }
+            let summary = MinePlan::kernel(kernel, 2).execute(&db, &mut sink);
+            assert!(summary.complete);
             assert_eq!(*got, sink.patterns, "{}", kernel.label());
         }
         svc.shutdown();

@@ -13,6 +13,7 @@ pub const RULE_IDS: &[&str] = &[
     "deterministic-iteration",
     "hot-loop-alloc",
     "unchecked-indexing",
+    "kernel-entry",
 ];
 
 /// One finding: a rule violated at a specific file and line.

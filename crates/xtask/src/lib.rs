@@ -16,6 +16,9 @@
 //!   allocate; `fpm::alloc_guard` proves the same at runtime.
 //! - **unchecked-indexing** (R5): `get_unchecked` stays inside
 //!   `crates/also`.
+//! - **kernel-entry** (R6): the `KernelSpine` machinery (and the retired
+//!   per-kernel entry points) stays inside `crates/exec` and the kernel
+//!   crates; everyone else mines through `exec::MinePlan`.
 //!
 //! Run with `cargo run -p xtask -- lint [--format json]`. Suppress a
 //! finding with `// also-lint: allow(<rule>)` on the offending line or
@@ -34,4 +37,7 @@ pub mod workspace;
 
 pub use diag::{to_json, Diagnostic, RULE_IDS};
 pub use rules::{lint_source, FileCtx};
-pub use workspace::{classify, lint_workspace, lintable_files, EMISSION_PATHS};
+pub use workspace::{
+    classify, lint_workspace, lintable_files, EMISSION_PATHS, KERNEL_INTERNAL_FILES,
+    KERNEL_INTERNAL_PREFIXES,
+};

@@ -1,4 +1,4 @@
-//! The five `also-lint` rules, implemented as token-stream visitors.
+//! The six `also-lint` rules, implemented as token-stream visitors.
 //!
 //! Each rule is a pure function from a lexed token stream (plus a
 //! [`FileCtx`] saying what kind of file this is) to diagnostics. A final
@@ -14,6 +14,7 @@
 //! | `deterministic-iteration` | no hash-order iteration on the emission/merge path      |
 //! | `hot-loop-alloc`          | `// also-lint: hot` functions do not allocate           |
 //! | `unchecked-indexing`      | `get_unchecked{,_mut}` only inside `crates/also`        |
+//! | `kernel-entry`            | spine internals stay inside `crates/exec` + kernels     |
 
 use crate::diag::Diagnostic;
 use crate::lexer::{lex, Tok, TokKind};
@@ -29,9 +30,14 @@ pub struct FileCtx {
     /// Inside `crates/also` → R5 does not apply (that crate is the one
     /// place allowed to hold `unsafe` micro-optimizations).
     pub in_also: bool,
-    /// On the emission/merge path (sinks, postfilter, par runtime,
-    /// kernel `parallel.rs` modules) → R3 applies.
+    /// On the emission/merge path (sinks, postfilter, par runtime, the
+    /// plan executor) → R3 applies.
     pub emission_path: bool,
+    /// Inside the executor (`crates/exec`), a kernel crate, or the
+    /// `fpm` spine-contract module → R6 does not apply (these *own*
+    /// the `KernelSpine` machinery everyone else must reach through
+    /// `MinePlan`).
+    pub kernel_internal: bool,
 }
 
 /// Lints one file's source text and returns its (sorted, suppression-
@@ -49,6 +55,9 @@ pub fn lint_source(ctx: &FileCtx, src: &str) -> Vec<Diagnostic> {
     rule_hot_loop_alloc(ctx, &toks, &mut diags);
     if !ctx.in_also {
         rule_unchecked_indexing(ctx, &toks, &mut diags);
+    }
+    if !ctx.kernel_internal {
+        rule_kernel_entry(ctx, &toks, &mut diags);
     }
     let allows = collect_allows(&toks);
     diags.retain(|d| !is_allowed(&allows, d.line, d.rule));
@@ -557,6 +566,45 @@ fn rule_unchecked_indexing(ctx: &FileCtx, toks: &[Tok], diags: &mut Vec<Diagnost
     }
 }
 
+// ---------------------------------------------------------------------------
+// R6: kernel-entry
+// ---------------------------------------------------------------------------
+
+/// Identifiers that belong to the kernel-spine contract (or to retired
+/// per-kernel entry points). Everything outside `crates/exec` and the
+/// kernel crates mines through `exec::MinePlan` instead; naming one of
+/// these is either a layering violation or a resurrected dead API.
+const KERNEL_ENTRY_IDENTS: &[&str] = &[
+    "KernelSpine",
+    "LcmSpine",
+    "EclatSpine",
+    "FpSpine",
+    "root_tasks",
+    "mine_task",
+    "mine_controlled",
+    "mine_probed_controlled",
+    "mine_parallel",
+    "mine_parallel_into",
+    "mine_parallel_controlled_into",
+];
+
+fn rule_kernel_entry(ctx: &FileCtx, toks: &[Tok], diags: &mut Vec<Diagnostic>) {
+    for t in toks {
+        if t.kind == TokKind::Ident && KERNEL_ENTRY_IDENTS.contains(&t.text.as_str()) {
+            diags.push(Diagnostic {
+                file: ctx.path.clone(),
+                line: t.line,
+                rule: "kernel-entry",
+                message: format!(
+                    "`{}` is kernel-spine internal; build an `exec::MinePlan` instead \
+                     (only `crates/exec` and the kernel crates may touch the spine)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -704,6 +752,25 @@ mod tests {
         };
         let d = lint_source(&also, src);
         assert!(d.iter().all(|d| d.rule != "unchecked-indexing"));
+    }
+
+    #[test]
+    fn r6_flags_spine_identifiers_outside_kernel_zone() {
+        let src = "fn f(db: &fpm::TransactionDb) {\n    let t = lcm::LcmSpine::root_tasks(&p);\n}\n";
+        let d = lint_source(&ctx(), src);
+        assert_eq!(rules_of(&d), vec!["kernel-entry", "kernel-entry"]);
+        assert_eq!(d[0].line, 2);
+        let inside = FileCtx {
+            kernel_internal: true,
+            ..ctx()
+        };
+        assert!(lint_source(&inside, src).is_empty());
+    }
+
+    #[test]
+    fn r6_skips_comments_strings_and_plain_mine() {
+        let src = "// mine_parallel was retired in favour of MinePlan\nfn f() -> &'static str {\n    lcm::mine(db, 2, &cfg, sink);\n    \"mine_controlled\"\n}\n";
+        assert!(lint_source(&ctx(), src).is_empty());
     }
 
     #[test]

@@ -13,18 +13,17 @@ use std::path::{Path, PathBuf};
 
 /// Modules on the emission/merge path, where iteration order becomes
 /// output order: pattern sinks, the closed/maximal post-filter, the
-/// parallel runtime's merge, each kernel's parallel adapter, and the
-/// whole serve layer (its cache eviction, response rendering, and
-/// prefix merge all feed caller-visible output). These carry PR 1's
+/// parallel runtime's merge, the plan executor (whose driver owns the
+/// rank-ordered prefix replay), and the whole serve layer (its cache
+/// eviction, response rendering, and prefix merge all feed
+/// caller-visible output). These carry PR 1's
 /// byte-identical-to-serial determinism guarantee, so R3
 /// (deterministic-iteration) applies to them.
 pub const EMISSION_PATHS: &[&str] = &[
     "crates/fpm/src/sink.rs",
     "crates/fpm/src/postfilter.rs",
     "crates/par/src/lib.rs",
-    "crates/lcm/src/parallel.rs",
-    "crates/eclat/src/parallel.rs",
-    "crates/fpgrowth/src/parallel.rs",
+    "crates/exec/src/lib.rs",
     "crates/apriori/src/lib.rs",
     "crates/memsim/src/classify.rs",
     "crates/serve/src/cache.rs",
@@ -33,6 +32,20 @@ pub const EMISSION_PATHS: &[&str] = &[
     "crates/serve/src/json.rs",
     "crates/serve/src/frontend.rs",
 ];
+
+/// Path prefixes allowed to touch the `KernelSpine` machinery directly
+/// (R6 `kernel-entry` does not apply inside them): the executor and the
+/// kernel crates that implement spines.
+pub const KERNEL_INTERNAL_PREFIXES: &[&str] = &[
+    "crates/exec/",
+    "crates/lcm/",
+    "crates/eclat/",
+    "crates/fpgrowth/",
+];
+
+/// Single files outside those prefixes that also own spine vocabulary:
+/// the `fpm` module *defining* the `KernelSpine` trait.
+pub const KERNEL_INTERNAL_FILES: &[&str] = &["crates/fpm/src/exec.rs"];
 
 /// Directory names never descended into.
 const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "node_modules"];
@@ -50,6 +63,12 @@ pub fn classify(root: &Path, rel: &str) -> FileCtx {
         is_crate_root,
         in_also: rel.starts_with("crates/also/") || rel.contains("/crates/also/"),
         emission_path: EMISSION_PATHS.iter().any(|p| rel == *p || rel.ends_with(&format!("/{p}"))),
+        kernel_internal: KERNEL_INTERNAL_PREFIXES
+            .iter()
+            .any(|p| rel.starts_with(p) || rel.contains(&format!("/{p}")))
+            || KERNEL_INTERNAL_FILES
+                .iter()
+                .any(|p| rel == *p || rel.ends_with(&format!("/{p}"))),
     }
 }
 
@@ -141,6 +160,21 @@ mod tests {
         let c = classify(&root, "crates/serve/src/lib.rs");
         assert!(c.is_crate_root);
         assert!(!c.emission_path, "the crate root holds no iteration");
+        assert!(!c.kernel_internal, "serve must go through MinePlan");
+    }
+
+    #[test]
+    fn classify_marks_kernel_internal_zone() {
+        let root = repo_root();
+        assert!(classify(&root, "crates/exec/src/lib.rs").kernel_internal);
+        assert!(classify(&root, "crates/exec/src/lib.rs").emission_path);
+        assert!(classify(&root, "crates/lcm/src/spine.rs").kernel_internal);
+        assert!(classify(&root, "crates/eclat/src/lib.rs").kernel_internal);
+        assert!(classify(&root, "crates/fpgrowth/src/spine.rs").kernel_internal);
+        assert!(classify(&root, "crates/fpm/src/exec.rs").kernel_internal);
+        assert!(!classify(&root, "crates/fpm/src/lib.rs").kernel_internal);
+        assert!(!classify(&root, "crates/cli/src/main.rs").kernel_internal);
+        assert!(!classify(&root, "tests/exec_conformance.rs").kernel_internal);
     }
 
     #[test]

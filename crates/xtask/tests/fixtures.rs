@@ -22,6 +22,9 @@ fn ctx(name: &str) -> FileCtx {
         in_also: false,
         // R3 only fires on emission/merge-path modules.
         emission_path: name.starts_with("r3"),
+        // R6 is suspended inside the executor and kernel crates; the
+        // fixtures model ordinary caller code.
+        kernel_internal: false,
     }
 }
 
@@ -93,6 +96,20 @@ fn r5_unchecked_indexing() {
     let mut also = ctx("r5_bad.rs");
     also.in_also = true;
     assert!(lint_source(&also, &fixture("r5_bad.rs")).is_empty());
+}
+
+#[test]
+fn r6_kernel_entry() {
+    check("r6_good.rs", "kernel-entry", false);
+    check("r6_bad.rs", "kernel-entry", true);
+    // The bad fixture names the spine type twice, `root_tasks` once, and
+    // the retired controlled entry point once.
+    let diags = lint_source(&ctx("r6_bad.rs"), &fixture("r6_bad.rs"));
+    assert_eq!(diags.len(), 4);
+    // The same source inside the kernel-internal zone is allowed.
+    let mut inside = ctx("r6_bad.rs");
+    inside.kernel_internal = true;
+    assert!(lint_source(&inside, &fixture("r6_bad.rs")).is_empty());
 }
 
 #[test]

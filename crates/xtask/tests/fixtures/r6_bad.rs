@@ -1,0 +1,15 @@
+//! R6 bad: reaches past the executor into the kernel spine, and
+//! resurrects a retired controlled entry point.
+
+pub fn bypasses_the_plan(db: &fpm::TransactionDb, minsup: u64) -> usize {
+    let cfg = lcm::LcmConfig::all();
+    let prepared = lcm::LcmSpine::prepare(db, minsup, &cfg);
+    let tasks = lcm::LcmSpine::root_tasks(&prepared);
+    tasks.len()
+}
+
+pub fn resurrects_dead_api(db: &fpm::TransactionDb, minsup: u64) {
+    let control = fpm::MineControl::unlimited();
+    let mut sink = fpm::CountSink::default();
+    lcm::mine_controlled(db, minsup, &lcm::LcmConfig::all(), &control, &mut sink);
+}

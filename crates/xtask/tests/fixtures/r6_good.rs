@@ -1,0 +1,19 @@
+//! R6 good: mining goes through the `MinePlan` executor — no spine
+//! vocabulary, no retired per-kernel entry points.
+
+pub fn count_frequent(db: &fpm::TransactionDb, minsup: u64) -> u64 {
+    let mut sink = fpm::CountSink::default();
+    let summary = exec::MinePlan::by_label("lcm", minsup)
+        .expect("known kernel")
+        .threads(4)
+        .execute(db, &mut sink);
+    assert!(summary.complete);
+    sink.count
+}
+
+/// The kernels' own serial `mine` stays public API — naming it is fine.
+pub fn serial_reference(db: &fpm::TransactionDb, minsup: u64) -> u64 {
+    let mut sink = fpm::CountSink::default();
+    lcm::mine(db, minsup, &lcm::LcmConfig::all(), &mut sink);
+    sink.count
+}

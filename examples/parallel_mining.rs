@@ -3,12 +3,15 @@
 //! first items is disjoint — workers share only the read-only root
 //! structure (LCM: projection; Eclat: vertical bit matrix; FP-Growth:
 //! FP-tree) and all three kernels run on the same `fpm-par`
-//! work-stealing scheduler.
+//! work-stealing scheduler, driven through one [`MinePlan`].
 //!
 //! ```sh
 //! cargo run --release --example parallel_mining [threads]
 //! ```
+//!
+//! [`MinePlan`]: also_fpm::exec::MinePlan
 
+use also_fpm::exec::MinePlan;
 use also_fpm::fpm::{CollectSink, ItemsetCount, TransactionDb};
 use also_fpm::par::ParConfig;
 use also_fpm::quest::{Dataset, Scale};
@@ -17,11 +20,11 @@ use std::time::Instant;
 
 fn report(
     name: &str,
+    label: &str,
     db: &TransactionDb,
     minsup: u64,
     par_cfg: &ParConfig,
     serial: impl Fn(&TransactionDb, u64, &mut CollectSink),
-    parallel: impl Fn(&TransactionDb, u64, &ParConfig) -> Vec<ItemsetCount>,
 ) {
     let t = Instant::now();
     let mut sink = CollectSink::default();
@@ -30,7 +33,14 @@ fn report(
     let t_seq = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
-    let got = parallel(db, minsup, par_cfg);
+    let got: Vec<ItemsetCount> = {
+        let mut sink = CollectSink::default();
+        MinePlan::by_label(label, minsup)
+            .expect("known kernel")
+            .par_config(*par_cfg)
+            .execute(db, &mut sink);
+        also_fpm::fpm::types::canonicalize(sink.patterns)
+    };
     let t_par = t.elapsed().as_secs_f64();
 
     assert_eq!(expect, got, "{name}: parallel must match serial");
@@ -55,35 +65,14 @@ fn main() {
         par_cfg.effective_threads(usize::MAX),
     );
 
-    report(
-        "lcm",
-        &db,
-        minsup,
-        &par_cfg,
-        |db, ms, sink| {
-            lcm::mine(db, ms, &lcm::LcmConfig::all(), sink);
-        },
-        |db, ms, par| lcm::mine_parallel(db, ms, &lcm::LcmConfig::all(), par),
-    );
-    report(
-        "eclat",
-        &db,
-        minsup,
-        &par_cfg,
-        |db, ms, sink| {
-            eclat::mine(db, ms, &eclat::EclatConfig::all(), sink);
-        },
-        |db, ms, par| eclat::mine_parallel(db, ms, &eclat::EclatConfig::all(), par),
-    );
-    report(
-        "fp-growth",
-        &db,
-        minsup,
-        &par_cfg,
-        |db, ms, sink| {
-            fpgrowth::mine(db, ms, &fpgrowth::FpConfig::all(), sink);
-        },
-        |db, ms, par| fpgrowth::mine_parallel(db, ms, &fpgrowth::FpConfig::all(), par),
-    );
+    report("lcm", "lcm", &db, minsup, &par_cfg, |db, ms, sink| {
+        lcm::mine(db, ms, &lcm::LcmConfig::all(), sink);
+    });
+    report("eclat", "eclat", &db, minsup, &par_cfg, |db, ms, sink| {
+        eclat::mine(db, ms, &eclat::EclatConfig::all(), sink);
+    });
+    report("fp-growth", "fpgrowth", &db, minsup, &par_cfg, |db, ms, sink| {
+        fpgrowth::mine(db, ms, &fpgrowth::FpConfig::all(), sink);
+    });
     println!("all three kernels: parallel results identical to serial");
 }

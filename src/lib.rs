@@ -3,7 +3,8 @@
 //! Re-exports the whole workspace: the ALSO tuning-pattern library
 //! ([`also`]), the mining substrate ([`fpm`]), the dataset generators
 //! ([`quest`]), the memory-hierarchy simulator ([`memsim`]), the shared
-//! work-stealing parallel runtime ([`par`]), the four miners
+//! work-stealing parallel runtime ([`par`]), the unified mining
+//! executor ([`exec`]), the four miners
 //! ([`lcm`], [`eclat`], [`fpgrowth`], [`apriori`]), and the mining
 //! service layer ([`serve`]).
 //!
@@ -30,6 +31,7 @@
 pub use also;
 pub use apriori;
 pub use eclat;
+pub use exec;
 pub use fpgrowth;
 pub use fpm;
 pub use lcm;

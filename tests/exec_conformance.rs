@@ -1,0 +1,222 @@
+//! Executor conformance: the `MinePlan` layer's one guarantee, tested
+//! from outside the workspace — for *any* plan (kernel × thread count ×
+//! budget × deadline trip), whatever reaches the sink is byte-identical
+//! to a contiguous prefix of the single-threaded uncontrolled run's
+//! serial emission order; with nothing armed it is the whole sequence.
+//!
+//! The second half pins the serve layer to the same reference: cold
+//! responses and cache-served responses both reproduce the serial
+//! kernel output exactly (the PR 3 golden behavior, now reached through
+//! `MinePlan` instead of the retired per-kernel entry points).
+
+use exec::MinePlan;
+use fpm::{CollectSink, ItemsetCount, RecordSink, TransactionDb};
+use proptest::prelude::*;
+use serve::{DatasetSpec, MineRequest, MineService, Outcome, ServeConfig};
+use std::time::Duration;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// The reference stream: the kernel's own serial, uncontrolled `mine`.
+fn serial_bytes(kernel: fpm::Kernel, db: &TransactionDb, minsup: u64) -> Vec<u8> {
+    let mut sink = RecordSink::default();
+    match kernel {
+        fpm::Kernel::Lcm => {
+            lcm::mine(db, minsup, &lcm::LcmConfig::all(), &mut sink);
+        }
+        fpm::Kernel::Eclat => {
+            eclat::mine(db, minsup, &eclat::EclatConfig::all(), &mut sink);
+        }
+        fpm::Kernel::FpGrowth => {
+            fpgrowth::mine(db, minsup, &fpgrowth::FpConfig::all(), &mut sink);
+        }
+    }
+    sink.bytes
+}
+
+fn serial_patterns(kernel: fpm::Kernel, db: &TransactionDb, minsup: u64) -> Vec<ItemsetCount> {
+    let mut sink = CollectSink::default();
+    match kernel {
+        fpm::Kernel::Lcm => {
+            lcm::mine(db, minsup, &lcm::LcmConfig::all(), &mut sink);
+        }
+        fpm::Kernel::Eclat => {
+            eclat::mine(db, minsup, &eclat::EclatConfig::all(), &mut sink);
+        }
+        fpm::Kernel::FpGrowth => {
+            fpgrowth::mine(db, minsup, &fpgrowth::FpConfig::all(), &mut sink);
+        }
+    }
+    sink.patterns
+}
+
+/// Checks one executed plan's byte stream against the serial reference:
+/// must be a line-aligned contiguous prefix, within `budget` lines when
+/// a budget is armed, and the *whole* stream when nothing tripped.
+fn assert_serial_prefix(
+    label: &str,
+    got: &[u8],
+    full: &[u8],
+    budget: Option<u64>,
+    summary: &exec::ExecSummary,
+) {
+    assert!(
+        full.starts_with(got),
+        "{label}: output is not a prefix of the serial stream"
+    );
+    assert!(
+        got.is_empty() || got.ends_with(b"\n"),
+        "{label}: output cut mid-pattern"
+    );
+    let got_lines = got.split_inclusive(|&b| b == b'\n').count() as u64;
+    assert_eq!(summary.emitted, got_lines, "{label}: emitted miscounted");
+    if let Some(b) = budget {
+        assert!(got_lines <= b, "{label}: over-delivered past the budget");
+    }
+    if summary.stop_cause.is_none() {
+        assert_eq!(got, full, "{label}: untripped run must emit everything");
+        assert!(summary.complete, "{label}: untripped run must be complete");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any plan, any trip cause: the sink sees a serial prefix.
+    #[test]
+    fn any_plan_emits_a_serial_prefix(
+        db in prop::collection::vec(
+            prop::collection::btree_set(0u32..11, 0..6)
+                .prop_map(|s| s.into_iter().collect::<Vec<u32>>()),
+            0..35),
+        minsup in 1u64..4,
+        // 30..40 means "no budget armed" (the vendored proptest has no
+        // Option strategy).
+        budget_sel in 0u64..40,
+        deadline_trips in any::<bool>(),
+    ) {
+        let budget = (budget_sel < 30).then_some(budget_sel);
+        let db = TransactionDb::from_transactions(db);
+        for kernel in fpm::Kernel::ALL {
+            let full = serial_bytes(kernel, &db, minsup);
+            for &threads in &THREAD_COUNTS {
+                let mut plan = MinePlan::kernel(kernel, minsup).threads(threads);
+                if let Some(b) = budget {
+                    plan = plan.max_patterns(b);
+                }
+                if deadline_trips {
+                    // An already-expired deadline: the run trips at (or
+                    // very near) the first control poll, exercising the
+                    // empty/short-prefix path.
+                    plan = plan.deadline(Duration::ZERO);
+                }
+                let mut sink = RecordSink::default();
+                let summary = plan.execute(&db, &mut sink);
+                let label = format!(
+                    "{} threads={threads} budget={budget:?} deadline={deadline_trips}",
+                    kernel.label()
+                );
+                assert_serial_prefix(&label, &sink.bytes, &full, budget, &summary);
+                if threads == 1 && !deadline_trips {
+                    // Serial budgets are exact, not merely bounded.
+                    let full_lines = full.split_inclusive(|&b| b == b'\n').count() as u64;
+                    let want = budget.map_or(full_lines, |b| b.min(full_lines));
+                    prop_assert_eq!(summary.emitted, want, "{}", label);
+                }
+            }
+        }
+    }
+
+    /// The serve layer, reached end to end: cold responses and
+    /// cache-served responses both equal the serial kernel output.
+    #[test]
+    fn serve_cache_hits_still_match_serial_goldens(
+        db in prop::collection::vec(
+            prop::collection::btree_set(0u32..10, 0..6)
+                .prop_map(|s| s.into_iter().collect::<Vec<u32>>()),
+            1..25),
+        minsup in 1u64..4,
+        mine_threads in 1usize..4,
+    ) {
+        let svc = MineService::start(ServeConfig {
+            workers: 1,
+            mine_threads,
+            ..ServeConfig::default()
+        });
+        let tdb = TransactionDb::from_transactions(db.clone());
+        for kernel in fpm::Kernel::ALL {
+            let golden = serial_patterns(kernel, &tdb, minsup);
+            let req = || MineRequest::new(DatasetSpec::Inline(db.clone()), kernel, minsup);
+            let cold = svc.mine(req());
+            prop_assert_eq!(cold.outcome, Outcome::Complete, "{}", kernel.label());
+            prop_assert!(!cold.stats.cache_hit);
+            prop_assert_eq!(
+                cold.patterns.as_deref(),
+                Some(&golden),
+                "{} cold ≠ serial golden", kernel.label()
+            );
+            let warm = svc.mine(req());
+            prop_assert!(warm.stats.cache_hit, "{}", kernel.label());
+            prop_assert_eq!(
+                warm.patterns.as_deref(),
+                Some(&golden),
+                "{} cached ≠ serial golden", kernel.label()
+            );
+        }
+        svc.shutdown();
+    }
+}
+
+/// Deterministic spot-check on the paper's toy database, at every thread
+/// count and every trip cause, so a proptest shrink isn't needed to see
+/// the basic contract hold.
+#[test]
+fn toy_database_full_matrix() {
+    let db = TransactionDb::from_transactions(vec![
+        vec![0, 2, 5],
+        vec![1, 2, 5],
+        vec![0, 2, 5],
+        vec![3, 4],
+        vec![0, 1, 2, 3, 4, 5],
+    ]);
+    for kernel in fpm::Kernel::ALL {
+        let full = serial_bytes(kernel, &db, 2);
+        assert!(!full.is_empty());
+        for &threads in &THREAD_COUNTS {
+            // Untripped: byte-identical to serial.
+            let mut sink = RecordSink::default();
+            let summary = MinePlan::kernel(kernel, 2).threads(threads).execute(&db, &mut sink);
+            assert!(summary.complete);
+            assert_eq!(sink.bytes, full, "{} threads={threads}", kernel.label());
+
+            // Budget-tripped: an exact (serial) or bounded (parallel)
+            // line-aligned prefix.
+            let mut sink = RecordSink::default();
+            let summary = MinePlan::kernel(kernel, 2)
+                .threads(threads)
+                .max_patterns(2)
+                .execute(&db, &mut sink);
+            assert_serial_prefix(
+                &format!("{} threads={threads} budget=2", kernel.label()),
+                &sink.bytes,
+                &full,
+                Some(2),
+                &summary,
+            );
+
+            // Deadline-tripped at zero: still a prefix (usually empty).
+            let mut sink = RecordSink::default();
+            let summary = MinePlan::kernel(kernel, 2)
+                .threads(threads)
+                .deadline(Duration::ZERO)
+                .execute(&db, &mut sink);
+            assert_serial_prefix(
+                &format!("{} threads={threads} deadline=0", kernel.label()),
+                &sink.bytes,
+                &full,
+                None,
+                &summary,
+            );
+        }
+    }
+}

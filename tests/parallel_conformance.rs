@@ -1,13 +1,15 @@
 //! Parallel-vs-serial conformance: for every kernel × ALSO variant ×
-//! thread count, mining on the `fpm-par` work-stealing runtime must
-//! produce *exactly* the serial kernel's output — same itemsets, same
-//! supports — and the merged emission stream must be byte-identical
-//! across runs (the determinism guarantee of the rank-ordered merge).
+//! thread count, executing a [`MinePlan`] on the `fpm-par` work-stealing
+//! runtime must produce *exactly* the serial kernel's output — same
+//! itemsets, same supports — and the merged emission stream must be
+//! byte-identical across runs (the determinism guarantee of the
+//! rank-ordered merge).
 //!
 //! Thread count 7 is included deliberately: a prime, larger-than-core
 //! count exercises the remainder of the round-robin deal and forces
 //! steals from partially drained deques.
 
+use exec::MinePlan;
 use fpm::types::canonicalize;
 use fpm::{CollectSink, ItemsetCount, RecordSink, TransactionDb};
 use par::ParConfig;
@@ -15,21 +17,61 @@ use proptest::prelude::*;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 7];
 
-fn serial_lcm(db: &TransactionDb, minsup: u64, cfg: &lcm::LcmConfig) -> Vec<ItemsetCount> {
+/// The kernel × named-variant matrix under test.
+fn variant_matrix() -> Vec<(&'static str, &'static str)> {
+    let mut m = Vec::new();
+    for (name, _) in lcm::variants() {
+        m.push(("lcm", name));
+    }
+    for (name, _) in eclat::variants() {
+        m.push(("eclat", name));
+    }
+    for (name, _) in fpgrowth::variants() {
+        m.push(("fpgrowth", name));
+    }
+    m
+}
+
+/// The serial reference: the kernel's own `mine` entry point.
+fn serial(kernel: &str, variant: &str, db: &TransactionDb, minsup: u64) -> Vec<ItemsetCount> {
     let mut s = CollectSink::default();
-    lcm::mine(db, minsup, cfg, &mut s);
+    match kernel {
+        "lcm" => {
+            let cfg = lcm::variants().into_iter().find(|(n, _)| *n == variant).unwrap().1;
+            lcm::mine(db, minsup, &cfg, &mut s);
+        }
+        "eclat" => {
+            let cfg = eclat::variants().into_iter().find(|(n, _)| *n == variant).unwrap().1;
+            eclat::mine(db, minsup, &cfg, &mut s);
+        }
+        "fpgrowth" => {
+            let cfg = fpgrowth::variants().into_iter().find(|(n, _)| *n == variant).unwrap().1;
+            fpgrowth::mine(db, minsup, &cfg, &mut s);
+        }
+        other => panic!("unknown kernel {other}"),
+    }
     canonicalize(s.patterns)
 }
 
-fn serial_eclat(db: &TransactionDb, minsup: u64, cfg: &eclat::EclatConfig) -> Vec<ItemsetCount> {
-    let mut s = CollectSink::default();
-    eclat::mine(db, minsup, cfg, &mut s);
-    canonicalize(s.patterns)
+/// A plan forced through the work-stealing runtime (even at 1 thread).
+fn plan(kernel: &str, variant: &str, minsup: u64, p: &ParConfig) -> MinePlan {
+    MinePlan::by_label(kernel, minsup)
+        .unwrap()
+        .variant(variant)
+        .unwrap()
+        .par_config(*p)
 }
 
-fn serial_fpg(db: &TransactionDb, minsup: u64, cfg: &fpgrowth::FpConfig) -> Vec<ItemsetCount> {
+fn parallel(
+    kernel: &str,
+    variant: &str,
+    db: &TransactionDb,
+    minsup: u64,
+    p: &ParConfig,
+) -> Vec<ItemsetCount> {
     let mut s = CollectSink::default();
-    fpgrowth::mine(db, minsup, cfg, &mut s);
+    let summary = plan(kernel, variant, minsup, p).execute(db, &mut s);
+    assert!(summary.complete, "{kernel}/{variant}: untripped run must complete");
     canonicalize(s.patterns)
 }
 
@@ -40,27 +82,11 @@ fn assert_conformance(db: &TransactionDb, minsup: u64) -> usize {
     let mut checked = 0;
     for &threads in &THREAD_COUNTS {
         let p = ParConfig::with_threads(threads);
-        for (name, cfg) in lcm::variants() {
+        for (kernel, variant) in variant_matrix() {
             assert_eq!(
-                lcm::mine_parallel(db, minsup, &cfg, &p),
-                serial_lcm(db, minsup, &cfg),
-                "lcm/{name} threads={threads}"
-            );
-            checked += 1;
-        }
-        for (name, cfg) in eclat::variants() {
-            assert_eq!(
-                eclat::mine_parallel(db, minsup, &cfg, &p),
-                serial_eclat(db, minsup, &cfg),
-                "eclat/{name} threads={threads}"
-            );
-            checked += 1;
-        }
-        for (name, cfg) in fpgrowth::variants() {
-            assert_eq!(
-                fpgrowth::mine_parallel(db, minsup, &cfg, &p),
-                serial_fpg(db, minsup, &cfg),
-                "fpgrowth/{name} threads={threads}"
+                parallel(kernel, variant, db, minsup, &p),
+                serial(kernel, variant, db, minsup),
+                "{kernel}/{variant} threads={threads}"
             );
             checked += 1;
         }
@@ -108,24 +134,17 @@ fn quest_database_conforms() {
     // Only the tuned variants at full thread spread: the full variant
     // matrix on a generated database is covered by the proptest below at
     // smaller sizes.
+    let expect = serial("lcm", "all", &db, 15);
+    assert!(expect.len() > 20, "workload must be non-trivial");
     for &threads in &THREAD_COUNTS {
         let p = ParConfig::with_threads(threads);
-        let cfg = lcm::LcmConfig::all();
-        let expect = serial_lcm(&db, 15, &cfg);
-        assert!(expect.len() > 20, "workload must be non-trivial");
-        assert_eq!(lcm::mine_parallel(&db, 15, &cfg, &p), expect, "lcm");
-        let cfg = eclat::EclatConfig::all();
-        assert_eq!(
-            eclat::mine_parallel(&db, 15, &cfg, &p),
-            serial_eclat(&db, 15, &cfg),
-            "eclat"
-        );
-        let cfg = fpgrowth::FpConfig::all();
-        assert_eq!(
-            fpgrowth::mine_parallel(&db, 15, &cfg, &p),
-            serial_fpg(&db, 15, &cfg),
-            "fpgrowth"
-        );
+        for kernel in ["lcm", "eclat", "fpgrowth"] {
+            assert_eq!(
+                parallel(kernel, "all", &db, 15, &p),
+                serial(kernel, "all", &db, 15),
+                "{kernel} threads={threads}"
+            );
+        }
     }
 }
 
@@ -136,15 +155,14 @@ fn steal_granularity_does_not_change_results() {
             .map(|k| (0..12).filter(|i| (k + i) % 3 != 0).collect())
             .collect(),
     );
-    let cfg = lcm::LcmConfig::all();
-    let expect = serial_lcm(&db, 4, &cfg);
+    let expect = serial("lcm", "all", &db, 4);
     for granularity in [1usize, 2, 8, 1000] {
         let p = ParConfig {
             n_threads: 4,
             steal_granularity: granularity,
         };
         assert_eq!(
-            lcm::mine_parallel(&db, 4, &cfg, &p),
+            parallel("lcm", "all", &db, 4, &p),
             expect,
             "granularity={granularity}"
         );
@@ -169,33 +187,36 @@ fn determinism_regression_at_4_threads() {
         assert!(!sink.bytes.is_empty(), "run must emit patterns");
         sink.bytes
     };
-    for (name, cfg) in lcm::variants() {
-        let a = record(&|s| lcm::parallel::mine_parallel_into(&db, 3, &cfg, &p, s));
-        let b = record(&|s| lcm::parallel::mine_parallel_into(&db, 3, &cfg, &p, s));
-        assert_eq!(a, b, "lcm/{name}: merged output must be deterministic");
+    for (kernel, variant) in variant_matrix() {
+        let planned = plan(kernel, variant, 3, &p);
+        let a = record(&|s| {
+            planned.execute(&db, s);
+        });
+        let b = record(&|s| {
+            planned.execute(&db, s);
+        });
+        assert_eq!(a, b, "{kernel}/{variant}: merged output must be deterministic");
         // and equal to the serial emission stream, not merely to itself
-        let serial = record(&|s| {
-            lcm::mine(&db, 3, &cfg, s);
+        let serial_bytes = record(&|s| match kernel {
+            "lcm" => {
+                let cfg = lcm::variants().into_iter().find(|(n, _)| *n == variant).unwrap().1;
+                lcm::mine(&db, 3, &cfg, s);
+            }
+            "eclat" => {
+                let cfg = eclat::variants().into_iter().find(|(n, _)| *n == variant).unwrap().1;
+                eclat::mine(&db, 3, &cfg, s);
+            }
+            "fpgrowth" => {
+                let cfg =
+                    fpgrowth::variants().into_iter().find(|(n, _)| *n == variant).unwrap().1;
+                fpgrowth::mine(&db, 3, &cfg, s);
+            }
+            other => panic!("unknown kernel {other}"),
         });
-        assert_eq!(a, serial, "lcm/{name}: merge must reproduce serial order");
-    }
-    for (name, cfg) in eclat::variants() {
-        let a = record(&|s| eclat::mine_parallel_into(&db, 3, &cfg, &p, s));
-        let b = record(&|s| eclat::mine_parallel_into(&db, 3, &cfg, &p, s));
-        assert_eq!(a, b, "eclat/{name}: merged output must be deterministic");
-        let serial = record(&|s| {
-            eclat::mine(&db, 3, &cfg, s);
-        });
-        assert_eq!(a, serial, "eclat/{name}: merge must reproduce serial order");
-    }
-    for (name, cfg) in fpgrowth::variants() {
-        let a = record(&|s| fpgrowth::mine_parallel_into(&db, 3, &cfg, &p, s));
-        let b = record(&|s| fpgrowth::mine_parallel_into(&db, 3, &cfg, &p, s));
-        assert_eq!(a, b, "fpgrowth/{name}: merged output must be deterministic");
-        let serial = record(&|s| {
-            fpgrowth::mine(&db, 3, &cfg, s);
-        });
-        assert_eq!(a, serial, "fpgrowth/{name}: merge must reproduce serial order");
+        assert_eq!(
+            a, serial_bytes,
+            "{kernel}/{variant}: merge must reproduce serial order"
+        );
     }
 }
 
@@ -216,25 +237,11 @@ proptest! {
         let db = TransactionDb::from_transactions(db);
         for &threads in &THREAD_COUNTS {
             let p = ParConfig::with_threads(threads);
-            for (name, cfg) in lcm::variants() {
+            for (kernel, variant) in variant_matrix() {
                 prop_assert_eq!(
-                    lcm::mine_parallel(&db, minsup, &cfg, &p),
-                    serial_lcm(&db, minsup, &cfg),
-                    "lcm/{} threads={}", name, threads
-                );
-            }
-            for (name, cfg) in eclat::variants() {
-                prop_assert_eq!(
-                    eclat::mine_parallel(&db, minsup, &cfg, &p),
-                    serial_eclat(&db, minsup, &cfg),
-                    "eclat/{} threads={}", name, threads
-                );
-            }
-            for (name, cfg) in fpgrowth::variants() {
-                prop_assert_eq!(
-                    fpgrowth::mine_parallel(&db, minsup, &cfg, &p),
-                    serial_fpg(&db, minsup, &cfg),
-                    "fpgrowth/{} threads={}", name, threads
+                    parallel(kernel, variant, &db, minsup, &p),
+                    serial(kernel, variant, &db, minsup),
+                    "{}/{} threads={}", kernel, variant, threads
                 );
             }
         }

@@ -4,11 +4,12 @@
 //! The service's central claim (DESIGN.md §10) is that *every* response
 //! — complete, budget-truncated, cancelled, or deadline-cut — is a
 //! contiguous prefix of the kernel's deterministic serial emission
-//! order. This suite drives the claim through both execution paths
-//! (serial `mine_controlled` and the work-stealing
-//! `mine_parallel_controlled_into`) for all three kernels, across every
-//! budget value, and property-tests the cache-hit path end to end.
+//! order. This suite drives the claim through both [`MinePlan`]
+//! execution paths (serial streaming and the work-stealing runtime)
+//! for all three kernels, across every budget value, and
+//! property-tests the cache-hit path end to end.
 
+use exec::MinePlan;
 use fpm::control::MineControl;
 use fpm::{CollectSink, ItemsetCount, TransactionDb};
 use par::ParConfig;
@@ -50,17 +51,7 @@ fn controlled_serial(
     control: &MineControl,
 ) -> Vec<ItemsetCount> {
     let mut sink = CollectSink::default();
-    match kernel {
-        Kernel::Lcm => {
-            lcm::mine_controlled(db, minsup, &lcm::LcmConfig::all(), control, &mut sink);
-        }
-        Kernel::Eclat => {
-            eclat::mine_controlled(db, minsup, &eclat::EclatConfig::all(), control, &mut sink);
-        }
-        Kernel::FpGrowth => {
-            fpgrowth::mine_controlled(db, minsup, &fpgrowth::FpConfig::all(), control, &mut sink);
-        }
-    }
+    MinePlan::kernel(kernel, minsup).execute_controlled(db, control, &mut sink);
     sink.patterns
 }
 
@@ -72,34 +63,10 @@ fn controlled_parallel(
     threads: usize,
 ) -> (Vec<ItemsetCount>, bool) {
     let mut sink = CollectSink::default();
-    let p = ParConfig::with_threads(threads);
-    let complete = match kernel {
-        Kernel::Lcm => lcm::mine_parallel_controlled_into(
-            db,
-            minsup,
-            &lcm::LcmConfig::all(),
-            &p,
-            control,
-            &mut sink,
-        ),
-        Kernel::Eclat => eclat::mine_parallel_controlled_into(
-            db,
-            minsup,
-            &eclat::EclatConfig::all(),
-            &p,
-            control,
-            &mut sink,
-        ),
-        Kernel::FpGrowth => fpgrowth::mine_parallel_controlled_into(
-            db,
-            minsup,
-            &fpgrowth::FpConfig::all(),
-            &p,
-            control,
-            &mut sink,
-        ),
-    };
-    (sink.patterns, complete)
+    let summary = MinePlan::kernel(kernel, minsup)
+        .par_config(ParConfig::with_threads(threads))
+        .execute_controlled(db, control, &mut sink);
+    (sink.patterns, summary.complete)
 }
 
 /// Serial controlled runs under every budget value emit exactly the
