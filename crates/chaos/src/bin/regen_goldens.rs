@@ -1,0 +1,14 @@
+//! Regenerates the committed golden corpus under `tests/goldens/`.
+//!
+//! Run through `cargo xtask regen-goldens` (release mode — the CI-scale
+//! datasets are minutes-slow unoptimized).
+
+fn main() {
+    for line in chaos::goldens::regen() {
+        println!("{line}");
+    }
+    println!(
+        "corpus written to {}",
+        chaos::goldens::dir().display()
+    );
+}

@@ -1,0 +1,350 @@
+//! The differential-oracle campaign: seeded fault plans swept through
+//! the executor and the service, every injected failure checked against
+//! the prefix-consistency contract.
+//!
+//! One campaign **case** is a pure function of its seed: the seed picks
+//! a `(fault site, kernel, thread count)` combination (the first 45
+//! seeds enumerate the full 5 × 3 × 3 matrix; later seeds re-mix) and
+//! the [`FaultPlan`] derived from the same seed schedules *when* the
+//! site fires. [`run_case`] then drives two phases on the DS1-smoke
+//! workload —
+//!
+//! 1. **exec**: a [`MinePlan`] through the work-stealing runtime (even
+//!    at one thread, so the worker-panic site is always armed);
+//! 2. **serve**: a cold + warm request pair against a fresh
+//!    [`MineService`], exercising the cache-corruption and
+//!    admission-flap sites;
+//!
+//! — and asserts the three invariants after each (DESIGN.md §12):
+//!
+//! * (a) every emitted byte sequence is a line-aligned prefix of the
+//!   *committed* serial golden (cross-checked against `tests/goldens/`
+//!   once per process, so a stale corpus fails loudly);
+//! * (b) the outcome taxonomy names the true first cause — an injected
+//!   panic surfaces as `TaskPanicked`/`Failed`, an injected trip as
+//!   `Cancelled`, a flapped admission as `Rejected`, and a plan that
+//!   never fired must leave a clean, complete run;
+//! * (c) the service's counters stay arithmetically consistent
+//!   (jobs in = out by outcome; cache probes = hits + misses;
+//!   integrity failures never exceed misses).
+//!
+//! Plans fire against a **global** slot ([`fpm::faults::install`]), so
+//! anything driving a case must hold [`lock`] for the duration.
+
+use crate::goldens::{self, GoldenCase};
+use exec::MinePlan;
+use fpm::control::{MineControl, StopCause};
+use fpm::faults::{install, mix, FaultPlan, FaultSite};
+use fpm::{ItemsetCount, Kernel, PatternSink, RecordSink, TransactionDb};
+use par::ParConfig;
+use quest::{Dataset, Scale};
+use serve::{DatasetSpec, MineRequest, MineResponse, MineService, Outcome, ServeConfig};
+use std::sync::{Mutex, OnceLock};
+
+/// Seeds the checked-in campaign sweeps (`tests/campaign.rs`).
+pub const CAMPAIGN_SEEDS: u64 = 64;
+
+/// Thread counts the matrix covers.
+pub const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// The campaign workload: DS1 at smoke scale.
+pub const DATASET: Dataset = Dataset::Ds1;
+/// The campaign workload scale.
+pub const SCALE: Scale = Scale::Smoke;
+
+/// One campaign case, fully derived from its seed.
+#[derive(Debug, Clone, Copy)]
+pub struct Case {
+    /// The driving seed (`FPM_CHAOS_SEED` reproduces exactly this case).
+    pub seed: u64,
+    /// Which injection site the seed arms.
+    pub site: FaultSite,
+    /// Which kernel mines.
+    pub kernel: Kernel,
+    /// Worker threads for the run.
+    pub threads: usize,
+}
+
+impl Case {
+    /// Derives the case for `seed`. Seeds `0..45` enumerate the full
+    /// `site × kernel × threads` matrix in order; higher seeds remix
+    /// through [`mix`] so every `u64` is a valid case.
+    pub fn from_seed(seed: u64) -> Case {
+        let combos = (FaultSite::ALL.len() * Kernel::ALL.len() * THREAD_COUNTS.len()) as u64;
+        let combo = if seed < combos { seed } else { mix(seed) % combos };
+        Case {
+            seed,
+            site: FaultSite::ALL[(combo % 5) as usize],
+            kernel: Kernel::ALL[((combo / 5) % 3) as usize],
+            threads: THREAD_COUNTS[((combo / 15) % 3) as usize],
+        }
+    }
+
+    /// The case in one line, leading with the reproduction command.
+    pub fn label(&self) -> String {
+        format!(
+            "FPM_CHAOS_SEED={} [site={} kernel={} threads={}]",
+            self.seed,
+            self.site.label(),
+            self.kernel.label(),
+            self.threads
+        )
+    }
+}
+
+/// The campaign serialization lock: the fault-plan slot is process
+/// global, so every test that installs plans must hold this for the
+/// whole case.
+pub fn lock() -> &'static Mutex<()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    &LOCK
+}
+
+/// The campaign workload, generated once per process.
+pub fn dataset() -> &'static TransactionDb {
+    static DB: OnceLock<TransactionDb> = OnceLock::new();
+    DB.get_or_init(|| DATASET.generate(SCALE))
+}
+
+/// The serial golden for `kernel` on the campaign workload — computed
+/// in-process once, and cross-checked against the *committed* corpus
+/// digest and prefix file so invariant (a) is anchored to
+/// `tests/goldens/`, not to whatever the current build happens to emit.
+pub fn golden(kernel: Kernel) -> &'static [u8] {
+    static GOLDENS: OnceLock<[Vec<u8>; 3]> = OnceLock::new();
+    let all = GOLDENS.get_or_init(|| {
+        let digests = goldens::load_digests();
+        Kernel::ALL.map(|kernel| {
+            let case = GoldenCase::smoke(kernel);
+            let bytes = case.serial_bytes();
+            let want = digests.get(&case.stem()).unwrap_or_else(|| {
+                panic!(
+                    "{} missing from digests.txt — run `cargo xtask regen-goldens`",
+                    case.stem()
+                )
+            });
+            assert_eq!(
+                want.hash,
+                goldens::fnv(&bytes),
+                "{}: serial output diverges from the committed golden \
+                 (regen the corpus if the change is intentional)",
+                case.stem()
+            );
+            assert!(
+                bytes.starts_with(&goldens::load_prefix(&case.stem())),
+                "{}: committed prefix file is not a prefix of the serial output",
+                case.stem()
+            );
+            bytes
+        })
+    });
+    let idx = Kernel::ALL.iter().position(|k| *k == kernel).expect("known kernel");
+    &all[idx]
+}
+
+/// Renders patterns exactly as [`RecordSink`] would, so service
+/// responses can be prefix-compared against the byte goldens.
+pub fn render(patterns: &[ItemsetCount]) -> Vec<u8> {
+    let mut sink = RecordSink::default();
+    for p in patterns {
+        sink.emit(&p.items, p.support);
+    }
+    sink.bytes
+}
+
+/// Invariant (a): `got` is a line-aligned byte prefix of `want`.
+pub fn assert_line_prefix(got: &[u8], want: &[u8], context: &str) {
+    assert!(
+        want.starts_with(got),
+        "{context}: emitted bytes are not a prefix of the serial golden \
+         ({} emitted vs {} golden bytes)",
+        got.len(),
+        want.len()
+    );
+    assert!(
+        got.is_empty() || got.ends_with(b"\n"),
+        "{context}: emitted prefix is not line-aligned (ends mid-record)"
+    );
+}
+
+/// Runs the full case for `seed`: the exec phase, then the serve phase.
+/// Callers must hold [`lock`]. Panics (with the reproduction command in
+/// the message) on any invariant violation.
+pub fn run_case(seed: u64) {
+    let case = Case::from_seed(seed);
+    exec_phase(&case);
+    serve_phase(&case);
+}
+
+/// Phase 1: the fault plan against `MinePlan::execute_controlled` on
+/// the work-stealing runtime.
+fn exec_phase(case: &Case) {
+    let want = golden(case.kernel);
+    let minsup = goldens::SMOKE_MINSUP;
+    let label = format!("{} exec", case.label());
+
+    // A fresh plan per phase, so `fired()` reflects this phase alone.
+    let guard = install(FaultPlan::for_site(case.site, case.seed));
+    let control = MineControl::unlimited();
+    let mut sink = RecordSink::default();
+    // `par_config` (not `threads`) so one thread still schedules through
+    // the runtime — the worker-panic site must be armed at every count.
+    let summary = MinePlan::kernel(case.kernel, minsup)
+        .par_config(ParConfig::with_threads(case.threads))
+        .execute_controlled(dataset(), &control, &mut sink);
+    let fired = guard.plan().fired();
+    drop(guard);
+
+    // Invariant (a) holds unconditionally.
+    assert_line_prefix(&sink.bytes, want, &label);
+
+    // Invariant (b): the summary names the true first cause.
+    match (case.site, fired > 0) {
+        (FaultSite::WorkerPanic, true) => {
+            assert_eq!(
+                summary.stop_cause,
+                Some(StopCause::TaskPanicked),
+                "{label}: an injected task panic must surface as TaskPanicked"
+            );
+            assert!(!summary.complete, "{label}: a panicked run cannot be complete");
+        }
+        (FaultSite::SpuriousTrip, true) => {
+            assert_eq!(
+                summary.stop_cause,
+                Some(StopCause::Cancelled),
+                "{label}: an injected trip is recorded as the cancellation it is"
+            );
+            assert!(!summary.complete, "{label}: a tripped run cannot be complete");
+        }
+        // Latency must never change behavior, and a plan that never
+        // fired (or whose site the executor never crosses) must leave a
+        // clean, complete, byte-identical run.
+        (FaultSite::StealLatency, _) | (_, false) => {
+            assert_eq!(summary.stop_cause, None, "{label}: clean run must not trip");
+            assert!(summary.complete, "{label}: clean run must complete");
+            assert_eq!(
+                sink.bytes, want,
+                "{label}: clean run must emit the full serial golden"
+            );
+        }
+        (FaultSite::CacheCorrupt | FaultSite::AdmissionFlap, true) => {
+            panic!("{label}: the executor never crosses the {} site", case.site.label())
+        }
+    }
+}
+
+/// Phase 2: the fault plan against a fresh [`MineService`] — a cold
+/// request (mines and caches) followed by a warm one (cache probe).
+fn serve_phase(case: &Case) {
+    let want = golden(case.kernel);
+    let minsup = goldens::SMOKE_MINSUP;
+    let label = format!("{} serve", case.label());
+    let spec = DatasetSpec::Named {
+        dataset: DATASET,
+        scale: SCALE,
+    };
+
+    let svc = MineService::start(ServeConfig {
+        workers: 1,
+        mine_threads: case.threads,
+        ..ServeConfig::default()
+    });
+    let metrics = svc.metrics();
+    let guard = install(FaultPlan::for_site(case.site, case.seed));
+    let cold = svc.mine(MineRequest::new(spec.clone(), case.kernel, minsup));
+    let warm = svc.mine(MineRequest::new(spec, case.kernel, minsup));
+    let fired = guard.plan().fired();
+    drop(guard);
+    svc.shutdown();
+
+    // Invariant (a) holds for every response that carries patterns: the
+    // service never hands out anything but a serial prefix.
+    for (resp, phase) in [(&cold, "cold"), (&warm, "warm")] {
+        let rendered = resp.patterns.as_ref().map_or_else(Vec::new, |p| render(p));
+        assert_line_prefix(&rendered, want, &format!("{label} {phase}"));
+        if resp.outcome == Outcome::Complete && !resp.stats.truncated {
+            assert_eq!(
+                rendered, want,
+                "{label} {phase}: an untruncated Complete answer must be the full golden"
+            );
+        }
+    }
+
+    // Invariant (b): the response taxonomy names the injected cause.
+    let outcomes = [cold.outcome, warm.outcome];
+    match (case.site, fired > 0) {
+        (FaultSite::WorkerPanic, true) => {
+            assert!(
+                outcomes.contains(&Outcome::Failed),
+                "{label}: an injected task panic must answer Failed (got {outcomes:?})"
+            );
+            let failed: &MineResponse = if cold.outcome == Outcome::Failed { &cold } else { &warm };
+            assert!(
+                failed.reason.as_deref().is_some_and(|r| r.contains("panicked")),
+                "{label}: the Failed reason must name the panic"
+            );
+        }
+        (FaultSite::SpuriousTrip, true) => {
+            assert!(
+                outcomes.contains(&Outcome::Cancelled),
+                "{label}: an injected trip must answer Cancelled (got {outcomes:?})"
+            );
+        }
+        (FaultSite::CacheCorrupt, true) => {
+            // The corruption lands on the warm probe; the service must
+            // re-mine rather than serve the poisoned entry.
+            assert!(
+                !warm.stats.cache_hit,
+                "{label}: a corrupted entry must not serve as a hit"
+            );
+            assert_eq!(outcomes, [Outcome::Complete; 2], "{label}: both re-mines succeed");
+            assert_eq!(
+                metrics.get("cache_integrity_failures"),
+                fired,
+                "{label}: every fired corruption is counted"
+            );
+            assert_eq!(metrics.get("mined_runs"), 2, "{label}: the warm request re-mined");
+        }
+        (FaultSite::AdmissionFlap, true) => {
+            assert!(
+                outcomes.contains(&Outcome::Rejected),
+                "{label}: a flapped admission must answer Rejected (got {outcomes:?})"
+            );
+            let rejected: &MineResponse =
+                if cold.outcome == Outcome::Rejected { &cold } else { &warm };
+            assert!(
+                rejected.reason.as_deref().is_some_and(|r| r.contains("admission flap")),
+                "{label}: the rejection reason must name the flap"
+            );
+        }
+        (FaultSite::StealLatency, _) | (_, false) => {
+            assert_eq!(
+                outcomes,
+                [Outcome::Complete; 2],
+                "{label}: a clean pair must complete twice"
+            );
+            assert!(warm.stats.cache_hit, "{label}: the warm request must hit the cache");
+        }
+    }
+
+    // Invariant (c): no counter regressed — the books balance.
+    let by_outcome = metrics.get("requests_completed")
+        + metrics.get("requests_cancelled")
+        + metrics.get("requests_deadline_exceeded")
+        + metrics.get("requests_rejected")
+        + metrics.get("requests_failed");
+    assert_eq!(
+        metrics.get("requests_submitted"),
+        by_outcome,
+        "{label}: every submitted job must be accounted for by exactly one outcome"
+    );
+    assert_eq!(
+        metrics.get("cache_probes"),
+        metrics.get("cache_hits") + metrics.get("cache_misses"),
+        "{label}: every cache probe is a hit or a miss"
+    );
+    assert!(
+        metrics.get("cache_integrity_failures") <= metrics.get("cache_misses"),
+        "{label}: an integrity failure always reads as a miss"
+    );
+}

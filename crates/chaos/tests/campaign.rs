@@ -1,0 +1,66 @@
+//! The checked-in campaign sweep: 64 seeds through the full
+//! `site × kernel × threads` matrix, each seed one deterministic case.
+//!
+//! Reproduce any reported failure standalone with
+//! `FPM_CHAOS_SEED=<n> cargo test -p chaos --features chaos` — the seed
+//! alone re-derives the case and the fault schedule.
+#![cfg(feature = "chaos")]
+
+use chaos::campaign::{self, Case, CAMPAIGN_SEEDS};
+use std::collections::BTreeSet;
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[test]
+fn deterministic_campaign_covers_the_fault_matrix() {
+    let _serialize = campaign::lock().lock().unwrap_or_else(|e| e.into_inner());
+
+    // Single-case reproduction: the whole point of seed-derived plans.
+    if let Ok(seed) = std::env::var("FPM_CHAOS_SEED") {
+        let seed: u64 = seed.parse().expect("FPM_CHAOS_SEED must be a u64");
+        eprintln!("replaying campaign case {}", Case::from_seed(seed).label());
+        campaign::run_case(seed);
+        return;
+    }
+
+    // The sweep must exercise every cell of the matrix.
+    let covered: BTreeSet<(&str, &str, usize)> = (0..CAMPAIGN_SEEDS)
+        .map(|seed| {
+            let c = Case::from_seed(seed);
+            (c.site.label(), c.kernel.label(), c.threads)
+        })
+        .collect();
+    assert_eq!(
+        covered.len(),
+        45,
+        "the {CAMPAIGN_SEEDS}-seed sweep must cover all 5 sites x 3 kernels x 3 thread counts"
+    );
+
+    // Drive the cases under a quiet hook (an injected worker panic is
+    // expected noise); a real invariant violation re-panics with the
+    // reproduction command attached.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut failure = None;
+    for seed in 0..CAMPAIGN_SEEDS {
+        if let Err(payload) = std::panic::catch_unwind(|| campaign::run_case(seed)) {
+            failure = Some((seed, panic_text(payload.as_ref())));
+            break;
+        }
+    }
+    std::panic::set_hook(default_hook);
+    if let Some((seed, message)) = failure {
+        panic!(
+            "campaign case failed — reproduce with \
+             `FPM_CHAOS_SEED={seed} cargo test -p chaos --features chaos`:\n{message}"
+        );
+    }
+}

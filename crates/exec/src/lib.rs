@@ -14,8 +14,10 @@
 //! The invariant inherited from PR 1 and kept by every plan: the
 //! emitted pattern sequence is **byte-identical** to the kernel's
 //! serial emission order — at every thread count, and, when a deadline,
-//! budget, or cancellation trips the run, as a contiguous prefix of it
-//! (DESIGN.md §11).
+//! budget, cancellation, or task panic trips the run, as a contiguous
+//! prefix of it (DESIGN.md §11; a panic is caught at the task boundary
+//! and surfaces as `StopCause::TaskPanicked`, never as an unwind
+//! crossing the mining API).
 //!
 //! ```
 //! use fpm::{CollectSink, TransactionDb};
@@ -321,17 +323,32 @@ fn drive<K: KernelSpine, S: PatternSink>(
             // One controlled sink around the caller's: emissions stream
             // straight through in task order, each charged against the
             // control's budget exactly as the kernels' retired serial
-            // controlled entry points did.
+            // controlled entry points did. A panicking task is caught
+            // at the task boundary: every emission is a whole line, so
+            // what already streamed is still a clean serial prefix, and
+            // the control records the failure as the first cause.
             let mut controlled = ControlledSink::new(control, sink);
+            let mut probe = NullProbe;
             let mut cut = false;
             for task in tasks {
                 if control.should_stop() {
                     cut = true;
                     break;
                 }
-                if !K::mine_task(&prepared, task, &mut NullProbe, control, &mut controlled) {
-                    cut = true;
-                    break;
+                let done = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    K::mine_task(&prepared, task, &mut probe, control, &mut controlled)
+                }));
+                match done {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        cut = true;
+                        break;
+                    }
+                    Err(_payload) => {
+                        control.trip_panicked();
+                        cut = true;
+                        break;
+                    }
                 }
             }
             !cut && controlled.suppressed == 0
@@ -340,9 +357,13 @@ fn drive<K: KernelSpine, S: PatternSink>(
             // Each task mines into a private buffer whose completeness
             // is tracked per task; the rank-ordered prefix replay then
             // restores the serial sequence (or a contiguous prefix of
-            // it when anything tripped).
+            // it when anything tripped). The settled runtime hands a
+            // task panic back as a value — the failed task's buffer
+            // slot is None, so the replay cuts before it — and the
+            // control records it as the first cause instead of letting
+            // the unwind cross the mining API.
             let prepared = &prepared;
-            let buffers = par::run_with_state_until(
+            let (buffers, panic) = par::run_with_state_until_settled(
                 tasks,
                 &par_cfg,
                 || control.should_stop(),
@@ -355,7 +376,10 @@ fn drive<K: KernelSpine, S: PatternSink>(
                     (controlled.into_inner().patterns, complete)
                 },
             );
-            fpm::replay_merged_prefix(buffers, sink)
+            if panic.is_some() {
+                control.trip_panicked();
+            }
+            fpm::replay_merged_prefix(buffers, sink) && panic.is_none()
         }
     }
 }

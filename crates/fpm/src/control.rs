@@ -12,13 +12,17 @@
 //! so the emitted output is always a contiguous **prefix** of the serial
 //! emission order: the cut only ever removes a tail, never a middle.
 //!
-//! Three conditions can trip a control, with a first-cause-wins record:
+//! Four conditions can trip a control, with a first-cause-wins record:
 //!
 //! * **cancellation** — [`MineControl::cancel`] from any thread;
 //! * **deadline** — a wall-clock [`Instant`] checked inside
 //!   `should_stop`;
 //! * **budget** — an emitted-pattern quota charged by
-//!   [`ControlledSink`](crate::sink::ControlledSink) on every delivery.
+//!   [`ControlledSink`](crate::sink::ControlledSink) on every delivery;
+//! * **task failure** — [`MineControl::trip_panicked`], recorded by the
+//!   executor when a mining task panics (the worker catches the unwind,
+//!   the run stops, and the output already delivered is still a clean
+//!   serial prefix).
 //!
 //! The fast path of `should_stop` is one relaxed atomic load, so checking
 //! once per recursion node adds nothing measurable to a mining run.
@@ -35,12 +39,15 @@ pub enum StopCause {
     DeadlineExceeded,
     /// The emitted-pattern budget was exhausted.
     BudgetExhausted,
+    /// A mining task panicked; the run stopped at the failure point.
+    TaskPanicked,
 }
 
 const RUNNING: u8 = 0;
 const TRIP_CANCELLED: u8 = 1;
 const TRIP_DEADLINE: u8 = 2;
 const TRIP_BUDGET: u8 = 3;
+const TRIP_FAILED: u8 = 4;
 
 /// Shared, thread-safe stop signal for one mining run.
 ///
@@ -112,6 +119,14 @@ impl MineControl {
             .compare_exchange(RUNNING, cause, Ordering::Relaxed, Ordering::Relaxed);
     }
 
+    /// Records a task failure (first-cause-wins, like every trip): the
+    /// executor calls this after catching a mining task's unwind, so
+    /// the run reports [`StopCause::TaskPanicked`] instead of
+    /// propagating the panic past the already-delivered prefix.
+    pub fn trip_panicked(&self) {
+        self.trip(TRIP_FAILED);
+    }
+
     /// The cooperative checkpoint: `true` once the run must unwind.
     ///
     /// Called by the kernels at recursion-node granularity and by the
@@ -123,6 +138,13 @@ impl MineControl {
             return true;
         }
         if self.cancelled.load(Ordering::Relaxed) {
+            self.trip(TRIP_CANCELLED);
+            return true;
+        }
+        // Chaos injection site: a spurious trip is recorded as a
+        // cancellation — the injected cancel is the true first cause.
+        // Without the `chaos` feature this is a constant `false`.
+        if crate::faults::spurious_trip() {
             self.trip(TRIP_CANCELLED);
             return true;
         }
@@ -171,6 +193,7 @@ impl MineControl {
             TRIP_CANCELLED => Some(StopCause::Cancelled),
             TRIP_DEADLINE => Some(StopCause::DeadlineExceeded),
             TRIP_BUDGET => Some(StopCause::BudgetExhausted),
+            TRIP_FAILED => Some(StopCause::TaskPanicked),
             _ => None,
         }
     }
@@ -227,6 +250,18 @@ mod tests {
         assert_eq!(c.stop_cause(), Some(StopCause::BudgetExhausted));
         assert!(c.should_stop());
         assert!(!c.charge_emission(), "over budget: suppressed");
+    }
+
+    #[test]
+    fn trip_panicked_sticks_and_suppresses_emissions() {
+        let c = MineControl::unlimited();
+        c.trip_panicked();
+        assert!(c.should_stop());
+        assert_eq!(c.stop_cause(), Some(StopCause::TaskPanicked));
+        assert!(!c.charge_emission(), "post-failure emissions are suppressed");
+        // First cause wins: a later cancel does not rewrite history.
+        c.cancel();
+        assert_eq!(c.stop_cause(), Some(StopCause::TaskPanicked));
     }
 
     #[test]

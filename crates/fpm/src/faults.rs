@@ -1,0 +1,431 @@
+//! Deterministic fault injection: the seam between the runtime crates
+//! and the `chaos` harness.
+//!
+//! Production code never branches on chaos state directly. Instead, the
+//! five **injection sites** — a worker-task panic in the parallel
+//! runtime, artificial latency before a steal, a spurious
+//! [`MineControl`](crate::control::MineControl) trip, corruption of a
+//! cached serve result, and an admission-control flap — each call one
+//! hook in this module. Without the `chaos` cargo feature every hook is
+//! a constant (`false` / no-op) that the optimizer erases, so tier-1
+//! binaries carry no chaos code paths; with the feature on, the hooks
+//! consult the installed [`FaultPlan`].
+//!
+//! A plan is derived from a single `u64` seed: the seed picks the site
+//! and, through a SplitMix64 stream, *when* the site fires (a task
+//! index for the worker panic, a traversal ordinal for the others) and
+//! *how* (the corruption flavor, the steal-delay length). Everything a
+//! failing campaign case did is therefore reproducible from
+//! `FPM_CHAOS_SEED=<n>` alone — no RNG state, no timing capture.
+//!
+//! The hooks are free functions rather than methods so call sites read
+//! as `fpm::faults::<site>(..)`; the also-lint rule R7 `chaos-sites`
+//! holds the workspace to exactly that shape outside `crates/chaos`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The five named injection sites of the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// A task closure panics inside the work-stealing runtime
+    /// (`par::run_with_state_until_settled`).
+    WorkerPanic,
+    /// An idle worker sleeps before scanning victims to steal.
+    StealLatency,
+    /// `MineControl::should_stop` trips as if cancelled, with no caller
+    /// having asked for it.
+    SpuriousTrip,
+    /// Bytes of a cached serve result flip between insert and probe.
+    CacheCorrupt,
+    /// The serve admission decision rejects a request its bound would
+    /// have admitted.
+    AdmissionFlap,
+}
+
+impl FaultSite {
+    /// Every site, in registry order (the order seeds enumerate).
+    pub const ALL: [FaultSite; 5] = [
+        FaultSite::WorkerPanic,
+        FaultSite::StealLatency,
+        FaultSite::SpuriousTrip,
+        FaultSite::CacheCorrupt,
+        FaultSite::AdmissionFlap,
+    ];
+
+    /// Stable name, used in campaign labels and failure reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultSite::WorkerPanic => "worker-panic",
+            FaultSite::StealLatency => "steal-latency",
+            FaultSite::SpuriousTrip => "spurious-trip",
+            FaultSite::CacheCorrupt => "cache-corrupt",
+            FaultSite::AdmissionFlap => "admission-flap",
+        }
+    }
+
+    /// Parses a [`label`](FaultSite::label).
+    pub fn by_label(label: &str) -> Option<FaultSite> {
+        FaultSite::ALL.into_iter().find(|s| s.label() == label)
+    }
+}
+
+/// The SplitMix64 finalizer: one well-mixed `u64` per input. All seed
+/// derivation — here and in the `chaos` campaign — goes through this,
+/// so a plan's behavior is a pure function of its seed.
+pub fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One armed fault: a site plus the seed-derived schedule for firing it.
+///
+/// `fire_at` is a **task index** for [`FaultSite::WorkerPanic`] (so the
+/// target is independent of steal timing) and a **traversal ordinal**
+/// (the N-th time the site is crossed) for every other site. A plan
+/// whose `fire_at` exceeds the run's traversal count simply never fires
+/// — campaigns treat those seeds as clean-run cases and assert full
+/// output.
+// Without the `chaos` feature the hooks never consult a plan, so parts
+// of this machinery are only reachable from tests; silence dead-code
+// noise for that configuration rather than cfg-ing the type away (the
+// plan API itself is feature-independent so directed tests can build
+// plans either way).
+#[cfg_attr(not(feature = "chaos"), allow(dead_code))]
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    site: FaultSite,
+    fire_at: u64,
+    /// Consecutive steal scans delayed once `fire_at` is reached
+    /// (StealLatency only).
+    burst: u64,
+    /// Sleep per delayed steal scan, microseconds. Read only by the
+    /// feature-gated body of [`steal_delay`].
+    delay_us: u64,
+    /// Selects the CacheCorrupt mutation (support bump, item flip,
+    /// truncation, clear).
+    flavor: u64,
+    hits: AtomicU64,
+    fired: AtomicU64,
+}
+
+#[cfg_attr(not(feature = "chaos"), allow(dead_code))]
+impl FaultPlan {
+    /// Derives the full plan — site included — from one seed.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let site = FaultSite::ALL[(mix(seed) % FaultSite::ALL.len() as u64) as usize];
+        Self::for_site(site, seed)
+    }
+
+    /// Derives a plan for a fixed site; the seed still schedules it.
+    pub fn for_site(site: FaultSite, seed: u64) -> FaultPlan {
+        let draw = |salt: u64| mix(seed ^ mix(salt));
+        let fire_at = match site {
+            FaultSite::WorkerPanic => draw(1) % 24,
+            FaultSite::StealLatency => draw(1) % 16,
+            FaultSite::SpuriousTrip => draw(1) % 4096,
+            FaultSite::CacheCorrupt => draw(1) % 3,
+            FaultSite::AdmissionFlap => draw(1) % 3,
+        };
+        FaultPlan {
+            seed,
+            site,
+            fire_at,
+            burst: 1 + draw(2) % 4,
+            delay_us: 50 + draw(3) % 450,
+            flavor: draw(4),
+            hits: AtomicU64::new(0),
+            fired: AtomicU64::new(0),
+        }
+    }
+
+    /// A directed plan: fire `site` at exactly `fire_at`, nothing
+    /// seed-random. Regression tests use this to sweep, e.g., a panic
+    /// across every task index.
+    pub fn at(site: FaultSite, fire_at: u64) -> FaultPlan {
+        FaultPlan {
+            fire_at,
+            ..Self::for_site(site, fire_at)
+        }
+    }
+
+    /// The seed this plan was derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The armed site.
+    pub fn site(&self) -> FaultSite {
+        self.site
+    }
+
+    /// When the site fires (task index or traversal ordinal).
+    pub fn fire_at(&self) -> u64 {
+        self.fire_at
+    }
+
+    /// How many times the plan has fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Ordinal-scheduled sites: counts the traversal and decides.
+    fn fire_ordinal(&self, site: FaultSite) -> bool {
+        if self.site != site {
+            return false;
+        }
+        let n = self.hits.fetch_add(1, Ordering::Relaxed);
+        let fire = match site {
+            FaultSite::StealLatency => n >= self.fire_at && n < self.fire_at + self.burst,
+            _ => n == self.fire_at,
+        };
+        if fire {
+            self.fired.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    /// Index-scheduled site (the worker panic): fires when the task
+    /// index matches, independent of execution order.
+    fn fire_index(&self, site: FaultSite, index: u64) -> bool {
+        if self.site != site || index != self.fire_at {
+            return false;
+        }
+        self.fired.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+}
+
+#[cfg(feature = "chaos")]
+mod active {
+    use super::FaultPlan;
+    use std::sync::{Arc, RwLock};
+
+    static ACTIVE: RwLock<Option<Arc<FaultPlan>>> = RwLock::new(None);
+
+    /// Clears the installed plan when dropped.
+    pub struct PlanGuard {
+        plan: Arc<FaultPlan>,
+    }
+
+    impl PlanGuard {
+        /// The installed plan (for `fired()` checks after a run).
+        pub fn plan(&self) -> &Arc<FaultPlan> {
+            &self.plan
+        }
+    }
+
+    impl Drop for PlanGuard {
+        fn drop(&mut self) {
+            *ACTIVE.write().unwrap_or_else(|e| e.into_inner()) = None;
+        }
+    }
+
+    /// Arms `plan` process-wide until the returned guard drops.
+    ///
+    /// There is one global slot: concurrent installs overwrite each
+    /// other, so campaign tests serialize on a shared mutex.
+    pub fn install(plan: FaultPlan) -> PlanGuard {
+        let plan = Arc::new(plan);
+        *ACTIVE.write().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&plan));
+        PlanGuard { plan }
+    }
+
+    pub(super) fn current() -> Option<Arc<FaultPlan>> {
+        ACTIVE.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+#[cfg(feature = "chaos")]
+pub use active::{install, PlanGuard};
+
+/// Injection site: should the task at `task_index` panic?
+///
+/// Called by the parallel runtime inside its per-task unwind catch; the
+/// panic itself is raised at the call site so the payload names the
+/// task.
+#[inline]
+pub fn worker_panic(task_index: usize) -> bool {
+    #[cfg(feature = "chaos")]
+    {
+        active::current()
+            .is_some_and(|p| p.fire_index(FaultSite::WorkerPanic, task_index as u64))
+    }
+    #[cfg(not(feature = "chaos"))]
+    {
+        let _ = task_index;
+        false
+    }
+}
+
+/// Injection site: an idle worker is about to scan victims; sleep here
+/// to perturb steal timing. (Latency must never change output — the
+/// campaign asserts byte-identical results when only this site fires.)
+#[inline]
+pub fn steal_delay() {
+    #[cfg(feature = "chaos")]
+    if let Some(p) = active::current() {
+        if p.fire_ordinal(FaultSite::StealLatency) {
+            std::thread::sleep(std::time::Duration::from_micros(p.delay_us));
+        }
+    }
+}
+
+/// Injection site: should this `should_stop` poll trip spuriously?
+/// The control records the trip as a cancellation — an injected cancel
+/// *is* the true first cause.
+#[inline]
+pub fn spurious_trip() -> bool {
+    #[cfg(feature = "chaos")]
+    {
+        active::current().is_some_and(|p| p.fire_ordinal(FaultSite::SpuriousTrip))
+    }
+    #[cfg(not(feature = "chaos"))]
+    {
+        false
+    }
+}
+
+/// Injection site: flip bytes of a cached pattern list before the cache
+/// verifies its checksum. Returns `true` when a mutation was applied.
+#[inline]
+pub fn corrupt_patterns(patterns: &mut Vec<crate::types::ItemsetCount>) -> bool {
+    #[cfg(feature = "chaos")]
+    {
+        let Some(p) = active::current() else {
+            return false;
+        };
+        if !p.fire_ordinal(FaultSite::CacheCorrupt) {
+            return false;
+        }
+        if patterns.is_empty() {
+            patterns.push(crate::types::ItemsetCount {
+                items: vec![u32::MAX],
+                support: p.flavor,
+            });
+            return true;
+        }
+        let idx = (p.flavor >> 8) as usize % patterns.len();
+        match p.flavor % 4 {
+            0 => patterns[idx].support = patterns[idx].support.wrapping_add(1),
+            1 => match patterns[idx].items.first_mut() {
+                Some(item) => *item ^= 1,
+                None => patterns[idx].items.push(0),
+            },
+            2 => {
+                let half = patterns.len() / 2;
+                patterns.truncate(half);
+            }
+            _ => patterns.clear(),
+        }
+        true
+    }
+    #[cfg(not(feature = "chaos"))]
+    {
+        let _ = patterns;
+        false
+    }
+}
+
+/// Injection site: should the admission decision flap to a rejection?
+#[inline]
+pub fn admission_flap() -> bool {
+    #[cfg(feature = "chaos")]
+    {
+        active::current().is_some_and(|p| p.fire_ordinal(FaultSite::AdmissionFlap))
+    }
+    #[cfg(not(feature = "chaos"))]
+    {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_labels_roundtrip() {
+        for site in FaultSite::ALL {
+            assert_eq!(FaultSite::by_label(site.label()), Some(site));
+        }
+        assert_eq!(FaultSite::by_label("nope"), None);
+    }
+
+    #[test]
+    fn plans_are_pure_functions_of_the_seed() {
+        for seed in 0..512u64 {
+            let a = FaultPlan::from_seed(seed);
+            let b = FaultPlan::from_seed(seed);
+            assert_eq!(a.site(), b.site(), "seed={seed}");
+            assert_eq!(a.fire_at(), b.fire_at(), "seed={seed}");
+            assert_eq!(a.flavor, b.flavor, "seed={seed}");
+            assert_eq!(a.burst, b.burst, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn seeds_cover_every_site() {
+        let mut seen = [false; 5];
+        for seed in 0..64u64 {
+            let p = FaultPlan::from_seed(seed);
+            seen[FaultSite::ALL.iter().position(|s| *s == p.site()).unwrap()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "64 seeds must hit all sites: {seen:?}");
+    }
+
+    #[test]
+    fn directed_plan_fires_exactly_once_at_its_ordinal() {
+        let p = FaultPlan::at(FaultSite::SpuriousTrip, 3);
+        let fired: Vec<bool> = (0..8).map(|_| p.fire_ordinal(FaultSite::SpuriousTrip)).collect();
+        assert_eq!(
+            fired,
+            vec![false, false, false, true, false, false, false, false]
+        );
+        assert_eq!(p.fired(), 1);
+        // Other sites never consume this plan's schedule.
+        assert!(!p.fire_ordinal(FaultSite::CacheCorrupt));
+        assert!(!p.fire_index(FaultSite::WorkerPanic, 3));
+    }
+
+    #[test]
+    fn index_scheduled_site_is_order_independent() {
+        let p = FaultPlan::at(FaultSite::WorkerPanic, 5);
+        assert!(!p.fire_index(FaultSite::WorkerPanic, 4));
+        assert!(!p.fire_index(FaultSite::WorkerPanic, 6));
+        assert!(p.fire_index(FaultSite::WorkerPanic, 5));
+        assert_eq!(p.fired(), 1);
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    #[test]
+    fn hooks_are_inert_without_the_feature() {
+        assert!(!worker_panic(0));
+        assert!(!spurious_trip());
+        assert!(!admission_flap());
+        steal_delay();
+        let mut patterns = vec![crate::types::ItemsetCount {
+            items: vec![1, 2],
+            support: 3,
+        }];
+        let before = patterns.clone();
+        assert!(!corrupt_patterns(&mut patterns));
+        assert_eq!(patterns, before);
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn installed_plan_drives_hooks_and_guard_clears() {
+        // Single test touching the global slot in this crate's test
+        // binary, so no cross-test serialization is needed here.
+        let guard = install(FaultPlan::at(FaultSite::WorkerPanic, 2));
+        assert!(!worker_panic(0));
+        assert!(worker_panic(2));
+        assert_eq!(guard.plan().fired(), 1);
+        assert!(!spurious_trip(), "other sites stay quiet");
+        drop(guard);
+        assert!(!worker_panic(2), "guard drop disarms the plan");
+    }
+}

@@ -25,6 +25,7 @@ pub mod bound;
 pub mod control;
 pub mod db;
 pub mod exec;
+pub mod faults;
 pub mod hmine;
 pub mod horizontal;
 pub mod io;

@@ -141,6 +141,14 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "\"typo_counterr\"")]
+    fn undeclared_name_panic_names_the_counter() {
+        // The panic message must carry the offending name, so the first
+        // test that crosses a typo'd instrumentation site points at it.
+        MetricSet::new(&["typo_counter"]).get("typo_counterr");
+    }
+
+    #[test]
     fn metric_set_is_shareable_across_threads() {
         let m = std::sync::Arc::new(MetricSet::new(&["n"]));
         let handles: Vec<_> = (0..4)
@@ -157,6 +165,44 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(m.get("n"), 4000);
+    }
+
+    #[test]
+    fn metric_set_hammered_concurrently_stays_exact_and_ordered() {
+        // N threads interleave add/incr across three counters; totals
+        // must be exact (no lost updates) and the snapshot order must
+        // stay the deterministic name order regardless of update order.
+        let m = std::sync::Arc::new(MetricSet::new(&["z.last", "a.first", "m.mid"]));
+        let threads = 8;
+        let rounds = 2_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for i in 0..rounds {
+                        m.incr("a.first");
+                        m.add("m.mid", 2);
+                        if (i + t) % 2 == 0 {
+                            m.add("z.last", 3);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let n = threads * rounds;
+        assert_eq!(m.get("a.first"), n);
+        assert_eq!(m.get("m.mid"), 2 * n);
+        assert_eq!(m.get("z.last"), 3 * n / 2);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.iter().map(|(name, _)| *name).collect::<Vec<_>>(),
+            vec!["a.first", "m.mid", "z.last"],
+            "snapshot order is name order, not update order"
+        );
+        assert_eq!(snap[0].1 + snap[1].1 + snap[2].1, n + 2 * n + 3 * n / 2);
     }
 
     #[test]

@@ -26,17 +26,41 @@
 //!   join the results are re-slotted by task index, so callers observe
 //!   task order — never thread interleaving order.
 //!
-//! Panic safety: a panicking task poisons nothing. Worker threads are
-//! joined explicitly and the first panic payload is re-raised on the
-//! calling thread via [`std::panic::resume_unwind`]; sibling workers finish
-//! draining (or find the queues empty) and exit, so propagation can never
-//! deadlock.
+//! Panic safety: a panicking task poisons nothing. Each task closure runs
+//! inside a per-task unwind catch; the first failure is recorded as a
+//! [`TaskPanic`] (task index + payload), the failed task's result slot
+//! stays `None` — explicitly incomplete, so a prefix replay can never
+//! treat it as finished — and every worker abandons its remaining queue.
+//! [`run_with_state_until_settled`] hands the failure back as a value;
+//! [`run_with_state_until`] and [`run_with_state`] re-raise the payload on
+//! the calling thread via [`std::panic::resume_unwind`] after the join, so
+//! propagation can never deadlock.
 
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
+
+/// The first task panic of a settled run: which task failed and the
+/// unwind payload its closure raised.
+pub struct TaskPanic {
+    /// Index (in the submitted task list) of the task whose closure
+    /// panicked. Its result slot is `None`.
+    pub task_index: usize,
+    /// The captured panic payload, as [`std::thread::JoinHandle::join`]
+    /// would deliver it.
+    pub payload: Box<dyn std::any::Any + Send + 'static>,
+}
+
+impl std::fmt::Debug for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskPanic")
+            .field("task_index", &self.task_index)
+            .finish_non_exhaustive()
+    }
+}
 
 /// Parallel runtime configuration, shared by every kernel through the
 /// `fpm-exec` plan executor and surfaced via the CLI `--threads` flag.
@@ -197,6 +221,11 @@ where
 /// controlled parallel drivers) must handle that at merge time — e.g.
 /// replay completed task buffers in rank order only up to the first
 /// incomplete task.
+///
+/// # Panics
+///
+/// Re-raises the first task panic on the calling thread after the join
+/// (see [`run_with_state_until_settled`] for the non-raising form).
 pub fn run_with_state_until<T, S, R, C, I, F>(
     tasks: Vec<T>,
     par: &ParConfig,
@@ -211,9 +240,44 @@ where
     I: Fn(usize) -> S + Sync,
     F: Fn(&mut S, T) -> R + Sync,
 {
+    let (slots, panic) = run_with_state_until_settled(tasks, par, stop, init, f);
+    if let Some(p) = panic {
+        std::panic::resume_unwind(p.payload);
+    }
+    slots
+}
+
+/// [`run_with_state_until`] that *settles* instead of unwinding: a task
+/// panic is caught at the task boundary and returned as a value.
+///
+/// On the first panic, the failed task's slot is left `None` —
+/// explicitly incomplete, so `replay_merged_prefix` can never replay a
+/// task that did not finish — every worker abandons its remaining
+/// queue, and the `(task index, payload)` pair comes back as the second
+/// tuple element. Completed sibling results (including tasks *after*
+/// the failed index that finished before the failure was observed) keep
+/// their slots, exactly like a cooperative stop.
+///
+/// This is the executor's entry point: `fpm-exec` converts the returned
+/// failure into a `StopCause::TaskPanicked` summary rather than letting
+/// the unwind cross the mining API boundary.
+pub fn run_with_state_until_settled<T, S, R, C, I, F>(
+    tasks: Vec<T>,
+    par: &ParConfig,
+    stop: C,
+    init: I,
+    f: F,
+) -> (Vec<Option<R>>, Option<TaskPanic>)
+where
+    T: Send,
+    R: Send,
+    C: Fn() -> bool + Sync,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
     let n_tasks = tasks.len();
     if n_tasks == 0 {
-        return Vec::new();
+        return (Vec::new(), None);
     }
     let n_workers = par.effective_threads(n_tasks);
     let steal_max = par.steal_granularity.max(1);
@@ -228,15 +292,52 @@ where
 
     let mut slots: Vec<Option<R>> = (0..n_tasks).map(|_| None).collect();
 
+    // Task failure bookkeeping, shared by both scheduling paths: the
+    // flag makes every worker bail like a cooperative stop, the mutex
+    // records the first (task index, payload) pair.
+    let failed = AtomicBool::new(false);
+    let first_panic: Mutex<Option<TaskPanic>> = Mutex::new(None);
+
+    // Runs one task inside an unwind catch. `None` means the task
+    // panicked (its slot must stay incomplete); the chaos worker-panic
+    // site lives inside the catch so an injected panic takes the same
+    // path a real kernel bug would.
+    let run_one = |state: &mut S, idx: usize, task: T| -> Option<R> {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if fpm::faults::worker_panic(idx) {
+                panic!("chaos: injected worker panic at task {idx}");
+            }
+            f(state, task)
+        }));
+        match result {
+            Ok(r) => Some(r),
+            Err(payload) => {
+                failed.store(true, Ordering::Relaxed);
+                let mut slot = first_panic.lock().unwrap_or_else(|e| e.into_inner());
+                if slot.is_none() {
+                    *slot = Some(TaskPanic {
+                        task_index: idx,
+                        payload,
+                    });
+                }
+                None
+            }
+        }
+    };
+
     if n_workers == 1 {
         // Serial fast path: same code path shape, no thread spawn.
         let mut state = init(0);
         loop {
-            if stop() {
+            if stop() || failed.load(Ordering::Relaxed) {
                 break;
             }
             match lock(&deques[0]).pop_front() {
-                Some((idx, task)) => slots[idx] = Some(f(&mut state, task)),
+                Some((idx, task)) => {
+                    if let Some(r) = run_one(&mut state, idx, task) {
+                        slots[idx] = Some(r);
+                    }
+                }
                 None => break,
             }
         }
@@ -244,8 +345,8 @@ where
         let deques = &deques;
         let stop = &stop;
         let init = &init;
-        let f = &f;
-        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+        let run_one = &run_one;
+        let failed = &failed;
         let mut done: Vec<Vec<(usize, R)>> = Vec::with_capacity(n_workers);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n_workers)
@@ -256,23 +357,32 @@ where
                         let mut stolen: VecDeque<(usize, T)> =
                             VecDeque::with_capacity(steal_max);
                         loop {
-                            // Cooperative cancellation: abandon whatever
-                            // is still queued. Other workers observe the
-                            // same (monotonic) predicate and do likewise.
-                            if stop() {
+                            // Cooperative cancellation — or a sibling's
+                            // task failure: abandon whatever is still
+                            // queued. Other workers observe the same
+                            // (monotonic) predicates and do likewise.
+                            if stop() || failed.load(Ordering::Relaxed) {
                                 return out;
                             }
                             // Own deque first, front to back.
                             let own = lock(&deques[w]).pop_front();
                             if let Some((idx, task)) = own {
-                                out.push((idx, f(&mut state, task)));
+                                if let Some(r) = run_one(&mut state, idx, task) {
+                                    out.push((idx, r));
+                                }
                                 continue;
                             }
                             // Then locally buffered steals.
                             if let Some((idx, task)) = stolen.pop_front() {
-                                out.push((idx, f(&mut state, task)));
+                                if let Some(r) = run_one(&mut state, idx, task) {
+                                    out.push((idx, r));
+                                }
                                 continue;
                             }
+                            // Chaos injection site: steal-timing latency
+                            // (constant no-op without the feature; must
+                            // never change merged output).
+                            fpm::faults::steal_delay();
                             // Then scan victims, nearest first, taking up
                             // to steal_max tasks from the victim's back.
                             if !steal_batch(deques, w, steal_max, &mut stolen) {
@@ -286,25 +396,25 @@ where
                 .collect();
             for h in handles {
                 match h.join() {
+                    // Task panics are caught inside run_one; a join
+                    // error means `init` itself panicked — an
+                    // infrastructure bug, not a task failure, so it
+                    // propagates.
                     Ok(out) => done.push(out),
-                    Err(p) => {
-                        if panic_payload.is_none() {
-                            panic_payload = Some(p);
-                        }
-                    }
+                    Err(p) => std::panic::resume_unwind(p),
                 }
             }
         });
-        if let Some(p) = panic_payload {
-            std::panic::resume_unwind(p);
-        }
         for (idx, r) in done.into_iter().flatten() {
             debug_assert!(slots[idx].is_none(), "task {idx} ran twice");
             slots[idx] = Some(r);
         }
     }
 
-    slots
+    let panic = first_panic
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
+    (slots, panic)
 }
 
 #[cfg(test)]
@@ -412,6 +522,71 @@ mod tests {
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_default();
             assert!(msg.contains("boom"), "threads={threads}: payload {msg:?}");
+        }
+    }
+
+    #[test]
+    fn settled_marks_the_panicked_task_incomplete_at_every_index() {
+        // The replay-prefix contract depends on a panicked task's slot
+        // being None — explicitly incomplete — never a phantom result.
+        // Sweep the panic across every task index at several thread
+        // counts; whatever else completes, slot k must stay empty and
+        // the failure must name task k.
+        let n = 12usize;
+        for threads in [1usize, 2, 4] {
+            for k in 0..n {
+                let (slots, panic) = run_with_state_until_settled(
+                    (0..n).collect::<Vec<usize>>(),
+                    &ParConfig::with_threads(threads),
+                    || false,
+                    |_w| (),
+                    |(), x| {
+                        if x == k {
+                            panic!("boom at task {x}");
+                        }
+                        x * 10
+                    },
+                );
+                assert_eq!(slots.len(), n, "threads={threads} k={k}");
+                assert!(
+                    slots[k].is_none(),
+                    "threads={threads} k={k}: panicked task must stay incomplete"
+                );
+                let p = panic.expect("the failure must be reported");
+                assert_eq!(p.task_index, k, "threads={threads} k={k}");
+                let msg = p
+                    .payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| p.payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_default();
+                assert!(msg.contains("boom"), "threads={threads} k={k}: {msg:?}");
+                // Slots that did complete hold the right values.
+                for (i, s) in slots.iter().enumerate() {
+                    if let Some(v) = s {
+                        assert_eq!(*v, i * 10, "threads={threads} k={k} slot={i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn settled_without_a_panic_behaves_like_until() {
+        for threads in [1usize, 3] {
+            let (slots, panic) = run_with_state_until_settled(
+                (0..40u32).collect::<Vec<u32>>(),
+                &ParConfig::with_threads(threads),
+                || false,
+                |_w| (),
+                |(), x| x + 1,
+            );
+            assert!(panic.is_none(), "threads={threads}");
+            assert_eq!(
+                slots,
+                (1..=40u32).map(Some).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
         }
     }
 

@@ -9,6 +9,14 @@
 //! Eviction is least-recently-used via a monotonic stamp; the map is a
 //! `BTreeMap` so iteration during eviction is deterministic (the R3
 //! `deterministic-iteration` rule of the emission path).
+//!
+//! Every entry carries an FNV checksum of its pattern list, computed at
+//! insert and verified on every probe. A cached answer is served to
+//! arbitrarily many callers, so a corrupted entry (a flipped bit, a
+//! truncated list — whatever the cause) must never leave the cache:
+//! [`ResultCache::probe`] detects the mismatch, drops the entry, and
+//! reports [`Lookup::Corrupt`] so the service re-mines instead of
+//! serving poison.
 
 use fpm::{ItemsetCount, TransactionDb};
 use std::collections::BTreeMap;
@@ -40,8 +48,44 @@ pub fn fingerprint(db: &TransactionDb) -> u64 {
     h
 }
 
+/// FNV-1a over a pattern list — length, items, and supports — the
+/// integrity stamp each cache entry carries from insert to probe.
+pub fn checksum(patterns: &[ItemsetCount]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(patterns.len() as u64);
+    for p in patterns {
+        eat(p.items.len() as u64);
+        for &item in &p.items {
+            eat(item as u64);
+        }
+        eat(p.support);
+    }
+    h
+}
+
+/// What a [`ResultCache::probe`] found.
+#[derive(Debug)]
+pub enum Lookup {
+    /// A verified entry: serve it.
+    Hit(Arc<Vec<ItemsetCount>>),
+    /// An entry was present but failed its checksum; it has been
+    /// dropped. The caller must treat this as a miss and re-mine.
+    Corrupt,
+    /// No entry.
+    Miss,
+}
+
 struct Entry {
     patterns: Arc<Vec<ItemsetCount>>,
+    checksum: u64,
     stamp: u64,
 }
 
@@ -64,14 +108,38 @@ impl ResultCache {
         }
     }
 
-    /// Looks `key` up, refreshing its recency on a hit.
-    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<Vec<ItemsetCount>>> {
+    /// Looks `key` up, verifying the entry's checksum; a verified hit
+    /// refreshes its recency, a corrupted entry is dropped on the spot.
+    pub fn probe(&mut self, key: &CacheKey) -> Lookup {
         self.clock += 1;
         let clock = self.clock;
-        self.map.get_mut(key).map(|e| {
-            e.stamp = clock;
-            Arc::clone(&e.patterns)
-        })
+        let Some(e) = self.map.get_mut(key) else {
+            return Lookup::Miss;
+        };
+        // Chaos injection site: flip bytes of the cached list *before*
+        // the integrity check, exactly where rot would land. Only
+        // compiled under this crate's `chaos` feature — the Arc
+        // copy-on-write is not free, so the production probe path must
+        // not carry it.
+        #[cfg(feature = "chaos")]
+        {
+            let _ = fpm::faults::corrupt_patterns(Arc::make_mut(&mut e.patterns));
+        }
+        if checksum(&e.patterns) != e.checksum {
+            self.map.remove(key);
+            return Lookup::Corrupt;
+        }
+        e.stamp = clock;
+        Lookup::Hit(Arc::clone(&e.patterns))
+    }
+
+    /// [`probe`](ResultCache::probe) collapsed to an `Option`: corrupt
+    /// entries read as misses (they have already been dropped).
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<Vec<ItemsetCount>>> {
+        match self.probe(key) {
+            Lookup::Hit(patterns) => Some(patterns),
+            Lookup::Corrupt | Lookup::Miss => None,
+        }
     }
 
     /// Inserts a complete result, evicting the least-recently-used
@@ -94,14 +162,30 @@ impl ResultCache {
                 evicted = 1;
             }
         }
+        let sum = checksum(&patterns);
         self.map.insert(
             key,
             Entry {
                 patterns,
+                checksum: sum,
                 stamp: self.clock,
             },
         );
         evicted
+    }
+
+    /// Test support: mutates the cached pattern list for `key` in place
+    /// *without* refreshing its checksum — simulating rot between
+    /// insert and probe. Returns `false` when the key is absent.
+    #[doc(hidden)]
+    pub fn tamper(&mut self, key: &CacheKey, f: impl FnOnce(&mut Vec<ItemsetCount>)) -> bool {
+        match self.map.get_mut(key) {
+            Some(e) => {
+                f(Arc::make_mut(&mut e.patterns));
+                true
+            }
+            None => false,
+        }
     }
 
     /// Number of cached results.
@@ -154,6 +238,72 @@ mod tests {
         assert_eq!(c.insert((1, 0, 1), pats(1)), 0);
         assert_eq!(c.insert((1, 0, 1), pats(9)), 0, "same key: overwrite in place");
         assert_eq!(c.get(&(1, 0, 1)).unwrap()[0].support, 9);
+    }
+
+    #[test]
+    fn corrupted_entry_is_dropped_not_served() {
+        // Satellite: serve::cache poisoning. A flipped byte must read
+        // as Corrupt (then a miss — the service re-mines), never as a
+        // hit serving the poisoned list.
+        let mut c = ResultCache::new(4);
+        c.insert((1, 0, 1), pats(1));
+        assert!(c.tamper(&(1, 0, 1), |p| p[0].support ^= 1));
+        assert!(
+            matches!(c.probe(&(1, 0, 1)), Lookup::Corrupt),
+            "checksum mismatch must surface as Corrupt"
+        );
+        assert!(c.is_empty(), "the poisoned entry is gone");
+        assert!(
+            matches!(c.probe(&(1, 0, 1)), Lookup::Miss),
+            "subsequent probes are plain misses"
+        );
+    }
+
+    #[test]
+    fn truncated_entry_is_dropped_not_served() {
+        let mut c = ResultCache::new(4);
+        let full = Arc::new(vec![
+            ItemsetCount { items: vec![1], support: 3 },
+            ItemsetCount { items: vec![1, 2], support: 2 },
+            ItemsetCount { items: vec![2], support: 2 },
+        ]);
+        c.insert((7, 1, 2), Arc::clone(&full));
+        assert!(c.tamper(&(7, 1, 2), |p| p.truncate(1)));
+        assert!(matches!(c.probe(&(7, 1, 2)), Lookup::Corrupt));
+        // Re-inserting a fresh complete result heals the slot.
+        c.insert((7, 1, 2), Arc::clone(&full));
+        match c.probe(&(7, 1, 2)) {
+            Lookup::Hit(got) => assert_eq!(got, full),
+            other => panic!("want a verified hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn item_flip_in_any_position_is_detected() {
+        let mut c = ResultCache::new(4);
+        for victim in 0..3usize {
+            let patterns = Arc::new(vec![
+                ItemsetCount { items: vec![1], support: 3 },
+                ItemsetCount { items: vec![1, 2], support: 2 },
+                ItemsetCount { items: vec![2], support: 2 },
+            ]);
+            c.insert((9, 2, 1), patterns);
+            assert!(c.tamper(&(9, 2, 1), |p| p[victim].items[0] ^= 1));
+            assert!(
+                matches!(c.probe(&(9, 2, 1)), Lookup::Corrupt),
+                "victim={victim}"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_is_content_determined() {
+        let a = vec![ItemsetCount { items: vec![1, 2], support: 3 }];
+        let b = vec![ItemsetCount { items: vec![1, 2], support: 3 }];
+        assert_eq!(checksum(&a), checksum(&b));
+        let c = vec![ItemsetCount { items: vec![1, 2], support: 4 }];
+        assert_ne!(checksum(&a), checksum(&c));
+        assert_ne!(checksum(&a), checksum(&[]));
     }
 
     #[test]

@@ -24,7 +24,9 @@
 //!   ([`MineService::metrics`]).
 //!
 //! Every response carries an [`Outcome`]: `Complete`, `Cancelled`,
-//! `DeadlineExceeded`, or `Rejected`.
+//! `DeadlineExceeded`, `Rejected`, or `Failed` (a mining task panicked;
+//! the worker caught the unwind and the response still holds the serial
+//! prefix emitted before the failure).
 //!
 //! ```
 //! use fpm_serve::{DatasetSpec, Kernel, MineRequest, MineService, Outcome, ServeConfig};
@@ -49,7 +51,7 @@ pub mod json;
 pub mod request;
 pub mod service;
 
-pub use cache::{fingerprint, ResultCache};
+pub use cache::{fingerprint, Lookup, ResultCache};
 pub use frontend::{serve_connection, serve_lines, serve_stdio, serve_tcp};
 pub use request::{
     parse_request, render_response, DatasetSpec, Kernel, MineRequest, MineResponse, MineStats,

@@ -98,6 +98,11 @@ pub enum Outcome {
     /// The service refused to mine (queue full, admission bound, bad
     /// dataset); see [`MineResponse::reason`].
     Rejected,
+    /// A mining task panicked mid-run. The worker caught the unwind, so
+    /// the service keeps running and the patterns (when included) are
+    /// still a clean prefix of the serial emission order — everything
+    /// delivered before the failure point.
+    Failed,
 }
 
 impl Outcome {
@@ -108,6 +113,7 @@ impl Outcome {
             Outcome::Cancelled => "cancelled",
             Outcome::DeadlineExceeded => "deadline_exceeded",
             Outcome::Rejected => "rejected",
+            Outcome::Failed => "failed",
         }
     }
 
@@ -118,6 +124,7 @@ impl Outcome {
             "cancelled" => Some(Outcome::Cancelled),
             "deadline_exceeded" => Some(Outcome::DeadlineExceeded),
             "rejected" => Some(Outcome::Rejected),
+            "failed" => Some(Outcome::Failed),
             _ => None,
         }
     }
@@ -153,7 +160,8 @@ pub struct MineResponse {
     pub patterns: Option<Arc<Vec<ItemsetCount>>>,
     /// Number of patterns delivered.
     pub count: u64,
-    /// Human-readable cause, set for [`Outcome::Rejected`].
+    /// Human-readable cause, set for [`Outcome::Rejected`] and
+    /// [`Outcome::Failed`].
     pub reason: Option<String>,
     /// Per-request statistics.
     pub stats: MineStats,
@@ -383,6 +391,7 @@ mod tests {
             Outcome::Cancelled,
             Outcome::DeadlineExceeded,
             Outcome::Rejected,
+            Outcome::Failed,
         ] {
             assert_eq!(Outcome::by_label(o.label()), Some(o));
         }

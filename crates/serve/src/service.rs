@@ -15,6 +15,9 @@
 //! 3. **Cache probe**: complete results are cached by
 //!    `(dataset fingerprint, kernel, min_support)`; a hit answers from
 //!    memory (budget-limited callers get a prefix of the cached list).
+//!    Every entry is checksum-verified on probe — a corrupted entry is
+//!    dropped and counted (`cache_integrity_failures`), and the request
+//!    falls through to mining as if it had missed.
 //! 4. **Admission**: on a miss, the Geerts-style
 //!    [`candidate_bound`](fpm::bound::candidate_bound) is computed from
 //!    shape facts alone; a bound above the configured ceiling rejects
@@ -27,7 +30,7 @@
 //! (and operators) can verify, e.g., that a cache hit really skipped
 //! mining.
 
-use crate::cache::{fingerprint, CacheKey, ResultCache};
+use crate::cache::{fingerprint, CacheKey, Lookup, ResultCache};
 use crate::request::{DatasetSpec, Kernel, MineRequest, MineResponse, MineStats, Outcome};
 use exec::MinePlan;
 use fpm::control::{MineControl, StopCause};
@@ -76,12 +79,15 @@ pub const METRIC_NAMES: &[&str] = &[
     "requests_cancelled",
     "requests_deadline_exceeded",
     "requests_rejected",
+    "requests_failed",
     "rejected_queue_full",
     "rejected_admission",
     "rejected_bad_dataset",
+    "cache_probes",
     "cache_hits",
     "cache_misses",
     "cache_evictions",
+    "cache_integrity_failures",
     "mined_runs",
     "patterns_emitted",
 ];
@@ -222,6 +228,29 @@ impl MineService {
         self.submit(request).wait()
     }
 
+    /// Test support: corrupts the cached result for `(spec, kernel,
+    /// min_support)` in place without refreshing its checksum — the
+    /// chaos harness's stand-in for rot between insert and probe.
+    /// Returns `false` when nothing is cached under that key.
+    #[doc(hidden)]
+    pub fn tamper_cached(
+        &self,
+        spec: &DatasetSpec,
+        kernel: Kernel,
+        min_support: u64,
+        f: impl FnOnce(&mut Vec<ItemsetCount>),
+    ) -> bool {
+        let Ok(db) = resolve_dataset(&self.inner, spec) else {
+            return false;
+        };
+        let key: CacheKey = (fingerprint(&db), kernel.code(), min_support);
+        self.inner
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .tamper(&key, f)
+    }
+
     /// Stops accepting work, drains the queue, and joins the workers.
     /// Jobs already queued are still answered.
     pub fn shutdown(&self) {
@@ -298,45 +327,59 @@ fn handle_job(inner: &Inner, job: &Job) -> MineResponse {
     let key: CacheKey = (fingerprint(&db), req.kernel.code(), req.min_support);
 
     // Cache probe before admission: a cached answer is free to serve no
-    // matter how large the search space was.
-    let cached = inner.cache.lock().expect("cache lock poisoned").get(&key);
-    if let Some(full) = cached {
-        metrics.incr("cache_hits");
-        stats.cache_hit = true;
-        stats.mine_ms = picked_up.elapsed().as_millis() as u64;
-        let (patterns, truncated) = match req.max_patterns {
-            Some(b) if (b as usize) < full.len() => {
-                (Arc::new(full[..b as usize].to_vec()), true)
-            }
-            _ => (full, false),
-        };
-        stats.truncated = truncated;
-        stats.emitted = patterns.len() as u64;
-        metrics.add("patterns_emitted", stats.emitted);
-        metrics.incr("requests_completed");
-        return MineResponse {
-            outcome: Outcome::Complete,
-            count: patterns.len() as u64,
-            patterns: req.include_patterns.then_some(patterns),
-            reason: None,
-            stats,
-        };
+    // matter how large the search space was. A corrupt entry has been
+    // dropped by the probe; treat it as a miss and re-mine.
+    metrics.incr("cache_probes");
+    let looked = inner.cache.lock().expect("cache lock poisoned").probe(&key);
+    match looked {
+        Lookup::Hit(full) => {
+            metrics.incr("cache_hits");
+            stats.cache_hit = true;
+            stats.mine_ms = picked_up.elapsed().as_millis() as u64;
+            let (patterns, truncated) = match req.max_patterns {
+                Some(b) if (b as usize) < full.len() => {
+                    (Arc::new(full[..b as usize].to_vec()), true)
+                }
+                _ => (full, false),
+            };
+            stats.truncated = truncated;
+            stats.emitted = patterns.len() as u64;
+            metrics.add("patterns_emitted", stats.emitted);
+            metrics.incr("requests_completed");
+            return MineResponse {
+                outcome: Outcome::Complete,
+                count: patterns.len() as u64,
+                patterns: req.include_patterns.then_some(patterns),
+                reason: None,
+                stats,
+            };
+        }
+        Lookup::Corrupt => {
+            metrics.incr("cache_integrity_failures");
+            metrics.incr("cache_misses");
+        }
+        Lookup::Miss => metrics.incr("cache_misses"),
     }
-    metrics.incr("cache_misses");
 
     // Admission control: the Geerts-style bound from shape facts alone.
+    // The chaos admission-flap site can force the rejection branch for
+    // an otherwise admissible request (constant `false` without the
+    // `chaos` feature), exercising the same accounting path.
     let bound = fpm::bound::candidate_bound(&db, req.min_support);
     stats.candidate_bound = bound;
-    if bound > inner.cfg.max_candidate_bound {
+    let flap = fpm::faults::admission_flap();
+    if flap || bound > inner.cfg.max_candidate_bound {
         metrics.incr("requests_rejected");
         metrics.incr("rejected_admission");
-        return MineResponse::rejected(
+        let reason = if flap {
+            format!("admission flap (chaos): candidate bound {bound:.3e} spuriously rejected")
+        } else {
             format!(
                 "candidate bound {bound:.3e} exceeds admission ceiling {:.3e}",
                 inner.cfg.max_candidate_bound
-            ),
-            stats,
-        );
+            )
+        };
+        return MineResponse::rejected(reason, stats);
     }
 
     metrics.incr("mined_runs");
@@ -358,11 +401,14 @@ fn handle_job(inner: &Inner, job: &Job) -> MineResponse {
             .insert(key, Arc::clone(&patterns));
         metrics.add("cache_evictions", evicted);
     }
+    let reason = (outcome == Outcome::Failed).then(|| {
+        "mining task panicked; patterns are the prefix emitted before the failure".to_string()
+    });
     MineResponse {
         outcome,
         count: patterns.len() as u64,
         patterns: req.include_patterns.then_some(patterns),
-        reason: None,
+        reason,
         stats,
     }
 }
@@ -375,6 +421,7 @@ fn outcome_of(cause: Option<StopCause>) -> Outcome {
         None | Some(StopCause::BudgetExhausted) => Outcome::Complete,
         Some(StopCause::Cancelled) => Outcome::Cancelled,
         Some(StopCause::DeadlineExceeded) => Outcome::DeadlineExceeded,
+        Some(StopCause::TaskPanicked) => Outcome::Failed,
     }
 }
 
@@ -384,6 +431,7 @@ fn count_outcome(metrics: &MetricSet, outcome: Outcome) {
         Outcome::Cancelled => "requests_cancelled",
         Outcome::DeadlineExceeded => "requests_deadline_exceeded",
         Outcome::Rejected => "requests_rejected",
+        Outcome::Failed => "requests_failed",
     });
 }
 
@@ -541,6 +589,33 @@ mod tests {
         assert!(warm.stats.cache_hit);
         assert!(warm.stats.truncated);
         assert_eq!(*warm.patterns.unwrap(), cold.patterns.unwrap()[..2]);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn poisoned_cache_entry_triggers_a_remine() {
+        // Satellite: service-level cache poisoning. A tampered entry is
+        // detected on probe, dropped, and the request re-mines — the
+        // poison is never served, and the counters say exactly what
+        // happened.
+        let svc = MineService::start(ServeConfig::default());
+        let cold = svc.mine(MineRequest::new(toy_spec(), Kernel::Lcm, 2));
+        assert_eq!(cold.outcome, Outcome::Complete);
+        assert!(svc.tamper_cached(&toy_spec(), Kernel::Lcm, 2, |p| p[0].support ^= 1));
+        let warm = svc.mine(MineRequest::new(toy_spec(), Kernel::Lcm, 2));
+        assert_eq!(warm.outcome, Outcome::Complete);
+        assert!(!warm.stats.cache_hit, "corrupt entry must not serve as a hit");
+        assert_eq!(warm.patterns, cold.patterns, "the re-mine restores the truth");
+        let m = svc.metrics();
+        assert_eq!(m.get("cache_probes"), 2);
+        assert_eq!(m.get("cache_hits"), 0);
+        assert_eq!(m.get("cache_misses"), 2, "the corrupt probe counts as a miss");
+        assert_eq!(m.get("cache_integrity_failures"), 1);
+        assert_eq!(m.get("mined_runs"), 2, "the poisoned request really re-mined");
+        // The re-mine healed the slot: a third request is a clean hit.
+        let third = svc.mine(MineRequest::new(toy_spec(), Kernel::Lcm, 2));
+        assert!(third.stats.cache_hit);
+        assert_eq!(m.get("cache_integrity_failures"), 1, "no new failure");
         svc.shutdown();
     }
 

@@ -14,6 +14,7 @@ pub const RULE_IDS: &[&str] = &[
     "hot-loop-alloc",
     "unchecked-indexing",
     "kernel-entry",
+    "chaos-sites",
 ];
 
 /// One finding: a rule violated at a specific file and line.

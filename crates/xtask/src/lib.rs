@@ -19,6 +19,11 @@
 //! - **kernel-entry** (R6): the `KernelSpine` machinery (and the retired
 //!   per-kernel entry points) stays inside `crates/exec` and the kernel
 //!   crates; everyone else mines through `exec::MinePlan`.
+//! - **chaos-sites** (R7): fault *scheduling* (`FaultPlan` & co.) stays
+//!   inside `crates/chaos` and `fpm::faults`; production code only ever
+//!   crosses injection hooks fully qualified, `faults::<site>(…)`, so
+//!   every chaos seam is greppable and resolves to the feature-gated
+//!   no-op stubs.
 //!
 //! Run with `cargo run -p xtask -- lint [--format json]`. Suppress a
 //! finding with `// also-lint: allow(<rule>)` on the offending line or
@@ -38,6 +43,6 @@ pub mod workspace;
 pub use diag::{to_json, Diagnostic, RULE_IDS};
 pub use rules::{lint_source, FileCtx};
 pub use workspace::{
-    classify, lint_workspace, lintable_files, EMISSION_PATHS, KERNEL_INTERNAL_FILES,
-    KERNEL_INTERNAL_PREFIXES,
+    classify, lint_workspace, lintable_files, CHAOS_ZONE_FILES, CHAOS_ZONE_PREFIXES,
+    EMISSION_PATHS, KERNEL_INTERNAL_FILES, KERNEL_INTERNAL_PREFIXES,
 };

@@ -1,5 +1,11 @@
-//! `also-lint` driver: `cargo run -p xtask -- lint [--format text|json]
-//! [--root DIR]`.
+//! Workspace task driver:
+//!
+//! * `cargo run -p xtask -- lint [--format text|json] [--root DIR]` —
+//!   the `also-lint` static analysis pass.
+//! * `cargo run -p xtask -- regen-goldens` — rewrite the golden corpus
+//!   under `tests/goldens/` (shells out to the `chaos` crate's
+//!   release-built `regen-goldens` bin; the CI-scale datasets are
+//!   minutes-slow unoptimized, and xtask itself stays dependency-free).
 //!
 //! Exit codes: 0 = clean, 1 = diagnostics found, 2 = usage/IO error.
 
@@ -10,7 +16,26 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use xtask::{lint_workspace, to_json};
 
-const USAGE: &str = "usage: cargo run -p xtask -- lint [--format text|json] [--root DIR]";
+const USAGE: &str = "usage: cargo run -p xtask -- <lint [--format text|json] [--root DIR] | regen-goldens>";
+
+/// Rebuilds `tests/goldens/` by delegating to the chaos crate's bin.
+fn regen_goldens() -> ExitCode {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let status = std::process::Command::new(cargo)
+        .args(["run", "--release", "-p", "chaos", "--bin", "regen-goldens"])
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(s) => {
+            eprintln!("xtask: regen-goldens exited {:?}", s.code());
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("xtask: cannot spawn cargo: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,6 +47,7 @@ fn main() -> ExitCode {
     while let Some(a) = it.next() {
         match a.as_str() {
             "lint" => saw_lint = true,
+            "regen-goldens" => return regen_goldens(),
             "--format" => match it.next() {
                 Some(f) if f == "text" || f == "json" => format = f.clone(),
                 _ => {

@@ -1,4 +1,4 @@
-//! The six `also-lint` rules, implemented as token-stream visitors.
+//! The seven `also-lint` rules, implemented as token-stream visitors.
 //!
 //! Each rule is a pure function from a lexed token stream (plus a
 //! [`FileCtx`] saying what kind of file this is) to diagnostics. A final
@@ -15,6 +15,8 @@
 //! | `hot-loop-alloc`          | `// also-lint: hot` functions do not allocate           |
 //! | `unchecked-indexing`      | `get_unchecked{,_mut}` only inside `crates/also`        |
 //! | `kernel-entry`            | spine internals stay inside `crates/exec` + kernels     |
+//! | `chaos-sites`             | fault *scheduling* stays inside the chaos zone; hooks   |
+//! |                           | are crossed only as `faults::<site>(…)`                 |
 
 use crate::diag::Diagnostic;
 use crate::lexer::{lex, Tok, TokKind};
@@ -38,6 +40,11 @@ pub struct FileCtx {
     /// the `KernelSpine` machinery everyone else must reach through
     /// `MinePlan`).
     pub kernel_internal: bool,
+    /// Inside `crates/chaos` or the `fpm::faults` module → R7 does not
+    /// apply (the harness and hook definitions *are* the chaos zone;
+    /// everyone else only crosses `faults::<site>` hooks and never
+    /// schedules faults).
+    pub chaos_zone: bool,
 }
 
 /// Lints one file's source text and returns its (sorted, suppression-
@@ -58,6 +65,9 @@ pub fn lint_source(ctx: &FileCtx, src: &str) -> Vec<Diagnostic> {
     }
     if !ctx.kernel_internal {
         rule_kernel_entry(ctx, &toks, &mut diags);
+    }
+    if !ctx.chaos_zone {
+        rule_chaos_sites(ctx, &toks, &mut diags);
     }
     let allows = collect_allows(&toks);
     diags.retain(|d| !is_allowed(&allows, d.line, d.rule));
@@ -605,6 +615,72 @@ fn rule_kernel_entry(ctx: &FileCtx, toks: &[Tok], diags: &mut Vec<Diagnostic>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// R7: chaos-sites
+// ---------------------------------------------------------------------------
+
+/// Fault-*scheduling* vocabulary. Building or installing a plan outside
+/// the chaos zone would let production code inject its own failures.
+const CHAOS_PLAN_IDENTS: &[&str] = &["FaultPlan", "FaultSite", "PlanGuard"];
+
+/// The injection hooks. Production code crosses them, but only fully
+/// qualified as `faults::<site>(…)`: the path keeps every chaos seam
+/// greppable and guarantees the call resolves to the feature-gated
+/// no-op stubs, never a local lookalike.
+const CHAOS_HOOK_IDENTS: &[&str] = &[
+    "worker_panic",
+    "steal_delay",
+    "spurious_trip",
+    "corrupt_patterns",
+    "admission_flap",
+];
+
+fn rule_chaos_sites(ctx: &FileCtx, toks: &[Tok], diags: &mut Vec<Diagnostic>) {
+    let sig: Vec<&Tok> = toks.iter().filter(|t| !t.is_comment()).collect();
+    for (w, t) in sig.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `faults::<name>` ⇔ the three preceding tokens are `faults ::`.
+        let faults_qualified = w >= 3
+            && sig[w - 1].is_punct(':')
+            && sig[w - 2].is_punct(':')
+            && sig[w - 3].is_ident("faults");
+        if CHAOS_PLAN_IDENTS.contains(&t.text.as_str()) {
+            diags.push(Diagnostic {
+                file: ctx.path.clone(),
+                line: t.line,
+                rule: "chaos-sites",
+                message: format!(
+                    "`{}` schedules fault injection; plans belong to `crates/chaos` and \
+                     `fpm::faults` — production code only crosses `faults::<site>` hooks",
+                    t.text
+                ),
+            });
+        } else if t.is_ident("install") && faults_qualified {
+            diags.push(Diagnostic {
+                file: ctx.path.clone(),
+                line: t.line,
+                rule: "chaos-sites",
+                message: "`faults::install` arms a fault plan outside the chaos zone; only \
+                          `crates/chaos` may install plans"
+                    .into(),
+            });
+        } else if CHAOS_HOOK_IDENTS.contains(&t.text.as_str()) && !faults_qualified {
+            diags.push(Diagnostic {
+                file: ctx.path.clone(),
+                line: t.line,
+                rule: "chaos-sites",
+                message: format!(
+                    "`{0}` shadows a chaos injection hook; cross the site as \
+                     `fpm::faults::{0}` (a feature-gated no-op without `chaos`)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -770,6 +846,24 @@ mod tests {
     #[test]
     fn r6_skips_comments_strings_and_plain_mine() {
         let src = "// mine_parallel was retired in favour of MinePlan\nfn f() -> &'static str {\n    lcm::mine(db, 2, &cfg, sink);\n    \"mine_controlled\"\n}\n";
+        assert!(lint_source(&ctx(), src).is_empty());
+    }
+
+    #[test]
+    fn r7_flags_scheduling_and_unqualified_hooks_outside_zone() {
+        let src = "fn f() {\n    let p = fpm::faults::FaultPlan::from_seed(7);\n    let _g = fpm::faults::install(p);\n    if worker_panic(0) {}\n}\n";
+        let d = lint_source(&ctx(), src);
+        assert_eq!(rules_of(&d), vec!["chaos-sites", "chaos-sites", "chaos-sites"]);
+        let zone = FileCtx {
+            chaos_zone: true,
+            ..ctx()
+        };
+        assert!(lint_source(&zone, src).is_empty());
+    }
+
+    #[test]
+    fn r7_accepts_qualified_hook_crossings() {
+        let src = "fn f(idx: usize) -> bool {\n    fpm::faults::steal_delay();\n    crate::faults::spurious_trip() || fpm::faults::worker_panic(idx)\n}\n";
         assert!(lint_source(&ctx(), src).is_empty());
     }
 

@@ -47,6 +47,14 @@ pub const KERNEL_INTERNAL_PREFIXES: &[&str] = &[
 /// the `fpm` module *defining* the `KernelSpine` trait.
 pub const KERNEL_INTERNAL_FILES: &[&str] = &["crates/fpm/src/exec.rs"];
 
+/// The chaos zone (R7 `chaos-sites` does not apply): the fault-injection
+/// harness itself.
+pub const CHAOS_ZONE_PREFIXES: &[&str] = &["crates/chaos/"];
+
+/// Single files in the chaos zone outside those prefixes: the `fpm`
+/// module defining the fault plans and hook stubs.
+pub const CHAOS_ZONE_FILES: &[&str] = &["crates/fpm/src/faults.rs"];
+
 /// Directory names never descended into.
 const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "node_modules"];
 
@@ -67,6 +75,12 @@ pub fn classify(root: &Path, rel: &str) -> FileCtx {
             .iter()
             .any(|p| rel.starts_with(p) || rel.contains(&format!("/{p}")))
             || KERNEL_INTERNAL_FILES
+                .iter()
+                .any(|p| rel == *p || rel.ends_with(&format!("/{p}"))),
+        chaos_zone: CHAOS_ZONE_PREFIXES
+            .iter()
+            .any(|p| rel.starts_with(p) || rel.contains(&format!("/{p}")))
+            || CHAOS_ZONE_FILES
                 .iter()
                 .any(|p| rel == *p || rel.ends_with(&format!("/{p}"))),
     }
@@ -175,6 +189,17 @@ mod tests {
         assert!(!classify(&root, "crates/fpm/src/lib.rs").kernel_internal);
         assert!(!classify(&root, "crates/cli/src/main.rs").kernel_internal);
         assert!(!classify(&root, "tests/exec_conformance.rs").kernel_internal);
+    }
+
+    #[test]
+    fn classify_marks_chaos_zone() {
+        let root = repo_root();
+        assert!(classify(&root, "crates/chaos/src/campaign.rs").chaos_zone);
+        assert!(classify(&root, "crates/chaos/tests/panic_every_task.rs").chaos_zone);
+        assert!(classify(&root, "crates/fpm/src/faults.rs").chaos_zone);
+        assert!(!classify(&root, "crates/fpm/src/control.rs").chaos_zone);
+        assert!(!classify(&root, "crates/par/src/lib.rs").chaos_zone);
+        assert!(!classify(&root, "crates/serve/src/cache.rs").chaos_zone);
     }
 
     #[test]

@@ -25,6 +25,9 @@ fn ctx(name: &str) -> FileCtx {
         // R6 is suspended inside the executor and kernel crates; the
         // fixtures model ordinary caller code.
         kernel_internal: false,
+        // R7 is suspended inside crates/chaos and fpm::faults; the
+        // fixtures model production code outside that zone.
+        chaos_zone: false,
     }
 }
 
@@ -110,6 +113,19 @@ fn r6_kernel_entry() {
     let mut inside = ctx("r6_bad.rs");
     inside.kernel_internal = true;
     assert!(lint_source(&inside, &fixture("r6_bad.rs")).is_empty());
+}
+
+#[test]
+fn r7_chaos_sites() {
+    check("r7_good.rs", "chaos-sites", false);
+    check("r7_bad.rs", "chaos-sites", true);
+    // FaultPlan + FaultSite + faults::install + the unqualified hook.
+    let diags = lint_source(&ctx("r7_bad.rs"), &fixture("r7_bad.rs"));
+    assert_eq!(diags.len(), 4);
+    // The same source inside the chaos zone is allowed.
+    let mut zone = ctx("r7_bad.rs");
+    zone.chaos_zone = true;
+    assert!(lint_source(&zone, &fixture("r7_bad.rs")).is_empty());
 }
 
 #[test]

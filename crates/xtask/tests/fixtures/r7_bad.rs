@@ -1,0 +1,14 @@
+//! Bad fixture for R7 `chaos-sites`: schedules fault injection from
+//! production code and calls a hook unqualified.
+
+fn sabotage(patterns: &mut Vec<(Vec<u32>, u64)>, seed: u64) {
+    // Scheduling a plan outside the chaos zone: both the plan type and
+    // the site enum are flagged, and so is arming the global slot.
+    let plan = fpm::faults::FaultPlan::at(fpm::faults::FaultSite::CacheCorrupt, seed);
+    let _guard = fpm::faults::install(plan);
+    // An unqualified hook call — a local lookalike would silently dodge
+    // the feature gate.
+    if worker_panic(3) {
+        patterns.clear();
+    }
+}

@@ -1,0 +1,12 @@
+//! Good fixture for R7 `chaos-sites`: production code crossing chaos
+//! injection sites the sanctioned way — fully qualified hook calls that
+//! compile to no-op stubs without the `chaos` feature.
+
+fn steal_once(idx: usize) -> bool {
+    fpm::faults::steal_delay();
+    if fpm::faults::worker_panic(idx) {
+        return false;
+    }
+    // Crate-relative qualification is fine too (the fpm crate itself).
+    !crate::faults::admission_flap()
+}

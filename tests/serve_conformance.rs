@@ -9,9 +9,10 @@
 //! for all three kernels, across every budget value, and
 //! property-tests the cache-hit path end to end.
 
+use chaos::goldens::{self, GoldenCase, PREFIX_LINES};
 use exec::MinePlan;
 use fpm::control::MineControl;
-use fpm::{CollectSink, ItemsetCount, TransactionDb};
+use fpm::{CollectSink, ItemsetCount, PatternSink, RecordSink, TransactionDb};
 use par::ParConfig;
 use proptest::prelude::*;
 use serve::{DatasetSpec, Kernel, MineRequest, MineService, Outcome, ServeConfig};
@@ -134,6 +135,59 @@ fn cancelled_before_start_emits_nothing() {
         assert!(got.is_empty(), "{}", kernel.label());
         assert!(!complete);
     }
+}
+
+/// Renders response patterns in the canonical `RecordSink` line format,
+/// so service output can be diffed against the committed corpus bytes.
+fn render(patterns: &[ItemsetCount]) -> Vec<u8> {
+    let mut sink = RecordSink::default();
+    for p in patterns {
+        sink.emit(&p.items, p.support);
+    }
+    sink.bytes
+}
+
+/// End-to-end against the committed golden corpus (`tests/goldens/`,
+/// see `chaos::goldens`): a cold full response digests to the committed
+/// reference, and a warm budget-limited request — served from cache —
+/// reproduces the committed `.prefix` file byte-for-byte. The serial
+/// reference is never recomputed here; the corpus is the oracle.
+#[test]
+fn service_responses_match_the_committed_corpus() {
+    let digests = goldens::load_digests();
+    let svc = MineService::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let spec = DatasetSpec::Named {
+        dataset: quest::Dataset::Ds1,
+        scale: quest::Scale::Smoke,
+    };
+    for kernel in Kernel::ALL {
+        let case = GoldenCase::smoke(kernel);
+        let want = digests
+            .get(&case.stem())
+            .unwrap_or_else(|| panic!("{} missing from digests.txt", case.stem()));
+
+        let cold = svc.mine(MineRequest::new(spec.clone(), kernel, case.minsup));
+        assert_eq!(cold.outcome, Outcome::Complete, "{}", case.stem());
+        assert!(!cold.stats.cache_hit);
+        let bytes = render(cold.patterns.as_ref().expect("patterns included"));
+        assert_eq!(cold.stats.emitted, want.lines, "{}: pattern count", case.stem());
+        assert_eq!(goldens::fnv(&bytes), want.hash, "{}: cold response digest", case.stem());
+
+        let mut req = MineRequest::new(spec.clone(), kernel, case.minsup);
+        req.max_patterns = Some(PREFIX_LINES);
+        let warm = svc.mine(req);
+        assert!(warm.stats.cache_hit, "{}: warm request must hit the cache", case.stem());
+        assert_eq!(
+            render(warm.patterns.as_ref().expect("patterns included")),
+            goldens::load_prefix(&case.stem()),
+            "{}: cache-served budget cut ≠ committed prefix",
+            case.stem()
+        );
+    }
+    svc.shutdown();
 }
 
 proptest! {

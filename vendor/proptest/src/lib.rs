@@ -13,9 +13,16 @@
 //!   override so CI can pin the case count.
 //!
 //! Differences from real proptest, deliberately accepted for this
-//! workspace: no shrinking (failures print the case seed instead — rerun
-//! with `PROPTEST_SEED=<seed>` to reproduce a single failing case), and
-//! `.proptest-regressions` files are ignored.
+//! workspace: no shrinking — failures print the case seed instead (rerun
+//! with `PROPTEST_SEED=<seed>` to reproduce a single failing case).
+//!
+//! `.proptest-regressions` files *are* honoured, with a seed-based
+//! format: a failing case appends `seed <n> # <test name>` to the file
+//! sibling to the test source, and every matching `seed` line is
+//! replayed before novel cases on subsequent runs (commit the file so CI
+//! replays it too). `cc <hash>` lines written by real proptest encode
+//! shrunk values, which a stand-in without shrinking cannot decode —
+//! they are kept but skipped.
 
 pub mod test_runner;
 
@@ -283,10 +290,93 @@ pub mod prelude {
     };
 }
 
-/// Drives one property: `cases` iterations with per-case deterministic
-/// seeds derived from the test name. Called by the [`proptest!`] expansion.
-pub fn run_prop_test<F>(config: ProptestConfig, name: &str, mut body: F)
-where
+/// Locates `<test source>.proptest-regressions` next to the test file.
+///
+/// `file` is `file!()`, which rustc records relative to the directory
+/// cargo invoked it from (the *workspace* root), while the test binary
+/// runs with the *package* root as cwd — so walk up from the package's
+/// manifest dir until the source file resolves.
+fn regression_path(manifest_dir: &str, file: &str) -> Option<std::path::PathBuf> {
+    let mut dir = Some(std::path::Path::new(manifest_dir));
+    while let Some(d) = dir {
+        let src = d.join(file);
+        if src.is_file() {
+            return Some(src.with_extension("proptest-regressions"));
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Parses the persisted `seed <u64> [# tag]` lines relevant to `name`
+/// (an untagged line applies to every test sharing the source file).
+/// Real-proptest `cc <hash>` lines encode shrunk values this stand-in
+/// cannot decode; they are skipped.
+fn persisted_seeds(path: &std::path::Path, name: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix("seed ") else {
+            continue;
+        };
+        let (num, tag) = match rest.split_once('#') {
+            Some((n, t)) => (n.trim(), Some(t.trim())),
+            None => (rest.trim(), None),
+        };
+        if tag.is_some_and(|t| !t.is_empty() && t != name) {
+            continue;
+        }
+        if let Ok(seed) = num.parse::<u64>() {
+            seeds.push(seed);
+        }
+    }
+    seeds
+}
+
+const REGRESSION_HEADER: &str = "\
+# Seeds for failure cases the (vendored) proptest stand-in has caught.
+# Each `seed <n> # <test>` line is replayed before any novel cases the
+# next time that test runs; check this file in to source control so CI
+# replays it too. (`cc <hash>` lines written by real proptest encode
+# shrunk values and cannot be replayed by the stand-in; they are kept
+# but skipped.)
+";
+
+/// Appends `seed <n> # <name>` to `path` (creating it with the header),
+/// unless an identical line is already present.
+fn persist_seed(path: &std::path::Path, name: &str, seed: u64) {
+    use std::io::Write as _;
+    let line = format!("seed {seed} # {name}");
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    if existing.lines().any(|l| l.trim() == line) {
+        return;
+    }
+    let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
+        return; // read-only checkout: the panic message still carries the seed
+    };
+    let mut out = String::new();
+    if existing.is_empty() {
+        out.push_str(REGRESSION_HEADER);
+    }
+    out.push_str(&line);
+    out.push('\n');
+    let _ = f.write_all(out.as_bytes());
+}
+
+/// Drives one property: persisted regression seeds first, then `cases`
+/// iterations with per-case deterministic seeds derived from the test
+/// name. Called by the [`proptest!`] expansion, which passes `file!()`
+/// and the test crate's `CARGO_MANIFEST_DIR` so failures persist to the
+/// sibling `.proptest-regressions` file.
+pub fn run_prop_test<F>(
+    config: ProptestConfig,
+    name: &str,
+    file: &str,
+    manifest_dir: &str,
+    mut body: F,
+) where
     F: FnMut(&mut TestRng) -> TestCaseResult,
 {
     let cases = std::env::var("PROPTEST_CASES")
@@ -294,9 +384,29 @@ where
         .and_then(|v| v.parse::<u32>().ok())
         .unwrap_or(config.cases)
         .max(1);
-    let fixed_seed = std::env::var("PROPTEST_SEED")
+    // A directed replay runs exactly one case and persists nothing.
+    if let Some(seed) = std::env::var("PROPTEST_SEED")
         .ok()
-        .and_then(|v| v.parse::<u64>().ok());
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(e) = body(&mut rng) {
+            panic!("proptest {name} failed under PROPTEST_SEED={seed}: {e}");
+        }
+        return;
+    }
+    let reg_path = regression_path(manifest_dir, file);
+    if let Some(path) = &reg_path {
+        for seed in persisted_seeds(path, name) {
+            let mut rng = TestRng::from_seed(seed);
+            if let Err(e) = body(&mut rng) {
+                panic!(
+                    "proptest {name} failed replaying regression seed {seed} from {}: {e}",
+                    path.display()
+                );
+            }
+        }
+    }
     // FNV-1a over the test name: stable across runs and platforms.
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for b in name.bytes() {
@@ -304,15 +414,19 @@ where
         h = h.wrapping_mul(0x100_0000_01b3);
     }
     for case in 0..cases {
-        let seed = fixed_seed.unwrap_or_else(|| h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let seed = h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let mut rng = TestRng::from_seed(seed);
         if let Err(e) = body(&mut rng) {
+            let persisted = match &reg_path {
+                Some(path) => {
+                    persist_seed(path, name, seed);
+                    format!("; seed persisted to {}", path.display())
+                }
+                None => String::new(),
+            };
             panic!(
-                "proptest case {case}/{cases} of {name} failed (reproduce with PROPTEST_SEED={seed}): {e}"
+                "proptest case {case}/{cases} of {name} failed (reproduce with PROPTEST_SEED={seed}{persisted}): {e}"
             );
-        }
-        if fixed_seed.is_some() {
-            break;
         }
     }
 }
@@ -338,11 +452,17 @@ macro_rules! __proptest_impl {
         $(
             $(#[$attr])*
             fn $name() {
-                $crate::run_prop_test($cfg, stringify!($name), |__proptest_rng| {
-                    $crate::__proptest_bind!(__proptest_rng, $($args)*);
-                    $body
-                    Ok(())
-                });
+                $crate::run_prop_test(
+                    $cfg,
+                    stringify!($name),
+                    file!(),
+                    env!("CARGO_MANIFEST_DIR"),
+                    |__proptest_rng| {
+                        $crate::__proptest_bind!(__proptest_rng, $($args)*);
+                        $body
+                        Ok(())
+                    },
+                );
             }
         )*
     };
@@ -426,4 +546,76 @@ macro_rules! prop_assert_ne {
             )));
         }
     }};
+}
+
+#[cfg(test)]
+mod regression_tests {
+    use super::{persist_seed, persisted_seeds, regression_path};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn scratch(name: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "proptest-regr-{}-{}-{name}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn parses_seed_lines_and_skips_cc_lines() {
+        let dir = scratch("parse");
+        let path = dir.join("t.proptest-regressions");
+        std::fs::write(
+            &path,
+            "# header\n\
+             cc 859a6c6ecf28269a3ad3a965e1cbf75186c9dbd8d7454317e71a9fcc840bbe16 # shrinks to x\n\
+             seed 42 # my_test\n\
+             seed 7 # other_test\n\
+             seed 99\n\
+             seed nonsense # my_test\n",
+        )
+        .unwrap();
+        // Tagged lines filter by test name; untagged apply to everyone.
+        assert_eq!(persisted_seeds(&path, "my_test"), vec![42, 99]);
+        assert_eq!(persisted_seeds(&path, "other_test"), vec![7, 99]);
+        assert_eq!(persisted_seeds(&path, "third_test"), vec![99]);
+        assert!(persisted_seeds(&dir.join("absent"), "my_test").is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persist_creates_header_and_dedupes() {
+        let dir = scratch("persist");
+        let path = dir.join("t.proptest-regressions");
+        persist_seed(&path, "my_test", 42);
+        persist_seed(&path, "my_test", 42); // duplicate: no second line
+        persist_seed(&path, "my_test", 7);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("# Seeds for failure cases"));
+        assert_eq!(text.matches("seed 42 # my_test").count(), 1);
+        assert!(text.contains("seed 7 # my_test"));
+        assert_eq!(persisted_seeds(&path, "my_test"), vec![42, 7]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn regression_path_recovers_workspace_root() {
+        // Lay out <root>/crates/pkg (the manifest dir cargo hands the
+        // test binary) with the source recorded workspace-relative, the
+        // way `file!()` records it.
+        let root = scratch("path");
+        let pkg = root.join("crates").join("pkg");
+        let tests = pkg.join("tests");
+        std::fs::create_dir_all(&tests).unwrap();
+        std::fs::write(tests.join("prop.rs"), "// src\n").unwrap();
+        let found = regression_path(pkg.to_str().unwrap(), "crates/pkg/tests/prop.rs")
+            .expect("upward walk must find the source file");
+        assert_eq!(found, root.join("crates/pkg/tests/prop.proptest-regressions"));
+        assert!(regression_path(pkg.to_str().unwrap(), "no/such/file.rs").is_none());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
 }
