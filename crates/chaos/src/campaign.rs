@@ -3,17 +3,17 @@
 //! the prefix-consistency contract.
 //!
 //! One campaign **case** is a pure function of its seed: the seed picks
-//! a `(fault site, kernel, thread count)` combination (the first 45
-//! seeds enumerate the full 5 × 3 × 3 matrix; later seeds re-mix) and
+//! a `(fault site, kernel, thread count)` combination (the first 54
+//! seeds enumerate the full 6 × 3 × 3 matrix; later seeds re-mix) and
 //! the [`FaultPlan`] derived from the same seed schedules *when* the
 //! site fires. [`run_case`] then drives two phases on the DS1-smoke
 //! workload —
 //!
 //! 1. **exec**: a [`MinePlan`] through the work-stealing runtime (even
 //!    at one thread, so the worker-panic site is always armed);
-//! 2. **serve**: a cold + warm request pair against a fresh
-//!    [`MineService`], exercising the cache-corruption and
-//!    admission-flap sites;
+//! 2. **serve**: a cold + warm request pair against a fresh two-shard
+//!    [`MineService`], exercising the cache-corruption,
+//!    admission-flap, and shard-stall sites;
 //!
 //! — and asserts the three invariants after each (DESIGN.md §12):
 //!
@@ -42,7 +42,7 @@ use serve::{DatasetSpec, MineRequest, MineResponse, MineService, Outcome, ServeC
 use std::sync::{Mutex, OnceLock};
 
 /// Seeds the checked-in campaign sweeps (`tests/campaign.rs`).
-pub const CAMPAIGN_SEEDS: u64 = 64;
+pub const CAMPAIGN_SEEDS: u64 = 96;
 
 /// Thread counts the matrix covers.
 pub const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
@@ -66,7 +66,7 @@ pub struct Case {
 }
 
 impl Case {
-    /// Derives the case for `seed`. Seeds `0..45` enumerate the full
+    /// Derives the case for `seed`. Seeds `0..54` enumerate the full
     /// `site × kernel × threads` matrix in order; higher seeds remix
     /// through [`mix`] so every `u64` is a valid case.
     pub fn from_seed(seed: u64) -> Case {
@@ -74,9 +74,9 @@ impl Case {
         let combo = if seed < combos { seed } else { mix(seed) % combos };
         Case {
             seed,
-            site: FaultSite::ALL[(combo % 5) as usize],
-            kernel: Kernel::ALL[((combo / 5) % 3) as usize],
-            threads: THREAD_COUNTS[((combo / 15) % 3) as usize],
+            site: FaultSite::ALL[(combo % 6) as usize],
+            kernel: Kernel::ALL[((combo / 6) % 3) as usize],
+            threads: THREAD_COUNTS[((combo / 18) % 3) as usize],
         }
     }
 
@@ -227,7 +227,7 @@ fn exec_phase(case: &Case) {
                 "{label}: clean run must emit the full serial golden"
             );
         }
-        (FaultSite::CacheCorrupt | FaultSite::AdmissionFlap, true) => {
+        (FaultSite::CacheCorrupt | FaultSite::AdmissionFlap | FaultSite::ShardStall, true) => {
             panic!("{label}: the executor never crosses the {} site", case.site.label())
         }
     }
@@ -245,6 +245,7 @@ fn serve_phase(case: &Case) {
     };
 
     let svc = MineService::start(ServeConfig {
+        shards: 2,
         workers: 1,
         mine_threads: case.threads,
         ..ServeConfig::default()
@@ -317,6 +318,45 @@ fn serve_phase(case: &Case) {
                 "{label}: the rejection reason must name the flap"
             );
         }
+        (FaultSite::ShardStall, true) => {
+            // fire_at names a shard index; with the plan re-derived
+            // here the flavor tells which failure mode fired.
+            if FaultPlan::for_site(case.site, case.seed).shard_stall_panics() {
+                // The stalled worker failed the first pickup: the cold
+                // request is answered Failed without mining, honestly
+                // named; the warm one mines from scratch (nothing was
+                // cached) and completes.
+                assert_eq!(
+                    cold.outcome,
+                    Outcome::Failed,
+                    "{label}: a failed pickup must answer Failed"
+                );
+                assert!(
+                    cold.reason.as_deref().is_some_and(|r| r.contains("stall")),
+                    "{label}: the Failed reason must name the stall"
+                );
+                assert_eq!(
+                    warm.outcome,
+                    Outcome::Complete,
+                    "{label}: the shard recovers after the injected failure"
+                );
+                assert!(
+                    !warm.stats.cache_hit,
+                    "{label}: the failed cold request cached nothing"
+                );
+                assert_eq!(metrics.get("mined_runs"), 1, "{label}: only the warm request mined");
+            } else {
+                // The stall only delays pickups: both requests resolve
+                // honestly, late but complete, and the warm one still
+                // hits the cache.
+                assert_eq!(
+                    outcomes,
+                    [Outcome::Complete; 2],
+                    "{label}: a stalled (not failed) shard resolves honestly"
+                );
+                assert!(warm.stats.cache_hit, "{label}: the warm request must hit the cache");
+            }
+        }
         (FaultSite::StealLatency, _) | (_, false) => {
             assert_eq!(
                 outcomes,
@@ -347,4 +387,16 @@ fn serve_phase(case: &Case) {
         metrics.get("cache_integrity_failures") <= metrics.get("cache_misses"),
         "{label}: an integrity failure always reads as a miss"
     );
+    assert!(
+        metrics.get("cache_expired") <= metrics.get("cache_misses"),
+        "{label}: an expired entry always reads as a miss"
+    );
+    for name in serve::METRIC_NAMES {
+        let shard_sum: u64 = (0..svc.shard_count()).map(|s| svc.shard_metrics(s).get(name)).sum();
+        assert_eq!(
+            shard_sum,
+            metrics.get(name),
+            "{label}: per-shard {name} counters must sum to the global counter"
+        );
+    }
 }

@@ -1,4 +1,4 @@
-//! The checked-in campaign sweep: 64 seeds through the full
+//! The checked-in campaign sweep: 96 seeds through the full
 //! `site × kernel × threads` matrix, each seed one deterministic case.
 //!
 //! Reproduce any reported failure standalone with
@@ -40,8 +40,8 @@ fn deterministic_campaign_covers_the_fault_matrix() {
         .collect();
     assert_eq!(
         covered.len(),
-        45,
-        "the {CAMPAIGN_SEEDS}-seed sweep must cover all 5 sites x 3 kernels x 3 thread counts"
+        54,
+        "the {CAMPAIGN_SEEDS}-seed sweep must cover all 6 sites x 3 kernels x 3 thread counts"
     );
 
     // Drive the cases under a quiet hook (an injected worker panic is

@@ -205,18 +205,25 @@ fn mine_with<S: PatternSink>(
 fn serve_usage() -> ! {
     eprintln!(
         "usage: fpm-mine serve (--stdio | --addr HOST:PORT)
-                [--workers N] [--queue-depth N] [--cache N]
-                [--mine-threads N] [--max-bound X] [--max-conns N]
+                [--shards N] [--workers N] [--queue-depth N]
+                [--cache N] [--cache-bytes N] [--cache-ttl-ms N]
+                [--mine-threads N] [--max-bound X]
+                [--poll] [--max-conns N]
 
   one JSON request per line in, one JSON response per line out, e.g.
   {{\"dataset\":{{\"name\":\"ds1\",\"scale\":\"smoke\"}},\"kernel\":\"lcm\",
     \"min_support\":30,\"deadline_ms\":5000,\"max_patterns\":1000}}
 
-  --workers       worker threads draining the job queue (default 2)
+  --shards        dataset shards, each with its own queue+cache (default 1)
+  --workers       worker threads draining each shard's queue (default 2)
   --queue-depth   queued jobs beyond which submissions reject (default 64)
-  --cache         result-cache entries, 0 disables (default 32)
+  --cache         result-cache entries per shard, 0 disables (default 32)
+  --cache-bytes   byte budget per shard cache, 0 = none (default 0)
+  --cache-ttl-ms  cached results older than this re-mine (default: never)
   --mine-threads  threads per mining run, >1 uses the par runtime (default serial)
   --max-bound     admission ceiling on the candidate bound (default unlimited)
+  --poll          with --addr: one event-driven frontend thread instead of
+                  a thread per connection
   --max-conns     with --addr: exit after N connections (default: serve forever)"
     );
     std::process::exit(2);
@@ -226,6 +233,7 @@ fn run_serve(argv: &[String]) -> ExitCode {
     let mut cfg = serve::ServeConfig::default();
     let mut addr: Option<String> = None;
     let mut stdio = false;
+    let mut poll = false;
     let mut max_conns: Option<usize> = None;
     let mut i = 0;
     let value = |i: &mut usize| -> String {
@@ -236,12 +244,21 @@ fn run_serve(argv: &[String]) -> ExitCode {
         match argv[i].as_str() {
             "--stdio" => stdio = true,
             "--addr" => addr = Some(value(&mut i)),
+            "--poll" => poll = true,
+            "--shards" => cfg.shards = value(&mut i).parse().unwrap_or_else(|_| serve_usage()),
             "--workers" => cfg.workers = value(&mut i).parse().unwrap_or_else(|_| serve_usage()),
             "--queue-depth" => {
                 cfg.queue_depth = value(&mut i).parse().unwrap_or_else(|_| serve_usage())
             }
             "--cache" => {
                 cfg.cache_capacity = value(&mut i).parse().unwrap_or_else(|_| serve_usage())
+            }
+            "--cache-bytes" => {
+                cfg.cache_max_bytes = value(&mut i).parse().unwrap_or_else(|_| serve_usage())
+            }
+            "--cache-ttl-ms" => {
+                let ms: u64 = value(&mut i).parse().unwrap_or_else(|_| serve_usage());
+                cfg.cache_ttl = Some(std::time::Duration::from_millis(ms));
             }
             "--mine-threads" => {
                 cfg.mine_threads = value(&mut i).parse().unwrap_or_else(|_| serve_usage())
@@ -275,7 +292,24 @@ fn run_serve(argv: &[String]) -> ExitCode {
                     "serving on {}",
                     listener.local_addr().map(|a| a.to_string()).unwrap_or(addr)
                 );
-                serve::serve_tcp(&service, listener, max_conns)
+                if poll {
+                    serve::serve_poll(
+                        &service,
+                        listener,
+                        serve::FrontendConfig::default(),
+                        max_conns,
+                    )
+                    .map(|stats| {
+                        eprintln!(
+                            "poll frontend: {} served, {} refused, {} quota rejections",
+                            stats.connections_served,
+                            stats.connections_refused,
+                            stats.quota_rejections
+                        );
+                    })
+                } else {
+                    serve::serve_tcp(&service, listener, max_conns)
+                }
             }
             Err(e) => {
                 eprintln!("cannot bind {addr}: {e}");
@@ -294,10 +328,136 @@ fn run_serve(argv: &[String]) -> ExitCode {
     }
 }
 
+fn loadgen_usage() -> ! {
+    eprintln!(
+        "usage: fpm-mine loadgen [--seed N] [--rps X] [--duration-ms N]
+                [--keys N] [--skew X] [--kernel lcm|eclat|fpgrowth]
+                [--deadline-ms N]
+                [--shards N] [--workers N] [--queue-depth N]
+                [--cache N] [--cache-bytes N] [--cache-ttl-ms N]
+                [--mine-threads N] [--out FILE]
+
+  replays a seeded Poisson/Zipf request schedule against an in-process
+  mining service and prints a JSON report (p50/p95/p99 latency,
+  throughput, hit rate, shed rate). The schedule is a pure function of
+  (seed, rps, duration, keys, skew): same seed, same offered traffic.
+
+  --seed          schedule seed (default 0x5eedf00d)
+  --rps           offered requests per second (default 200)
+  --duration-ms   schedule length (default 500)
+  --keys          distinct request keys (default 16)
+  --skew          Zipf exponent over keys, 0 = uniform (default 1.0)
+  --kernel        kernel every request asks for (default lcm)
+  --deadline-ms   per-request deadline (default: none)
+  --out           write the JSON report here instead of stdout
+  (service flags as for `fpm-mine serve`; loadgen defaults: 2 shards,
+   2 workers, queue-depth 4096)"
+    );
+    std::process::exit(2);
+}
+
+fn run_loadgen(argv: &[String]) -> ExitCode {
+    let mut cfg = serve::LoadConfig::default();
+    let mut svc_cfg = serve::ServeConfig {
+        shards: 2,
+        queue_depth: 4096,
+        ..serve::ServeConfig::default()
+    };
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| loadgen_usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--seed" => cfg.seed = value(&mut i).parse().unwrap_or_else(|_| loadgen_usage()),
+            "--rps" => cfg.rps = value(&mut i).parse().unwrap_or_else(|_| loadgen_usage()),
+            "--duration-ms" => {
+                let ms: u64 = value(&mut i).parse().unwrap_or_else(|_| loadgen_usage());
+                cfg.duration = std::time::Duration::from_millis(ms);
+            }
+            "--keys" => cfg.keys = value(&mut i).parse().unwrap_or_else(|_| loadgen_usage()),
+            "--skew" => cfg.skew = value(&mut i).parse().unwrap_or_else(|_| loadgen_usage()),
+            "--kernel" => {
+                cfg.kernel =
+                    serve::Kernel::by_label(&value(&mut i)).unwrap_or_else(|| loadgen_usage())
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value(&mut i).parse().unwrap_or_else(|_| loadgen_usage());
+                cfg.deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            "--shards" => {
+                svc_cfg.shards = value(&mut i).parse().unwrap_or_else(|_| loadgen_usage())
+            }
+            "--workers" => {
+                svc_cfg.workers = value(&mut i).parse().unwrap_or_else(|_| loadgen_usage())
+            }
+            "--queue-depth" => {
+                svc_cfg.queue_depth = value(&mut i).parse().unwrap_or_else(|_| loadgen_usage())
+            }
+            "--cache" => {
+                svc_cfg.cache_capacity = value(&mut i).parse().unwrap_or_else(|_| loadgen_usage())
+            }
+            "--cache-bytes" => {
+                svc_cfg.cache_max_bytes = value(&mut i).parse().unwrap_or_else(|_| loadgen_usage())
+            }
+            "--cache-ttl-ms" => {
+                let ms: u64 = value(&mut i).parse().unwrap_or_else(|_| loadgen_usage());
+                svc_cfg.cache_ttl = Some(std::time::Duration::from_millis(ms));
+            }
+            "--mine-threads" => {
+                svc_cfg.mine_threads = value(&mut i).parse().unwrap_or_else(|_| loadgen_usage())
+            }
+            "--out" => out = Some(value(&mut i)),
+            "--help" | "-h" => loadgen_usage(),
+            other => {
+                eprintln!("unknown loadgen argument {other}");
+                loadgen_usage()
+            }
+        }
+        i += 1;
+    }
+    let service = serve::MineService::start(svc_cfg);
+    let report = serve::loadgen::run(&service, &cfg);
+    service.shutdown();
+    let note = format!(
+        "shards={} workers={} queue_depth={} cache={} mine_threads={}",
+        svc_cfg.shards,
+        svc_cfg.workers,
+        svc_cfg.queue_depth,
+        svc_cfg.cache_capacity,
+        svc_cfg.mine_threads
+    );
+    let text = report.render(&cfg, &note);
+    eprintln!(
+        "{} requests: {} completed, {} rejected; p50 {}us p99 {}us, {:.1} rps",
+        report.requests,
+        report.completed,
+        report.rejected,
+        report.p50_us,
+        report.p99_us,
+        report.throughput_rps
+    );
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, format!("{text}\n")) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => println!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("serve") {
         return run_serve(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("loadgen") {
+        return run_loadgen(&raw[1..]);
     }
     let args = parse_args();
     let (db, minsup) = load(&args);

@@ -150,6 +150,17 @@ pub struct ExecSummary {
     pub stop_cause: Option<StopCause>,
 }
 
+impl ExecSummary {
+    /// `true` iff this run's output is the *entire* serial emission
+    /// sequence and may therefore be shared beyond the requester that
+    /// triggered it — cached, or fanned out to coalesced requests whose
+    /// own limits are applied as prefix cuts. A tripped or truncated
+    /// run is only honest for the caller whose limit tripped it.
+    pub fn shareable(&self) -> bool {
+        self.complete && self.stop_cause.is_none()
+    }
+}
+
 /// A mining run, fully described: kernel variant × minimum support ×
 /// scheduling × limits. Build one, then [`execute`](MinePlan::execute)
 /// it against any database; the output reaching the sink is always the

@@ -2,11 +2,12 @@
 //! and the `chaos` harness.
 //!
 //! Production code never branches on chaos state directly. Instead, the
-//! five **injection sites** — a worker-task panic in the parallel
+//! six **injection sites** — a worker-task panic in the parallel
 //! runtime, artificial latency before a steal, a spurious
 //! [`MineControl`](crate::control::MineControl) trip, corruption of a
-//! cached serve result, and an admission-control flap — each call one
-//! hook in this module. Without the `chaos` cargo feature every hook is
+//! cached serve result, an admission-control flap, and a stalled (or
+//! failed) shard worker in the serve layer — each call one hook in this
+//! module. Without the `chaos` cargo feature every hook is
 //! a constant (`false` / no-op) that the optimizer erases, so tier-1
 //! binaries carry no chaos code paths; with the feature on, the hooks
 //! consult the installed [`FaultPlan`].
@@ -24,7 +25,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// The five named injection sites of the workspace.
+/// The six named injection sites of the workspace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultSite {
     /// A task closure panics inside the work-stealing runtime
@@ -40,16 +41,22 @@ pub enum FaultSite {
     /// The serve admission decision rejects a request its bound would
     /// have admitted.
     AdmissionFlap,
+    /// A serve shard worker stalls at job pickup — delayed for the
+    /// plan's burst of pickups (delay flavor), or failing the picked
+    /// job outright (panic flavor). The targeted *shard index* is the
+    /// plan's `fire_at`.
+    ShardStall,
 }
 
 impl FaultSite {
     /// Every site, in registry order (the order seeds enumerate).
-    pub const ALL: [FaultSite; 5] = [
+    pub const ALL: [FaultSite; 6] = [
         FaultSite::WorkerPanic,
         FaultSite::StealLatency,
         FaultSite::SpuriousTrip,
         FaultSite::CacheCorrupt,
         FaultSite::AdmissionFlap,
+        FaultSite::ShardStall,
     ];
 
     /// Stable name, used in campaign labels and failure reports.
@@ -60,6 +67,7 @@ impl FaultSite {
             FaultSite::SpuriousTrip => "spurious-trip",
             FaultSite::CacheCorrupt => "cache-corrupt",
             FaultSite::AdmissionFlap => "admission-flap",
+            FaultSite::ShardStall => "shard-stall",
         }
     }
 
@@ -82,11 +90,13 @@ pub fn mix(x: u64) -> u64 {
 /// One armed fault: a site plus the seed-derived schedule for firing it.
 ///
 /// `fire_at` is a **task index** for [`FaultSite::WorkerPanic`] (so the
-/// target is independent of steal timing) and a **traversal ordinal**
-/// (the N-th time the site is crossed) for every other site. A plan
-/// whose `fire_at` exceeds the run's traversal count simply never fires
-/// — campaigns treat those seeds as clean-run cases and assert full
-/// output.
+/// target is independent of steal timing), a **shard index** for
+/// [`FaultSite::ShardStall`] (the stalled pool is picked up front, not
+/// by traversal timing), and a **traversal ordinal** (the N-th time the
+/// site is crossed) for every other site. A plan whose `fire_at`
+/// exceeds the run's traversal count (or shard count) simply never
+/// fires — campaigns treat those seeds as clean-run cases and assert
+/// full output.
 // Without the `chaos` feature the hooks never consult a plan, so parts
 // of this machinery are only reachable from tests; silence dead-code
 // noise for that configuration rather than cfg-ing the type away (the
@@ -128,6 +138,7 @@ impl FaultPlan {
             FaultSite::SpuriousTrip => draw(1) % 4096,
             FaultSite::CacheCorrupt => draw(1) % 3,
             FaultSite::AdmissionFlap => draw(1) % 3,
+            FaultSite::ShardStall => draw(1) % 4,
         };
         FaultPlan {
             seed,
@@ -195,6 +206,28 @@ impl FaultPlan {
         }
         self.fired.fetch_add(1, Ordering::Relaxed);
         true
+    }
+
+    /// `true` when a [`FaultSite::ShardStall`] plan fails the picked
+    /// job (the "panicked worker" flavor) instead of merely delaying
+    /// the shard. Campaigns branch their taxonomy assertions on this.
+    pub fn shard_stall_panics(&self) -> bool {
+        self.site == FaultSite::ShardStall && self.flavor % 2 == 1
+    }
+
+    /// The shard-stall site: fires only for the worker of shard
+    /// `fire_at`. The delay flavor fires on that shard's first `burst`
+    /// pickups; the panic flavor fires exactly once (the first pickup).
+    fn fire_shard(&self, shard: u64) -> bool {
+        if self.site != FaultSite::ShardStall || shard != self.fire_at {
+            return false;
+        }
+        let n = self.hits.fetch_add(1, Ordering::Relaxed);
+        let fire = if self.shard_stall_panics() { n == 0 } else { n < self.burst };
+        if fire {
+            self.fired.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
     }
 }
 
@@ -342,6 +375,36 @@ pub fn admission_flap() -> bool {
     }
 }
 
+/// Injection site: a shard worker has just picked a job from shard
+/// `shard`'s queue. The delay flavor sleeps here — other shards keep
+/// draining, which the campaign asserts — and returns `false`; the
+/// panic flavor returns `true` exactly once, telling the worker to fail
+/// the picked job as a simulated worker loss.
+#[inline]
+pub fn shard_stall(shard: usize) -> bool {
+    #[cfg(feature = "chaos")]
+    {
+        let Some(p) = active::current() else {
+            return false;
+        };
+        if !p.fire_shard(shard as u64) {
+            return false;
+        }
+        if p.shard_stall_panics() {
+            return true;
+        }
+        // Stall, don't fail: scale the steal-delay budget up to
+        // milliseconds so the stall is observable next to real mining.
+        std::thread::sleep(std::time::Duration::from_micros(p.delay_us * 100));
+        false
+    }
+    #[cfg(not(feature = "chaos"))]
+    {
+        let _ = shard;
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,7 +431,7 @@ mod tests {
 
     #[test]
     fn seeds_cover_every_site() {
-        let mut seen = [false; 5];
+        let mut seen = [false; 6];
         for seed in 0..64u64 {
             let p = FaultPlan::from_seed(seed);
             seen[FaultSite::ALL.iter().position(|s| *s == p.site()).unwrap()] = true;
@@ -388,6 +451,23 @@ mod tests {
         // Other sites never consume this plan's schedule.
         assert!(!p.fire_ordinal(FaultSite::CacheCorrupt));
         assert!(!p.fire_index(FaultSite::WorkerPanic, 3));
+        assert!(!p.fire_shard(3));
+    }
+
+    #[test]
+    fn shard_stall_plan_targets_one_shard_only() {
+        let p = FaultPlan::at(FaultSite::ShardStall, 2);
+        assert!(!p.fire_shard(0));
+        assert!(!p.fire_shard(3));
+        if p.shard_stall_panics() {
+            assert!(p.fire_shard(2));
+            assert!(!p.fire_shard(2), "panic flavor fires once");
+        } else {
+            for _ in 0..p.burst {
+                assert!(p.fire_shard(2));
+            }
+            assert!(!p.fire_shard(2), "delay flavor stops after its burst");
+        }
     }
 
     #[test]
@@ -405,6 +485,7 @@ mod tests {
         assert!(!worker_panic(0));
         assert!(!spurious_trip());
         assert!(!admission_flap());
+        assert!(!shard_stall(0));
         steal_delay();
         let mut patterns = vec![crate::types::ItemsetCount {
             items: vec![1, 2],

@@ -17,10 +17,17 @@
 //! [`ResultCache::probe`] detects the mismatch, drops the entry, and
 //! reports [`Lookup::Corrupt`] so the service re-mines instead of
 //! serving poison.
+//!
+//! On top of the entry-count bound, [`CacheConfig`] adds two budgets:
+//! a **byte budget** (`max_bytes`) that evicts LRU entries until the
+//! approximate heap footprint fits, and a **TTL** after which a probe
+//! reads the entry as [`Lookup::Expired`] — dropped and re-mined, and
+//! counted as a *miss* (never a hit) in the service's probe arithmetic.
 
 use fpm::{ItemsetCount, TransactionDb};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// `(dataset fingerprint, kernel code, min_support)`.
 pub type CacheKey = (u64, u8, u64);
@@ -79,40 +86,103 @@ pub enum Lookup {
     /// An entry was present but failed its checksum; it has been
     /// dropped. The caller must treat this as a miss and re-mine.
     Corrupt,
+    /// An entry was present but outlived the configured TTL; it has
+    /// been dropped. The caller must treat this as a miss and re-mine —
+    /// in particular it counts toward `cache_misses`, never
+    /// `cache_hits` (the probes = hits + misses invariant).
+    Expired,
     /// No entry.
     Miss,
+}
+
+/// Sizing and expiry policy for a [`ResultCache`].
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Maximum cached results (`0` disables caching entirely).
+    pub capacity: usize,
+    /// Byte budget over the approximate heap footprint of all entries
+    /// ([`approx_bytes`]); LRU entries are evicted until a new insert
+    /// fits. `0` means no byte budget. A single result larger than the
+    /// whole budget is simply not cached.
+    pub max_bytes: usize,
+    /// Entries older than this read as [`Lookup::Expired`] on probe;
+    /// `None` never expires.
+    pub ttl: Option<Duration>,
+}
+
+impl CacheConfig {
+    /// An entry-count-only policy: no byte budget, no TTL.
+    pub fn entries(capacity: usize) -> CacheConfig {
+        CacheConfig {
+            capacity,
+            max_bytes: 0,
+            ttl: None,
+        }
+    }
+}
+
+/// Approximate heap footprint of a cached pattern list: the entry
+/// vector plus each itemset's item storage. Deliberately a stable
+/// arithmetic model (not allocator-measured) so budget-driven eviction
+/// behaves identically across platforms.
+pub fn approx_bytes(patterns: &[ItemsetCount]) -> usize {
+    patterns
+        .iter()
+        .fold(std::mem::size_of_val(patterns), |acc, p| {
+            acc + p.items.len() * std::mem::size_of::<u32>()
+        })
 }
 
 struct Entry {
     patterns: Arc<Vec<ItemsetCount>>,
     checksum: u64,
     stamp: u64,
+    inserted: Instant,
+    bytes: usize,
 }
 
 /// A bounded LRU map from [`CacheKey`] to a complete pattern list.
 /// Not internally synchronized — the service wraps it in a `Mutex`.
 pub struct ResultCache {
-    capacity: usize,
+    cfg: CacheConfig,
     clock: u64,
+    bytes: usize,
     map: BTreeMap<CacheKey, Entry>,
 }
 
 impl ResultCache {
     /// An empty cache holding at most `capacity` results (`0` disables
-    /// caching entirely).
+    /// caching entirely), with no byte budget or TTL.
     pub fn new(capacity: usize) -> Self {
+        Self::with_config(CacheConfig::entries(capacity))
+    }
+
+    /// An empty cache under the full [`CacheConfig`] policy.
+    pub fn with_config(cfg: CacheConfig) -> Self {
         ResultCache {
-            capacity,
+            cfg,
             clock: 0,
+            bytes: 0,
             map: BTreeMap::new(),
         }
     }
 
-    /// Looks `key` up, verifying the entry's checksum; a verified hit
-    /// refreshes its recency, a corrupted entry is dropped on the spot.
+    /// Looks `key` up, verifying the entry's TTL and checksum; a
+    /// verified hit refreshes its recency, an expired or corrupted
+    /// entry is dropped on the spot.
     pub fn probe(&mut self, key: &CacheKey) -> Lookup {
         self.clock += 1;
         let clock = self.clock;
+        if let Some(ttl) = self.cfg.ttl {
+            let stale = self
+                .map
+                .get(key)
+                .is_some_and(|e| e.inserted.elapsed() >= ttl);
+            if stale {
+                self.remove(key);
+                return Lookup::Expired;
+            }
+        }
         let Some(e) = self.map.get_mut(key) else {
             return Lookup::Miss;
         };
@@ -126,7 +196,7 @@ impl ResultCache {
             let _ = fpm::faults::corrupt_patterns(Arc::make_mut(&mut e.patterns));
         }
         if checksum(&e.patterns) != e.checksum {
-            self.map.remove(key);
+            self.remove(key);
             return Lookup::Corrupt;
         }
         e.stamp = clock;
@@ -134,41 +204,70 @@ impl ResultCache {
     }
 
     /// [`probe`](ResultCache::probe) collapsed to an `Option`: corrupt
-    /// entries read as misses (they have already been dropped).
+    /// and expired entries read as misses (they have already been
+    /// dropped).
     pub fn get(&mut self, key: &CacheKey) -> Option<Arc<Vec<ItemsetCount>>> {
         match self.probe(key) {
             Lookup::Hit(patterns) => Some(patterns),
-            Lookup::Corrupt | Lookup::Miss => None,
+            Lookup::Corrupt | Lookup::Expired | Lookup::Miss => None,
         }
     }
 
-    /// Inserts a complete result, evicting the least-recently-used
-    /// entry if the cache is full. Returns the number of evictions
-    /// (0 or 1).
+    fn remove(&mut self, key: &CacheKey) {
+        if let Some(e) = self.map.remove(key) {
+            self.bytes -= e.bytes;
+        }
+    }
+
+    /// Evicts the least-recently-used entry; `false` when empty.
+    fn evict_lru(&mut self) -> bool {
+        let Some(oldest) = self
+            .map
+            .iter()
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(k, _)| *k)
+        else {
+            return false;
+        };
+        self.remove(&oldest);
+        true
+    }
+
+    /// Inserts a complete result, evicting least-recently-used entries
+    /// until both the entry-count bound and the byte budget hold.
+    /// Returns the number of evictions. A result larger than the whole
+    /// byte budget is not cached (and evicts nothing).
     pub fn insert(&mut self, key: CacheKey, patterns: Arc<Vec<ItemsetCount>>) -> u64 {
-        if self.capacity == 0 {
+        if self.cfg.capacity == 0 {
+            return 0;
+        }
+        let bytes = approx_bytes(&patterns);
+        if self.cfg.max_bytes > 0 && bytes > self.cfg.max_bytes {
             return 0;
         }
         self.clock += 1;
+        // Overwrites release the old entry's budget before any
+        // eviction decision is made.
+        self.remove(&key);
         let mut evicted = 0;
-        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
-            if let Some(oldest) = self
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.stamp)
-                .map(|(k, _)| *k)
-            {
-                self.map.remove(&oldest);
-                evicted = 1;
+        while self.map.len() >= self.cfg.capacity
+            || (self.cfg.max_bytes > 0 && self.bytes + bytes > self.cfg.max_bytes)
+        {
+            if !self.evict_lru() {
+                break;
             }
+            evicted += 1;
         }
         let sum = checksum(&patterns);
+        self.bytes += bytes;
         self.map.insert(
             key,
             Entry {
                 patterns,
                 checksum: sum,
                 stamp: self.clock,
+                inserted: Instant::now(),
+                bytes,
             },
         );
         evicted
@@ -186,6 +285,26 @@ impl ResultCache {
             }
             None => false,
         }
+    }
+
+    /// Test support: backdates the entry for `key` by `by`, simulating
+    /// the passage of wall-clock time against the TTL without sleeping.
+    /// Returns `false` when the key is absent.
+    #[doc(hidden)]
+    pub fn age(&mut self, key: &CacheKey, by: Duration) -> bool {
+        match self.map.get_mut(key) {
+            Some(e) => {
+                e.inserted = e.inserted.checked_sub(by).unwrap_or(e.inserted);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Approximate heap bytes currently held ([`approx_bytes`] summed
+    /// over entries).
+    pub fn bytes(&self) -> usize {
+        self.bytes
     }
 
     /// Number of cached results.
@@ -312,5 +431,93 @@ mod tests {
         assert_eq!(c.insert((1, 0, 1), pats(1)), 0);
         assert!(c.get(&(1, 0, 1)).is_none());
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn ttl_expired_entry_reads_as_expired_then_miss() {
+        let mut c = ResultCache::with_config(CacheConfig {
+            capacity: 4,
+            max_bytes: 0,
+            ttl: Some(Duration::from_secs(60)),
+        });
+        c.insert((1, 0, 1), pats(1));
+        assert!(
+            matches!(c.probe(&(1, 0, 1)), Lookup::Hit(_)),
+            "fresh entry serves"
+        );
+        assert!(c.age(&(1, 0, 1), Duration::from_secs(61)));
+        assert!(
+            matches!(c.probe(&(1, 0, 1)), Lookup::Expired),
+            "an entry past its TTL must not serve"
+        );
+        assert!(c.is_empty(), "the expired entry is gone");
+        assert!(matches!(c.probe(&(1, 0, 1)), Lookup::Miss));
+        assert_eq!(c.bytes(), 0, "expiry releases the byte budget");
+    }
+
+    #[test]
+    fn fresh_entries_survive_a_ttl_probe() {
+        let mut c = ResultCache::with_config(CacheConfig {
+            capacity: 4,
+            max_bytes: 0,
+            ttl: Some(Duration::from_secs(60)),
+        });
+        c.insert((1, 0, 1), pats(1));
+        assert!(c.age(&(1, 0, 1), Duration::from_secs(30)));
+        assert!(matches!(c.probe(&(1, 0, 1)), Lookup::Hit(_)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_until_the_insert_fits() {
+        let one = approx_bytes(&pats(0));
+        let mut c = ResultCache::with_config(CacheConfig {
+            capacity: 100,
+            max_bytes: one * 2,
+            ttl: None,
+        });
+        assert_eq!(c.insert((1, 0, 1), pats(1)), 0);
+        assert_eq!(c.insert((2, 0, 1), pats(2)), 0);
+        assert_eq!(c.bytes(), one * 2);
+        assert!(c.get(&(1, 0, 1)).is_some()); // refresh key 1
+        assert_eq!(c.insert((3, 0, 1), pats(3)), 1, "budget full: evict LRU");
+        assert!(c.get(&(2, 0, 1)).is_none(), "key 2 was least recent");
+        assert!(c.get(&(1, 0, 1)).is_some());
+        assert_eq!(c.bytes(), one * 2);
+    }
+
+    #[test]
+    fn oversized_result_is_not_cached_and_evicts_nothing() {
+        let one = approx_bytes(&pats(0));
+        let mut c = ResultCache::with_config(CacheConfig {
+            capacity: 100,
+            max_bytes: one,
+            ttl: None,
+        });
+        c.insert((1, 0, 1), pats(1));
+        let big = Arc::new(vec![
+            ItemsetCount { items: vec![1], support: 1 },
+            ItemsetCount { items: vec![2], support: 1 },
+        ]);
+        assert!(approx_bytes(&big) > one);
+        assert_eq!(c.insert((2, 0, 1), big), 0);
+        assert!(c.get(&(2, 0, 1)).is_none(), "over-budget result skipped");
+        assert!(c.get(&(1, 0, 1)).is_some(), "resident entry untouched");
+    }
+
+    #[test]
+    fn overwrite_releases_the_old_entrys_bytes() {
+        let mut c = ResultCache::with_config(CacheConfig {
+            capacity: 4,
+            max_bytes: 4096,
+            ttl: None,
+        });
+        let big = Arc::new(vec![
+            ItemsetCount { items: vec![1, 2, 3], support: 1 },
+            ItemsetCount { items: vec![2], support: 1 },
+        ]);
+        c.insert((1, 0, 1), big);
+        c.insert((1, 0, 1), pats(1));
+        assert_eq!(c.bytes(), approx_bytes(&pats(1)));
     }
 }

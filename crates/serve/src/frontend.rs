@@ -1,15 +1,32 @@
 //! Wire frontends: the line-delimited JSON protocol over any
-//! reader/writer pair, a TCP acceptor, and a stdin/stdout binding.
+//! reader/writer pair, a thread-per-connection TCP acceptor, an
+//! event-driven non-blocking TCP poll loop, and a stdin/stdout binding.
 //!
 //! One request per line, one response line per request, in order. A
 //! malformed line gets a `rejected` response (with the parse error as
 //! the reason) and the connection stays up — one bad client line must
 //! not take down a batch.
+//!
+//! Two TCP modes share that protocol:
+//!
+//! * [`serve_tcp`] — one thread per connection, blocking I/O. Simple,
+//!   and fine for a handful of long-lived pipelined clients.
+//! * [`serve_poll`] — **one** frontend thread multiplexing every
+//!   connection with non-blocking sockets and per-connection state
+//!   machines. Requests are submitted as [`Ticket`]s and polled with
+//!   [`Ticket::try_wait`], so a slow mining run never parks the
+//!   frontend; meanwhile the loop enforces the *outer* tiers of the
+//!   admission policy — a connection cap (refused connections get one
+//!   rejection line) and a per-client in-flight quota (excess lines get
+//!   rejection responses) — before the service's own queue-depth and
+//!   Geerts-bound tiers even see the request.
 
 use crate::request::{parse_request, render_response, MineResponse, MineStats};
-use crate::service::MineService;
-use std::io::{self, BufRead, BufReader, Write};
+use crate::service::{MineService, Ticket};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
 
 /// Drives the line protocol over `input`/`output` until EOF. Each line
 /// is parsed, submitted, and awaited; responses are written in request
@@ -76,6 +93,313 @@ pub fn serve_stdio(service: &MineService) -> io::Result<()> {
     serve_lines(service, stdin.lock(), stdout.lock())
 }
 
+/// Tuning knobs of the [`serve_poll`] event loop.
+#[derive(Debug, Clone, Copy)]
+pub struct FrontendConfig {
+    /// Maximum concurrently open connections. A connection accepted
+    /// beyond the cap gets a single `rejected` line and is closed —
+    /// the outermost admission tier.
+    pub max_connections: usize,
+    /// Per-client quota: request lines arriving while this many of the
+    /// connection's requests are still in flight are answered with a
+    /// `rejected` response instead of being submitted — the middle
+    /// admission tier, ahead of the service's queue-depth and
+    /// candidate-bound tiers.
+    pub max_inflight_per_conn: usize,
+    /// Longest accepted request line. A connection exceeding it without
+    /// a newline gets a rejection and is closed (the stream cannot be
+    /// resynchronised).
+    pub max_line_bytes: usize,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        FrontendConfig {
+            max_connections: 64,
+            max_inflight_per_conn: 16,
+            max_line_bytes: 1 << 20,
+        }
+    }
+}
+
+/// What one [`serve_poll`] run did, for logs and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontendStats {
+    /// Connections accepted and served.
+    pub connections_served: u64,
+    /// Connections refused at the cap.
+    pub connections_refused: u64,
+    /// Request lines rejected by the per-client in-flight quota.
+    pub quota_rejections: u64,
+    /// Request lines submitted to the service.
+    pub lines_submitted: u64,
+}
+
+/// A response owed to the client, kept in arrival order. Quota and
+/// parse rejections are `Ready` immediately but still wait their turn
+/// behind earlier in-flight requests, preserving one-response-per-line
+/// ordering.
+enum Pending {
+    Waiting(Ticket),
+    Ready(String),
+}
+
+/// Per-connection state machine for the poll loop.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet terminated by a newline.
+    rbuf: Vec<u8>,
+    /// Rendered response bytes not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    /// Responses owed, in request order.
+    pending: VecDeque<Pending>,
+    /// Client closed its write side (EOF seen); drain and close.
+    read_closed: bool,
+    /// Protocol error (oversized line): stop reading, flush, close.
+    poisoned: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        Ok(Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            pending: VecDeque::new(),
+            read_closed: false,
+            poisoned: false,
+        })
+    }
+
+    fn inflight(&self) -> usize {
+        self.pending
+            .iter()
+            .filter(|p| matches!(p, Pending::Waiting(_)))
+            .count()
+    }
+
+    fn queue_response(&mut self, resp: &MineResponse) {
+        let mut line = render_response(resp);
+        line.push('\n');
+        self.pending.push_back(Pending::Ready(line));
+    }
+
+    /// True when everything owed has been flushed and no more input can
+    /// arrive.
+    fn finished(&self) -> bool {
+        (self.read_closed || self.poisoned) && self.pending.is_empty() && self.wbuf.is_empty()
+    }
+}
+
+/// Event-driven TCP frontend: a single thread multiplexes all
+/// connections with non-blocking I/O, submitting requests as tickets
+/// and collecting responses via [`Ticket::try_wait`]. `max_conns`
+/// bounds how many connections are *accepted* in total before the loop
+/// drains and returns — `None` serves forever.
+pub fn serve_poll(
+    service: &MineService,
+    listener: TcpListener,
+    cfg: FrontendConfig,
+    max_conns: Option<usize>,
+) -> io::Result<FrontendStats> {
+    listener.set_nonblocking(true)?;
+    let mut stats = FrontendStats::default();
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut accepted_total: usize = 0;
+    loop {
+        let mut progressed = false;
+
+        // Accept tier: a connection past the open-connection cap — or
+        // past the total-served quota, when one is set — is answered
+        // with a single rejection line and closed, never left hanging
+        // in the backlog.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    progressed = true;
+                    let over_cap = conns.len() >= cfg.max_connections
+                        || max_conns.is_some_and(|m| accepted_total >= m);
+                    if over_cap {
+                        stats.connections_refused += 1;
+                        refuse_connection(stream, cfg.max_connections);
+                        continue;
+                    }
+                    accepted_total += 1;
+                    stats.connections_served += 1;
+                    conns.push(Conn::new(stream)?);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drive every connection's state machine one step.
+        let mut closed: Vec<usize> = Vec::new();
+        for (idx, conn) in conns.iter_mut().enumerate() {
+            match step_conn(service, conn, &cfg, &mut stats) {
+                Ok(p) => progressed |= p,
+                // I/O error (client hangup mid-write): cancel whatever
+                // the dead client was still waiting on — the mining
+                // runs stop at their next checkpoint — and close.
+                Err(_) => {
+                    for p in &conn.pending {
+                        if let Pending::Waiting(ticket) = p {
+                            ticket.cancel();
+                        }
+                    }
+                    closed.push(idx);
+                    continue;
+                }
+            }
+            if conn.finished() {
+                closed.push(idx);
+            }
+        }
+        for idx in closed.into_iter().rev() {
+            conns.remove(idx);
+            progressed = true;
+        }
+
+        if max_conns.is_some_and(|m| accepted_total >= m) && conns.is_empty() {
+            return Ok(stats);
+        }
+        if !progressed {
+            // Nothing moved: park briefly instead of spinning. 500µs
+            // keeps worst-case added latency well under a mining run.
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+}
+
+/// Best-effort rejection line for a connection refused at the cap.
+fn refuse_connection(mut stream: TcpStream, cap: usize) {
+    let resp = MineResponse::rejected(
+        format!("connection limit reached ({cap} open)"),
+        MineStats::default(),
+    );
+    let mut line = render_response(&resp);
+    line.push('\n');
+    let _ = stream.write_all(line.as_bytes());
+}
+
+/// One step of a connection's state machine: read what's available,
+/// parse complete lines through the quota tier, promote finished
+/// tickets, and flush what the socket will take. Returns whether any
+/// progress was made; `Err` means the connection is dead.
+fn step_conn(
+    service: &MineService,
+    conn: &mut Conn,
+    cfg: &FrontendConfig,
+    stats: &mut FrontendStats,
+) -> io::Result<bool> {
+    let mut progressed = false;
+
+    // Read tier.
+    if !conn.read_closed && !conn.poisoned {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    progressed = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        // Parse every complete line out of the read buffer.
+        while let Some(nl) = conn.rbuf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = conn.rbuf.drain(..=nl).collect();
+            let line = String::from_utf8_lossy(&line[..nl]).into_owned();
+            if line.trim().is_empty() {
+                continue;
+            }
+            progressed = true;
+            if conn.inflight() >= cfg.max_inflight_per_conn {
+                stats.quota_rejections += 1;
+                conn.queue_response(&MineResponse::rejected(
+                    format!(
+                        "per-client quota exceeded ({} requests in flight)",
+                        cfg.max_inflight_per_conn
+                    ),
+                    MineStats::default(),
+                ));
+                continue;
+            }
+            match parse_request(&line) {
+                Ok(request) => {
+                    stats.lines_submitted += 1;
+                    conn.pending.push_back(Pending::Waiting(service.submit(request)));
+                }
+                Err(e) => {
+                    conn.queue_response(&MineResponse::rejected(
+                        format!("parse error: {e}"),
+                        MineStats::default(),
+                    ));
+                }
+            }
+        }
+        if conn.rbuf.len() > cfg.max_line_bytes {
+            conn.poisoned = true;
+            conn.rbuf.clear();
+            conn.queue_response(&MineResponse::rejected(
+                format!("request line exceeds {} bytes", cfg.max_line_bytes),
+                MineStats::default(),
+            ));
+            progressed = true;
+        }
+    }
+
+    // Promote tier: move responses into the write buffer strictly in
+    // request order — a later ticket finishing first still waits.
+    loop {
+        match conn.pending.front_mut() {
+            Some(Pending::Ready(_)) => {
+                let Some(Pending::Ready(line)) = conn.pending.pop_front() else {
+                    unreachable!()
+                };
+                conn.wbuf.extend_from_slice(line.as_bytes());
+                progressed = true;
+            }
+            Some(Pending::Waiting(ticket)) => match ticket.try_wait() {
+                Some(resp) => {
+                    let mut line = render_response(&resp);
+                    line.push('\n');
+                    conn.wbuf.extend_from_slice(line.as_bytes());
+                    conn.pending.pop_front();
+                    progressed = true;
+                }
+                None => break,
+            },
+            None => break,
+        }
+    }
+
+    // Flush tier.
+    while !conn.wbuf.is_empty() {
+        match conn.stream.write(&conn.wbuf) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => {
+                conn.wbuf.drain(..n);
+                progressed = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+
+    Ok(progressed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +458,191 @@ mod tests {
             let v = crate::json::parse(line).unwrap();
             assert_eq!(v.get("outcome").unwrap().as_str(), Some("complete"));
         }
+        server.join().unwrap().unwrap();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn poll_frontend_answers_interleaved_clients() {
+        // Two clients pipelining batches against ONE frontend thread:
+        // the poll loop must interleave them without a thread per
+        // connection, and each client still sees in-order responses.
+        let svc = MineService::start(ServeConfig::default());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let svc2 = svc.clone();
+        let server = std::thread::spawn(move || {
+            serve_poll(&svc2, listener, FrontendConfig::default(), Some(2))
+        });
+
+        let clients: Vec<_> = (0..2)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    let batch = format!(
+                        "{}\nnot json\n{}\n",
+                        toy_line("lcm", ""),
+                        toy_line("eclat", "")
+                    );
+                    stream.write_all(batch.as_bytes()).unwrap();
+                    stream.shutdown(std::net::Shutdown::Write).unwrap();
+                    let reader = std::io::BufReader::new(stream);
+                    let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+                    assert_eq!(lines.len(), 3);
+                    let outcomes: Vec<String> = lines
+                        .iter()
+                        .map(|l| {
+                            crate::json::parse(l)
+                                .unwrap()
+                                .get("outcome")
+                                .unwrap()
+                                .as_str()
+                                .unwrap()
+                                .to_string()
+                        })
+                        .collect();
+                    assert_eq!(
+                        outcomes,
+                        ["complete", "rejected", "complete"],
+                        "responses arrive in request order"
+                    );
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        let stats = server.join().unwrap().unwrap();
+        assert_eq!(stats.connections_served, 2);
+        assert_eq!(stats.lines_submitted, 4);
+        assert_eq!(stats.connections_refused, 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn poll_frontend_refuses_connections_past_the_cap() {
+        let svc = MineService::start(ServeConfig::default());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let svc2 = svc.clone();
+        let cfg = FrontendConfig {
+            max_connections: 1,
+            ..FrontendConfig::default()
+        };
+        let server = std::thread::spawn(move || serve_poll(&svc2, listener, cfg, Some(1)));
+
+        // First connection occupies the single slot; keep it open while
+        // the second connects.
+        let mut first = TcpStream::connect(addr).unwrap();
+        // Wait until the refused peer has actually been turned away so
+        // the cap (not accept-queue timing) is what we assert on.
+        let second = TcpStream::connect(addr).unwrap();
+        let reader = std::io::BufReader::new(second);
+        let mut lines = reader.lines();
+        let refusal = lines.next().unwrap().unwrap();
+        let v = crate::json::parse(&refusal).unwrap();
+        assert_eq!(v.get("outcome").unwrap().as_str(), Some("rejected"));
+        assert!(v
+            .get("reason")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("connection limit"));
+        assert!(lines.next().is_none(), "refused connection is closed");
+
+        first.write_all(format!("{}\n", toy_line("lcm", "")).as_bytes()).unwrap();
+        first.shutdown(std::net::Shutdown::Write).unwrap();
+        let reader = std::io::BufReader::new(first);
+        let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+        assert_eq!(lines.len(), 1, "the admitted connection is served normally");
+        let stats = server.join().unwrap().unwrap();
+        assert_eq!(stats.connections_served, 1);
+        assert_eq!(stats.connections_refused, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn poll_frontend_enforces_the_per_client_quota() {
+        // Quota 1, mining gate held: the first line occupies the quota
+        // slot, the next two are rejected at the frontend tier without
+        // ever reaching the service.
+        let svc = MineService::start(ServeConfig::default());
+        svc.hold_mining(true);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let svc2 = svc.clone();
+        let cfg = FrontendConfig {
+            max_inflight_per_conn: 1,
+            ..FrontendConfig::default()
+        };
+        let server = std::thread::spawn(move || serve_poll(&svc2, listener, cfg, Some(1)));
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let batch = format!(
+            "{}\n{}\n{}\n",
+            toy_line("lcm", ""),
+            toy_line("lcm", ""),
+            toy_line("lcm", "")
+        );
+        stream.write_all(batch.as_bytes()).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        // Let the quota rejections happen while the first request is
+        // provably still in flight, then release the gate.
+        for _ in 0..2000 {
+            if svc.metrics().get("requests_submitted") >= 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        svc.hold_mining(false);
+
+        let reader = std::io::BufReader::new(stream);
+        let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+        assert_eq!(lines.len(), 3);
+        let first = crate::json::parse(&lines[0]).unwrap();
+        assert_eq!(first.get("outcome").unwrap().as_str(), Some("complete"));
+        for line in &lines[1..] {
+            let v = crate::json::parse(line).unwrap();
+            assert_eq!(v.get("outcome").unwrap().as_str(), Some("rejected"));
+            assert!(v
+                .get("reason")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("per-client quota"));
+        }
+        let stats = server.join().unwrap().unwrap();
+        assert_eq!(stats.quota_rejections, 2);
+        assert_eq!(stats.lines_submitted, 1);
+        assert_eq!(
+            svc.metrics().get("requests_submitted"),
+            1,
+            "quota rejections never reach the service"
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn poll_frontend_rejects_oversized_lines_and_closes() {
+        let svc = MineService::start(ServeConfig::default());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let svc2 = svc.clone();
+        let cfg = FrontendConfig {
+            max_line_bytes: 64,
+            ..FrontendConfig::default()
+        };
+        let server = std::thread::spawn(move || serve_poll(&svc2, listener, cfg, Some(1)));
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&vec![b'x'; 256]).unwrap();
+        let reader = std::io::BufReader::new(stream);
+        let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+        assert_eq!(lines.len(), 1);
+        let v = crate::json::parse(&lines[0]).unwrap();
+        assert_eq!(v.get("outcome").unwrap().as_str(), Some("rejected"));
+        assert!(v.get("reason").unwrap().as_str().unwrap().contains("exceeds"));
         server.join().unwrap().unwrap();
         svc.shutdown();
     }

@@ -4,24 +4,37 @@
 //! of queries from callers with latency expectations. This crate turns
 //! the workspace's kernels into such a service (DESIGN.md §10):
 //!
-//! * a bounded **worker pool** ([`MineService`]) draining a FIFO job
-//!   queue, each job a [`MineRequest`] naming a dataset, kernel, and
-//!   support threshold;
+//! * **dataset-sharded worker pools** ([`MineService`]): requests
+//!   route by a stable hash of the dataset spec to independent shards,
+//!   each with its own bounded FIFO queue, workers, cache partition and
+//!   metrics — one hot dataset cannot queue behind another's backlog
+//!   (DESIGN.md §13);
+//! * **single-flight coalescing**: identical in-flight `(dataset
+//!   fingerprint, kernel, min_support)` requests attach to one run and
+//!   share its result — a cold-cache stampede mines exactly once;
 //! * **deadlines, budgets, and cancellation** via the cooperative
 //!   [`fpm::MineControl`] threaded through every kernel's recursion
 //!   spine — a stopped run's output is always a contiguous *prefix* of
 //!   the serial emission order, never a scramble;
 //! * an LRU **result cache** keyed by `(dataset fingerprint, kernel,
-//!   min_support)` so repeated queries skip mining entirely;
-//! * **admission control** from the Geerts-style candidate bound
-//!   ([`fpm::bound`]): requests whose search space provably exceeds a
-//!   ceiling are rejected before any work is spent;
-//! * two frontends over one request model: the in-process handle
-//!   ([`MineService::mine`] / [`MineService::submit`]) and a
-//!   line-delimited JSON protocol over TCP or stdio
-//!   ([`frontend::serve_tcp`], [`frontend::serve_stdio`]);
-//! * per-request **metrics** through [`fpm::metrics::MetricSet`]
-//!   ([`MineService::metrics`]).
+//!   min_support)` with optional byte budget and TTL
+//!   ([`cache::CacheConfig`]) so repeated queries skip mining entirely;
+//! * **tiered admission**: connection caps and per-client quotas at the
+//!   frontend, queue-depth backpressure at submit, and the
+//!   Geerts-style candidate bound ([`fpm::bound`]) rejecting requests
+//!   whose search space provably exceeds a ceiling before any work is
+//!   spent;
+//! * three frontends over one request model: the in-process handle
+//!   ([`MineService::mine`] / [`MineService::submit`]), a
+//!   thread-per-connection line-delimited JSON protocol over TCP or
+//!   stdio ([`frontend::serve_tcp`], [`frontend::serve_stdio`]), and a
+//!   single-threaded non-blocking poll loop ([`frontend::serve_poll`]);
+//! * a deterministic **load generator** ([`loadgen`], `fpm-mine
+//!   loadgen`): a seeded open-loop schedule whose reproducible half is
+//!   committed as `BENCH_serve.json`;
+//! * per-request **metrics** through [`fpm::metrics::MetricSet`],
+//!   globally and per shard ([`MineService::metrics`],
+//!   [`MineService::shard_metrics`]).
 //!
 //! Every response carries an [`Outcome`]: `Complete`, `Cancelled`,
 //! `DeadlineExceeded`, `Rejected`, or `Failed` (a mining task panicked;
@@ -48,11 +61,16 @@
 pub mod cache;
 pub mod frontend;
 pub mod json;
+pub mod loadgen;
 pub mod request;
 pub mod service;
 
 pub use cache::{fingerprint, Lookup, ResultCache};
-pub use frontend::{serve_connection, serve_lines, serve_stdio, serve_tcp};
+pub use frontend::{
+    serve_connection, serve_lines, serve_poll, serve_stdio, serve_tcp, FrontendConfig,
+    FrontendStats,
+};
+pub use loadgen::{LoadConfig, LoadReport};
 pub use request::{
     parse_request, render_response, DatasetSpec, Kernel, MineRequest, MineResponse, MineStats,
     Outcome,

@@ -98,10 +98,12 @@ pub enum Outcome {
     /// The service refused to mine (queue full, admission bound, bad
     /// dataset); see [`MineResponse::reason`].
     Rejected,
-    /// A mining task panicked mid-run. The worker caught the unwind, so
-    /// the service keeps running and the patterns (when included) are
-    /// still a clean prefix of the serial emission order — everything
-    /// delivered before the failure point.
+    /// The service lost the run — a mining task panicked mid-run (the
+    /// worker caught the unwind), or the worker itself failed at pickup
+    /// (the chaos shard-stall site's panic flavor). The service keeps
+    /// running and the patterns (when included) are still a clean
+    /// prefix of the serial emission order — everything delivered
+    /// before the failure point, possibly empty.
     Failed,
 }
 
@@ -141,10 +143,18 @@ pub struct MineStats {
     pub truncated: bool,
     /// `true` when the result came from the cache without mining.
     pub cache_hit: bool,
+    /// `true` when the request attached to another identical in-flight
+    /// request (single-flight) and was answered from that run's result
+    /// without mining itself.
+    pub coalesced: bool,
     /// Milliseconds spent queued before a worker picked the job up.
     pub queue_ms: u64,
     /// Milliseconds spent resolving the dataset + mining.
     pub mine_ms: u64,
+    /// Microseconds from submit to the response being sent — the
+    /// latency a caller experiences, at the resolution the loadgen
+    /// percentiles are computed from.
+    pub service_us: u64,
     /// The admission-control candidate bound computed for this request
     /// (0 when it was not computed — cache hits and early rejects).
     pub candidate_bound: f64,
@@ -288,8 +298,10 @@ pub fn render_response(resp: &MineResponse) -> String {
             ("emitted".to_string(), num(s.emitted)),
             ("truncated".to_string(), Json::Bool(s.truncated)),
             ("cache_hit".to_string(), Json::Bool(s.cache_hit)),
+            ("coalesced".to_string(), Json::Bool(s.coalesced)),
             ("queue_ms".to_string(), num(s.queue_ms)),
             ("mine_ms".to_string(), num(s.mine_ms)),
+            ("service_us".to_string(), num(s.service_us)),
             ("candidate_bound".to_string(), Json::Num(s.candidate_bound)),
         ]),
     ));

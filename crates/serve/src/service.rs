@@ -1,57 +1,84 @@
-//! The mining service: bounded worker pool, job queue, admission
-//! control, result cache, and per-request metrics.
+//! The mining service: dataset-sharded worker pools, single-flight
+//! request coalescing, admission control, result caches, and
+//! per-request metrics.
 //!
 //! ## Request lifecycle
 //!
-//! 1. **Submit** ([`MineService::submit`]): the request's [`MineControl`]
-//!    is created — arming the deadline *now*, so queue wait counts
-//!    against it — and the job enters the bounded queue. A full queue
-//!    rejects synchronously (the caller learns immediately, the pool's
-//!    latency stays bounded).
-//! 2. **Pickup**: a worker pops the job in FIFO order. A control that
-//!    tripped while queued (deadline passed, caller cancelled) is
+//! 1. **Route + submit** ([`MineService::submit`]): the request's
+//!    dataset spec hashes to a **shard** — every request for the same
+//!    dataset lands on the same shard's queue, cache partition, and
+//!    metrics. The request's [`MineControl`] is created — arming the
+//!    deadline *now*, so queue wait counts against it — and the job
+//!    enters that shard's bounded queue. A full queue rejects
+//!    synchronously (the caller learns immediately, the pool's latency
+//!    stays bounded).
+//! 2. **Pickup**: a shard worker pops the job in FIFO order. A control
+//!    that tripped while queued (deadline passed, caller cancelled) is
 //!    answered without mining — with an *empty* pattern list, which is
 //!    the correct zero-length prefix of the serial order.
-//! 3. **Cache probe**: complete results are cached by
+//! 3. **Cache probe**: complete results are cached per shard by
 //!    `(dataset fingerprint, kernel, min_support)`; a hit answers from
 //!    memory (budget-limited callers get a prefix of the cached list).
 //!    Every entry is checksum-verified on probe — a corrupted entry is
-//!    dropped and counted (`cache_integrity_failures`), and the request
-//!    falls through to mining as if it had missed.
+//!    dropped and counted (`cache_integrity_failures`), an entry past
+//!    its TTL is dropped and counted (`cache_expired`); **both count as
+//!    misses**, never hits, and the request falls through to mining.
 //! 4. **Admission**: on a miss, the Geerts-style
 //!    [`candidate_bound`](fpm::bound::candidate_bound) is computed from
 //!    shape facts alone; a bound above the configured ceiling rejects
 //!    the request before any mining work is spent.
-//! 5. **Mine**: the kernel runs under the control — serial, or on the
-//!    work-stealing runtime when [`ServeConfig::mine_threads`] > 1 —
-//!    and the stop cause maps to the response [`Outcome`].
+//! 5. **Single-flight**: an admitted miss checks the shard's in-flight
+//!    table. If an identical `(fingerprint, kernel, minsup)` run is
+//!    already mining, the job *attaches* to it as a follower — no
+//!    second mine — and is answered at fan-out. Otherwise the job
+//!    registers as the **leader** and mines.
+//! 6. **Mine + fan out**: the kernel runs under the leader's control —
+//!    serial, or on the work-stealing runtime when
+//!    [`ServeConfig::mine_threads`] > 1. A *shareable* result (complete,
+//!    untruncated — [`exec::ExecSummary::shareable`]) is cached and then
+//!    served to every follower, each under its own budget/include
+//!    flags. An unshareable result (cancelled, deadline-cut, failed) is
+//!    honest only for the leader whose control tripped; followers are
+//!    requeued at the front of the shard queue and run on their own.
 //!
-//! Every step increments [`MineService::metrics`] counters, so tests
-//! (and operators) can verify, e.g., that a cache hit really skipped
-//! mining.
+//! Every step increments both [`MineService::metrics`] and the owning
+//! shard's [`MineService::shard_metrics`] — the per-shard counters sum
+//! exactly to the global ones, an invariant the conformance suite
+//! property-tests.
 
-use crate::cache::{fingerprint, CacheKey, Lookup, ResultCache};
+use crate::cache::{fingerprint, CacheConfig, CacheKey, Lookup, ResultCache};
 use crate::request::{DatasetSpec, Kernel, MineRequest, MineResponse, MineStats, Outcome};
 use exec::MinePlan;
 use fpm::control::{MineControl, StopCause};
 use fpm::metrics::MetricSet;
 use fpm::{CollectSink, ItemsetCount, TransactionDb};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs of one [`MineService`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
-    /// Worker threads draining the job queue (min 1).
+    /// Dataset shards (min 1). Requests hash-route by dataset spec;
+    /// each shard owns a queue, a cache partition, a worker pool, and
+    /// its own metrics.
+    pub shards: usize,
+    /// Worker threads draining each shard's queue (min 1 per shard).
     pub workers: usize,
-    /// Maximum queued (not yet picked up) jobs; submissions beyond it
-    /// are rejected synchronously.
+    /// Maximum queued (not yet picked up) jobs per shard; submissions
+    /// beyond it are rejected synchronously.
     pub queue_depth: usize,
-    /// Result-cache capacity in entries (0 disables caching).
+    /// Result-cache capacity in entries, per shard (0 disables caching).
     pub cache_capacity: usize,
+    /// Byte budget per shard cache over the approximate heap footprint
+    /// of cached results (0 = no byte budget).
+    pub cache_max_bytes: usize,
+    /// Result time-to-live: cached entries older than this read as
+    /// expired (a miss) and re-mine. `None` never expires.
+    pub cache_ttl: Option<Duration>,
     /// Admission ceiling: requests whose candidate bound exceeds this
     /// are rejected without mining. `f64::INFINITY` admits everything.
     pub max_candidate_bound: f64,
@@ -63,16 +90,29 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
+            shards: 1,
             workers: 2,
             queue_depth: 64,
             cache_capacity: 32,
+            cache_max_bytes: 0,
+            cache_ttl: None,
             max_candidate_bound: f64::INFINITY,
             mine_threads: 0,
         }
     }
 }
 
-/// Counter names exported through [`MineService::metrics`].
+/// Counter names exported through [`MineService::metrics`] and each
+/// shard's [`MineService::shard_metrics`]. Invariants held at every
+/// quiescent point (no request in flight):
+///
+/// - `requests_submitted` = sum of the five `requests_*` outcome
+///   counters;
+/// - `cache_probes` = `cache_hits` + `cache_misses`;
+/// - `cache_integrity_failures` ≤ `cache_misses`, `cache_expired` ≤
+///   `cache_misses` (both are miss subspecies);
+/// - `requests_coalesced` = `coalesced_served` + `coalesced_requeued`;
+/// - each global counter = sum of that counter across shards.
 pub const METRIC_NAMES: &[&str] = &[
     "requests_submitted",
     "requests_completed",
@@ -88,8 +128,13 @@ pub const METRIC_NAMES: &[&str] = &[
     "cache_misses",
     "cache_evictions",
     "cache_integrity_failures",
+    "cache_expired",
     "mined_runs",
     "patterns_emitted",
+    "singleflight_leaders",
+    "requests_coalesced",
+    "coalesced_served",
+    "coalesced_requeued",
 ];
 
 struct Job {
@@ -104,15 +149,52 @@ struct QueueState {
     shutdown: bool,
 }
 
-struct Inner {
-    cfg: ServeConfig,
+/// An in-flight mining run that identical requests attach to.
+struct Flight {
+    followers: Vec<Job>,
+}
+
+/// One dataset shard: queue, workers' condvar, cache partition,
+/// single-flight table, and counters.
+struct Shard {
+    index: usize,
     queue: Mutex<QueueState>,
     ready: Condvar,
     cache: Mutex<ResultCache>,
+    inflight: Mutex<BTreeMap<CacheKey, Flight>>,
+    metrics: Arc<MetricSet>,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    shards: Vec<Shard>,
     /// Named (generated) datasets, keyed by `(label, scale factor)` —
     /// generating DS1 once per server instead of once per request.
+    /// Shared across shards: the transactions are immutable.
     datasets: Mutex<BTreeMap<(&'static str, usize), Arc<TransactionDb>>>,
     metrics: Arc<MetricSet>,
+    /// Test gate: while `true`, leaders park right before mining —
+    /// giving deterministic tests a window in which followers attach.
+    hold: AtomicBool,
+}
+
+/// Increments a counter on the global set and the owning shard's set in
+/// lockstep, so per-shard sums always equal the global counters.
+struct Meters<'a> {
+    global: &'a MetricSet,
+    shard: &'a MetricSet,
+}
+
+impl Meters<'_> {
+    fn incr(&self, name: &str) {
+        self.global.incr(name);
+        self.shard.incr(name);
+    }
+
+    fn add(&self, name: &str, n: u64) {
+        self.global.add(name, n);
+        self.shard.add(name, n);
+    }
 }
 
 /// A handle to one in-flight request: cancel it, then (or instead)
@@ -141,10 +223,22 @@ impl Ticket {
             MineResponse::rejected("service shut down", MineStats::default())
         })
     }
+
+    /// Non-blocking poll: `Some` once the response has arrived. The
+    /// event-driven frontend drives every pending ticket through this.
+    pub fn try_wait(&self) -> Option<MineResponse> {
+        match self.rx.try_recv() {
+            Ok(resp) => Some(resp),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                Some(MineResponse::rejected("service shut down", MineStats::default()))
+            }
+        }
+    }
 }
 
 /// The multi-threaded mining service. Cheap to clone (an `Arc` handle);
-/// all clones share the queue, cache, and metrics.
+/// all clones share the shards, caches, and metrics.
 #[derive(Clone)]
 pub struct MineService {
     inner: Arc<Inner>,
@@ -153,49 +247,86 @@ pub struct MineService {
 }
 
 impl MineService {
-    /// Starts the worker pool.
+    /// Starts the per-shard worker pools.
     pub fn start(cfg: ServeConfig) -> Self {
-        let inner = Arc::new(Inner {
-            cfg,
-            queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                shutdown: false,
-            }),
-            ready: Condvar::new(),
-            cache: Mutex::new(ResultCache::new(cfg.cache_capacity)),
-            datasets: Mutex::new(BTreeMap::new()),
-            metrics: Arc::new(MetricSet::new(METRIC_NAMES)),
-        });
-        let workers = (0..cfg.workers.max(1))
-            .map(|_| {
-                let inner = Arc::clone(&inner);
-                std::thread::spawn(move || worker_loop(&inner))
+        let cache_cfg = CacheConfig {
+            capacity: cfg.cache_capacity,
+            max_bytes: cfg.cache_max_bytes,
+            ttl: cfg.cache_ttl,
+        };
+        let shards: Vec<Shard> = (0..cfg.shards.max(1))
+            .map(|index| Shard {
+                index,
+                queue: Mutex::new(QueueState {
+                    jobs: VecDeque::new(),
+                    shutdown: false,
+                }),
+                ready: Condvar::new(),
+                cache: Mutex::new(ResultCache::with_config(cache_cfg)),
+                inflight: Mutex::new(BTreeMap::new()),
+                metrics: Arc::new(MetricSet::new(METRIC_NAMES)),
             })
             .collect();
+        let inner = Arc::new(Inner {
+            cfg,
+            shards,
+            datasets: Mutex::new(BTreeMap::new()),
+            metrics: Arc::new(MetricSet::new(METRIC_NAMES)),
+            hold: AtomicBool::new(false),
+        });
+        let mut workers = Vec::new();
+        for shard_idx in 0..inner.shards.len() {
+            for _ in 0..cfg.workers.max(1) {
+                let inner = Arc::clone(&inner);
+                workers.push(std::thread::spawn(move || worker_loop(&inner, shard_idx)));
+            }
+        }
         MineService {
             inner,
             workers: Arc::new(Mutex::new(workers)),
         }
     }
 
-    /// The service's operational counters (see [`METRIC_NAMES`]).
+    /// The service's global operational counters (see [`METRIC_NAMES`]).
     pub fn metrics(&self) -> Arc<MetricSet> {
         Arc::clone(&self.inner.metrics)
     }
 
-    /// Enqueues a request. Always returns a [`Ticket`]; queue-full and
-    /// post-shutdown rejections are delivered through it so callers have
-    /// one uniform wait path.
+    /// One shard's counters; summed over shards they equal
+    /// [`metrics`](MineService::metrics) exactly.
+    pub fn shard_metrics(&self, shard: usize) -> Arc<MetricSet> {
+        Arc::clone(&self.inner.shards[shard].metrics)
+    }
+
+    /// Number of shards actually running (`max(1, cfg.shards)`).
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The shard a request for `spec` routes to — a pure function of
+    /// the dataset spec, stable across runs and processes.
+    pub fn shard_of(&self, spec: &DatasetSpec) -> usize {
+        shard_of(spec, self.inner.shards.len())
+    }
+
+    /// Enqueues a request on its dataset's shard. Always returns a
+    /// [`Ticket`]; queue-full and post-shutdown rejections are delivered
+    /// through it so callers have one uniform wait path.
     pub fn submit(&self, request: MineRequest) -> Ticket {
-        let metrics = &self.inner.metrics;
-        metrics.incr("requests_submitted");
+        let shard = &self.inner.shards[shard_of(&request.dataset, self.inner.shards.len())];
+        let m = Meters {
+            global: &self.inner.metrics,
+            shard: &shard.metrics,
+        };
+        m.incr("requests_submitted");
         let control = Arc::new(MineControl::new(request.deadline, request.max_patterns));
         let (tx, rx) = mpsc::channel();
         let ticket = Ticket {
             rx,
             control: Arc::clone(&control),
         };
-        let mut q = self.inner.queue.lock().expect("queue lock poisoned");
+        let submitted = Instant::now();
+        let mut q = shard.queue.lock().expect("queue lock poisoned");
         let reject = if q.shutdown {
             Some("service shut down")
         } else if q.jobs.len() >= self.inner.cfg.queue_depth {
@@ -205,27 +336,41 @@ impl MineService {
         };
         if let Some(reason) = reject {
             drop(q);
-            metrics.incr("requests_rejected");
+            m.incr("requests_rejected");
             if reason == "queue full" {
-                metrics.incr("rejected_queue_full");
+                m.incr("rejected_queue_full");
             }
-            let _ = tx.send(MineResponse::rejected(reason, MineStats::default()));
+            let stats = MineStats {
+                service_us: submitted.elapsed().as_micros() as u64,
+                ..MineStats::default()
+            };
+            let _ = tx.send(MineResponse::rejected(reason, stats));
             return ticket;
         }
         q.jobs.push_back(Job {
             request,
             control,
-            submitted: Instant::now(),
+            submitted,
             tx,
         });
         drop(q);
-        self.inner.ready.notify_one();
+        shard.ready.notify_one();
         ticket
     }
 
     /// Submit + wait: the blocking in-process entry point.
     pub fn mine(&self, request: MineRequest) -> MineResponse {
         self.submit(request).wait()
+    }
+
+    /// Test support: while held, leaders park right before mining, so a
+    /// test can deterministically pile identical requests onto one
+    /// in-flight run (observable via the `requests_coalesced` counter)
+    /// before releasing the gate. Never hold this on a service whose
+    /// requests carry deadlines.
+    #[doc(hidden)]
+    pub fn hold_mining(&self, hold: bool) {
+        self.inner.hold.store(hold, Ordering::SeqCst);
     }
 
     /// Test support: corrupts the cached result for `(spec, kernel,
@@ -244,21 +389,44 @@ impl MineService {
             return false;
         };
         let key: CacheKey = (fingerprint(&db), kernel.code(), min_support);
-        self.inner
+        self.inner.shards[shard_of(spec, self.inner.shards.len())]
             .cache
             .lock()
             .expect("cache lock poisoned")
             .tamper(&key, f)
     }
 
-    /// Stops accepting work, drains the queue, and joins the workers.
+    /// Test support: backdates the cached result for `(spec, kernel,
+    /// min_support)` by `by`, simulating TTL passage without sleeping.
+    /// Returns `false` when nothing is cached under that key.
+    #[doc(hidden)]
+    pub fn age_cached(
+        &self,
+        spec: &DatasetSpec,
+        kernel: Kernel,
+        min_support: u64,
+        by: Duration,
+    ) -> bool {
+        let Ok(db) = resolve_dataset(&self.inner, spec) else {
+            return false;
+        };
+        let key: CacheKey = (fingerprint(&db), kernel.code(), min_support);
+        self.inner.shards[shard_of(spec, self.inner.shards.len())]
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .age(&key, by)
+    }
+
+    /// Stops accepting work, drains the queues, and joins the workers.
     /// Jobs already queued are still answered.
     pub fn shutdown(&self) {
-        {
-            let mut q = self.inner.queue.lock().expect("queue lock poisoned");
+        for shard in &self.inner.shards {
+            let mut q = shard.queue.lock().expect("queue lock poisoned");
             q.shutdown = true;
+            drop(q);
+            shard.ready.notify_all();
         }
-        self.inner.ready.notify_all();
         let handles: Vec<JoinHandle<()>> = {
             let mut w = self.workers.lock().expect("worker list lock poisoned");
             w.drain(..).collect()
@@ -269,10 +437,58 @@ impl MineService {
     }
 }
 
-fn worker_loop(inner: &Inner) {
+/// FNV-1a over the dataset spec's identity — cheap (no dataset
+/// resolution) and deterministic, so the same spec always routes to the
+/// same shard in every process.
+fn spec_hash(spec: &DatasetSpec) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat_bytes = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    match spec {
+        DatasetSpec::Inline(rows) => {
+            eat_bytes(b"inline");
+            for row in rows {
+                eat_bytes(&(row.len() as u64).to_le_bytes());
+                for &item in row {
+                    eat_bytes(&item.to_le_bytes());
+                }
+            }
+        }
+        DatasetSpec::Named { dataset, scale } => {
+            eat_bytes(b"named");
+            eat_bytes(dataset.label().as_bytes());
+            eat_bytes(&(scale.factor() as u64).to_le_bytes());
+        }
+        DatasetSpec::Path(path) => {
+            eat_bytes(b"path");
+            eat_bytes(path.as_bytes());
+        }
+    }
+    h
+}
+
+/// The shard `spec` routes to, for a pool of `shards` shards.
+fn shard_of(spec: &DatasetSpec, shards: usize) -> usize {
+    (fpm::faults::mix(spec_hash(spec)) % shards as u64) as usize
+}
+
+/// Stamps the caller-experienced latency and delivers the response.
+fn respond(job: Job, mut resp: MineResponse) {
+    resp.stats.service_us = job.submitted.elapsed().as_micros() as u64;
+    let _ = job.tx.send(resp);
+}
+
+fn worker_loop(inner: &Inner, shard_idx: usize) {
+    let shard = &inner.shards[shard_idx];
     loop {
         let job = {
-            let mut q = inner.queue.lock().expect("queue lock poisoned");
+            let mut q = shard.queue.lock().expect("queue lock poisoned");
             loop {
                 if let Some(job) = q.jobs.pop_front() {
                     break job;
@@ -280,97 +496,149 @@ fn worker_loop(inner: &Inner) {
                 if q.shutdown {
                     return;
                 }
-                q = inner
+                q = shard
                     .ready
                     .wait(q)
                     .expect("queue lock poisoned while waiting");
             }
         };
-        let response = handle_job(inner, &job);
-        let _ = job.tx.send(response);
+        // Chaos injection site: a stalled shard worker. The delay
+        // flavor sleeps inside the hook (other shards keep draining and
+        // this shard's queue resolves late but honestly); the panic
+        // flavor returns `true` and the picked job is failed outright,
+        // as if the worker died holding it.
+        if fpm::faults::shard_stall(shard.index) {
+            let m = Meters {
+                global: &inner.metrics,
+                shard: &shard.metrics,
+            };
+            m.incr("requests_failed");
+            let queue_ms = job.submitted.elapsed().as_millis() as u64;
+            respond(
+                job,
+                MineResponse {
+                    outcome: Outcome::Failed,
+                    patterns: None,
+                    count: 0,
+                    reason: Some(
+                        "shard worker stalled (chaos): job failed at pickup".to_string(),
+                    ),
+                    stats: MineStats {
+                        queue_ms,
+                        ..MineStats::default()
+                    },
+                },
+            );
+            continue;
+        }
+        handle_job(inner, shard, job);
     }
 }
 
-fn handle_job(inner: &Inner, job: &Job) -> MineResponse {
-    let metrics = &inner.metrics;
+/// Serves `full` (a complete cached or freshly mined result) under one
+/// request's budget and include flags.
+fn serve_full(
+    req: &MineRequest,
+    full: Arc<Vec<ItemsetCount>>,
+    stats: &mut MineStats,
+) -> MineResponse {
+    let (patterns, truncated) = match req.max_patterns {
+        Some(b) if (b as usize) < full.len() => (Arc::new(full[..b as usize].to_vec()), true),
+        _ => (full, false),
+    };
+    stats.truncated = truncated;
+    stats.emitted = patterns.len() as u64;
+    MineResponse {
+        outcome: Outcome::Complete,
+        count: patterns.len() as u64,
+        patterns: req.include_patterns.then_some(patterns),
+        reason: None,
+        stats: *stats,
+    }
+}
+
+/// An answer for a control that tripped without mining: the empty
+/// pattern list, the zero-length prefix of the serial emission order.
+fn tripped_response(req: &MineRequest, cause: Option<StopCause>, stats: MineStats) -> MineResponse {
+    MineResponse {
+        outcome: outcome_of(cause),
+        patterns: req.include_patterns.then(|| Arc::new(Vec::new())),
+        count: 0,
+        reason: None,
+        stats,
+    }
+}
+
+fn handle_job(inner: &Inner, shard: &Shard, job: Job) {
+    let m = Meters {
+        global: &inner.metrics,
+        shard: &shard.metrics,
+    };
     let queue_ms = job.submitted.elapsed().as_millis() as u64;
     let picked_up = Instant::now();
-    let control = &job.control;
-    let req = &job.request;
     let mut stats = MineStats {
         queue_ms,
         ..MineStats::default()
     };
 
-    // Tripped while queued: answer without mining. The empty pattern
-    // list is the zero-length prefix of the serial emission order.
-    if control.should_stop() {
-        let outcome = outcome_of(control.stop_cause());
-        count_outcome(metrics, outcome);
-        return MineResponse {
-            outcome,
-            patterns: req.include_patterns.then(|| Arc::new(Vec::new())),
-            count: 0,
-            reason: None,
-            stats,
-        };
+    // Tripped while queued: answer without mining.
+    if job.control.should_stop() {
+        let cause = job.control.stop_cause();
+        count_outcome(&m, outcome_of(cause));
+        let resp = tripped_response(&job.request, cause, stats);
+        respond(job, resp);
+        return;
     }
 
-    let db = match resolve_dataset(inner, &req.dataset) {
+    let db = match resolve_dataset(inner, &job.request.dataset) {
         Ok(db) => db,
         Err(reason) => {
-            metrics.incr("requests_rejected");
-            metrics.incr("rejected_bad_dataset");
-            return MineResponse::rejected(reason, stats);
+            m.incr("requests_rejected");
+            m.incr("rejected_bad_dataset");
+            respond(job, MineResponse::rejected(reason, stats));
+            return;
         }
     };
-    let key: CacheKey = (fingerprint(&db), req.kernel.code(), req.min_support);
+    let key: CacheKey = (fingerprint(&db), job.request.kernel.code(), job.request.min_support);
 
     // Cache probe before admission: a cached answer is free to serve no
-    // matter how large the search space was. A corrupt entry has been
-    // dropped by the probe; treat it as a miss and re-mine.
-    metrics.incr("cache_probes");
-    let looked = inner.cache.lock().expect("cache lock poisoned").probe(&key);
+    // matter how large the search space was. Corrupt and expired
+    // entries have been dropped by the probe; both are misses and the
+    // request falls through to mining.
+    m.incr("cache_probes");
+    let looked = shard.cache.lock().expect("cache lock poisoned").probe(&key);
     match looked {
         Lookup::Hit(full) => {
-            metrics.incr("cache_hits");
+            m.incr("cache_hits");
             stats.cache_hit = true;
             stats.mine_ms = picked_up.elapsed().as_millis() as u64;
-            let (patterns, truncated) = match req.max_patterns {
-                Some(b) if (b as usize) < full.len() => {
-                    (Arc::new(full[..b as usize].to_vec()), true)
-                }
-                _ => (full, false),
-            };
-            stats.truncated = truncated;
-            stats.emitted = patterns.len() as u64;
-            metrics.add("patterns_emitted", stats.emitted);
-            metrics.incr("requests_completed");
-            return MineResponse {
-                outcome: Outcome::Complete,
-                count: patterns.len() as u64,
-                patterns: req.include_patterns.then_some(patterns),
-                reason: None,
-                stats,
-            };
+            let resp = serve_full(&job.request, full, &mut stats);
+            m.add("patterns_emitted", stats.emitted);
+            m.incr("requests_completed");
+            respond(job, resp);
+            return;
         }
         Lookup::Corrupt => {
-            metrics.incr("cache_integrity_failures");
-            metrics.incr("cache_misses");
+            m.incr("cache_integrity_failures");
+            m.incr("cache_misses");
         }
-        Lookup::Miss => metrics.incr("cache_misses"),
+        Lookup::Expired => {
+            m.incr("cache_expired");
+            m.incr("cache_misses");
+        }
+        Lookup::Miss => m.incr("cache_misses"),
     }
 
     // Admission control: the Geerts-style bound from shape facts alone.
     // The chaos admission-flap site can force the rejection branch for
     // an otherwise admissible request (constant `false` without the
     // `chaos` feature), exercising the same accounting path.
-    let bound = fpm::bound::candidate_bound(&db, req.min_support);
+    let bound = fpm::bound::candidate_bound(&db, job.request.min_support);
     stats.candidate_bound = bound;
     let flap = fpm::faults::admission_flap();
     if flap || bound > inner.cfg.max_candidate_bound {
-        metrics.incr("requests_rejected");
-        metrics.incr("rejected_admission");
+        m.incr("requests_rejected");
+        m.incr("rejected_admission");
         let reason = if flap {
             format!("admission flap (chaos): candidate bound {bound:.3e} spuriously rejected")
         } else {
@@ -379,37 +647,154 @@ fn handle_job(inner: &Inner, job: &Job) -> MineResponse {
                 inner.cfg.max_candidate_bound
             )
         };
-        return MineResponse::rejected(reason, stats);
+        respond(job, MineResponse::rejected(reason, stats));
+        return;
     }
 
-    metrics.incr("mined_runs");
-    let (patterns, fully_merged) = run_kernel(inner, req.kernel, &db, req.min_support, control);
+    // Single-flight: attach to an identical in-flight run, or register
+    // as its leader. Check-and-register is atomic under the inflight
+    // lock, so a key has at most one leader at a time.
+    {
+        let mut inflight = shard.inflight.lock().expect("inflight lock poisoned");
+        if let Some(flight) = inflight.get_mut(&key) {
+            m.incr("requests_coalesced");
+            flight.followers.push(job);
+            return;
+        }
+        inflight.insert(key, Flight { followers: Vec::new() });
+        m.incr("singleflight_leaders");
+    }
+
+    // Double-check after taking leadership: the previous flight for
+    // this key may have finished — inserting its result and closing —
+    // between this request's probe-miss and its registration. Serving
+    // the fresh entry keeps "one mine per key" exact instead of
+    // best-effort. The access is an internal dedup check, not a
+    // request-level probe, so it stays out of the cache_probes
+    // arithmetic (the request already counted its one probe as a miss).
+    let rechecked = shard.cache.lock().expect("cache lock poisoned").probe(&key);
+    if let Lookup::Hit(full) = rechecked {
+        let followers = shard
+            .inflight
+            .lock()
+            .expect("inflight lock poisoned")
+            .remove(&key)
+            .map(|f| f.followers)
+            .unwrap_or_default();
+        fan_out(inner, shard, &m, Some(&full), followers);
+        stats.cache_hit = true;
+        stats.mine_ms = picked_up.elapsed().as_millis() as u64;
+        let resp = serve_full(&job.request, full, &mut stats);
+        m.add("patterns_emitted", stats.emitted);
+        m.incr("requests_completed");
+        respond(job, resp);
+        return;
+    }
+
+    // Test gate: park here (leader registered, not yet mining) so
+    // deterministic tests can attach followers before releasing.
+    while inner.hold.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    m.incr("mined_runs");
+    let mut sink = CollectSink::default();
+    // `mine_threads` 0 means "serial in the worker" here (the pool is
+    // the parallelism), so it does NOT fall through to the runtime's
+    // auto-detection the way `MinePlan::threads(0)` would.
+    let summary = MinePlan::kernel(job.request.kernel, job.request.min_support)
+        .threads(inner.cfg.mine_threads.max(1))
+        .execute_controlled(&db, &job.control, &mut sink);
     stats.mine_ms = picked_up.elapsed().as_millis() as u64;
-    let cause = control.stop_cause();
+    let cause = job.control.stop_cause();
     let outcome = outcome_of(cause);
     stats.truncated = cause == Some(StopCause::BudgetExhausted);
-    stats.emitted = patterns.len() as u64;
-    metrics.add("patterns_emitted", stats.emitted);
-    count_outcome(metrics, outcome);
+    stats.emitted = sink.patterns.len() as u64;
+    m.add("patterns_emitted", stats.emitted);
+    count_outcome(&m, outcome);
 
-    let patterns = Arc::new(patterns);
-    if cause.is_none() && fully_merged {
-        let evicted = inner
+    let patterns = Arc::new(sink.patterns);
+    let shareable = summary.shareable();
+    if shareable {
+        let evicted = shard
             .cache
             .lock()
             .expect("cache lock poisoned")
             .insert(key, Arc::clone(&patterns));
-        metrics.add("cache_evictions", evicted);
+        m.add("cache_evictions", evicted);
     }
+    // Close the flight only after the cache insert: a request probing
+    // in between either hits the fresh entry or still finds the flight
+    // to attach to — never a gap that would double-mine.
+    let followers = shard
+        .inflight
+        .lock()
+        .expect("inflight lock poisoned")
+        .remove(&key)
+        .map(|f| f.followers)
+        .unwrap_or_default();
+    fan_out(inner, shard, &m, shareable.then_some(&patterns), followers);
+
     let reason = (outcome == Outcome::Failed).then(|| {
         "mining task panicked; patterns are the prefix emitted before the failure".to_string()
     });
-    MineResponse {
+    let resp = MineResponse {
         outcome,
         count: patterns.len() as u64,
-        patterns: req.include_patterns.then_some(patterns),
+        patterns: job.request.include_patterns.then_some(patterns),
         reason,
         stats,
+    };
+    respond(job, resp);
+}
+
+/// Answers every follower of a finished flight. With a shareable result
+/// each follower is served from it under its own flags; without one the
+/// followers are requeued at the *front* of the shard queue (they were
+/// submitted before anything now waiting behind them) to mine on their
+/// own controls.
+fn fan_out(
+    inner: &Inner,
+    shard: &Shard,
+    m: &Meters<'_>,
+    shared: Option<&Arc<Vec<ItemsetCount>>>,
+    followers: Vec<Job>,
+) {
+    let Some(full) = shared else {
+        let n = followers.len() as u64;
+        if n > 0 {
+            m.add("coalesced_requeued", n);
+            let mut q = shard.queue.lock().expect("queue lock poisoned");
+            // Keep relative submit order: push_front in reverse.
+            for job in followers.into_iter().rev() {
+                q.jobs.push_front(job);
+            }
+            drop(q);
+            shard.ready.notify_all();
+        }
+        return;
+    };
+    let _ = inner;
+    for job in followers {
+        m.incr("coalesced_served");
+        let mut stats = MineStats {
+            queue_ms: job.submitted.elapsed().as_millis() as u64,
+            coalesced: true,
+            ..MineStats::default()
+        };
+        // A follower whose own control tripped while attached gets the
+        // honest tripped answer, not a result its limits disclaimed.
+        if job.control.should_stop() {
+            let cause = job.control.stop_cause();
+            count_outcome(m, outcome_of(cause));
+            let resp = tripped_response(&job.request, cause, stats);
+            respond(job, resp);
+            continue;
+        }
+        let resp = serve_full(&job.request, Arc::clone(full), &mut stats);
+        m.add("patterns_emitted", stats.emitted);
+        m.incr("requests_completed");
+        respond(job, resp);
     }
 }
 
@@ -425,8 +810,8 @@ fn outcome_of(cause: Option<StopCause>) -> Outcome {
     }
 }
 
-fn count_outcome(metrics: &MetricSet, outcome: Outcome) {
-    metrics.incr(match outcome {
+fn count_outcome(m: &Meters<'_>, outcome: Outcome) {
+    m.incr(match outcome {
         Outcome::Complete => "requests_completed",
         Outcome::Cancelled => "requests_cancelled",
         Outcome::DeadlineExceeded => "requests_deadline_exceeded",
@@ -462,27 +847,9 @@ fn resolve_dataset(inner: &Inner, spec: &DatasetSpec) -> Result<Arc<TransactionD
     }
 }
 
-fn run_kernel(
-    inner: &Inner,
-    kernel: Kernel,
-    db: &TransactionDb,
-    minsup: u64,
-    control: &MineControl,
-) -> (Vec<ItemsetCount>, bool) {
-    // `mine_threads` 0 means "serial in the worker" here (the pool is
-    // the parallelism), so it does NOT fall through to the runtime's
-    // auto-detection the way `MinePlan::threads(0)` would.
-    let mut sink = CollectSink::default();
-    let summary = MinePlan::kernel(kernel, minsup)
-        .threads(inner.cfg.mine_threads.max(1))
-        .execute_controlled(db, control, &mut sink);
-    (sink.patterns, summary.complete)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
 
     fn toy_spec() -> DatasetSpec {
         DatasetSpec::Inline(vec![
@@ -620,6 +987,55 @@ mod tests {
     }
 
     #[test]
+    fn ttl_expired_entry_counts_as_miss_and_remines() {
+        // Satellite fix: an entry past its TTL must read as a *miss* in
+        // the probe arithmetic (probes = hits + misses), never a hit —
+        // and the request must re-mine, exactly like the poisoned-entry
+        // path above.
+        let svc = MineService::start(ServeConfig {
+            cache_ttl: Some(Duration::from_secs(3600)),
+            ..ServeConfig::default()
+        });
+        let cold = svc.mine(MineRequest::new(toy_spec(), Kernel::Lcm, 2));
+        assert_eq!(cold.outcome, Outcome::Complete);
+        assert!(svc.age_cached(&toy_spec(), Kernel::Lcm, 2, Duration::from_secs(3601)));
+        let warm = svc.mine(MineRequest::new(toy_spec(), Kernel::Lcm, 2));
+        assert_eq!(warm.outcome, Outcome::Complete);
+        assert!(!warm.stats.cache_hit, "expired entry must not serve as a hit");
+        assert_eq!(warm.patterns, cold.patterns, "the re-mine restores the result");
+        let m = svc.metrics();
+        assert_eq!(m.get("cache_probes"), 2);
+        assert_eq!(m.get("cache_hits"), 0, "expiry is never a hit");
+        assert_eq!(m.get("cache_misses"), 2, "the expired probe counts as a miss");
+        assert_eq!(m.get("cache_expired"), 1);
+        assert_eq!(
+            m.get("cache_probes"),
+            m.get("cache_hits") + m.get("cache_misses"),
+            "probe arithmetic must absorb expiry as a miss"
+        );
+        assert_eq!(m.get("mined_runs"), 2, "the expired request really re-mined");
+        // The re-mine refreshed the entry: a third request hits.
+        let third = svc.mine(MineRequest::new(toy_spec(), Kernel::Lcm, 2));
+        assert!(third.stats.cache_hit);
+        assert_eq!(m.get("cache_expired"), 1, "no new expiry");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn fresh_ttl_entry_still_hits() {
+        let svc = MineService::start(ServeConfig {
+            cache_ttl: Some(Duration::from_secs(3600)),
+            ..ServeConfig::default()
+        });
+        let _ = svc.mine(MineRequest::new(toy_spec(), Kernel::Lcm, 2));
+        assert!(svc.age_cached(&toy_spec(), Kernel::Lcm, 2, Duration::from_secs(60)));
+        let warm = svc.mine(MineRequest::new(toy_spec(), Kernel::Lcm, 2));
+        assert!(warm.stats.cache_hit, "a fresh entry serves normally");
+        assert_eq!(svc.metrics().get("cache_expired"), 0);
+        svc.shutdown();
+    }
+
+    #[test]
     fn queue_full_rejects_synchronously() {
         // Depth 0 makes rejection deterministic regardless of how fast
         // the worker drains.
@@ -652,6 +1068,7 @@ mod tests {
         // Depth 2, one worker: stuff a slow-ish job first so the second
         // is still queued when we cancel it.
         let svc = MineService::start(ServeConfig {
+            shards: 1,
             workers: 1,
             queue_depth: 8,
             cache_capacity: 0,
@@ -711,5 +1128,119 @@ mod tests {
         }
         serial.shutdown();
         parallel.shutdown();
+    }
+
+    #[test]
+    fn routing_is_stable_and_spreads_datasets() {
+        let svc = MineService::start(ServeConfig {
+            shards: 4,
+            ..ServeConfig::default()
+        });
+        assert_eq!(svc.shard_count(), 4);
+        let specs: Vec<DatasetSpec> = (0..32u32)
+            .map(|i| DatasetSpec::Inline(vec![vec![i, i + 1], vec![i]]))
+            .collect();
+        let first: Vec<usize> = specs.iter().map(|s| svc.shard_of(s)).collect();
+        let second: Vec<usize> = specs.iter().map(|s| svc.shard_of(s)).collect();
+        assert_eq!(first, second, "routing is a pure function of the spec");
+        let mut seen = [false; 4];
+        for &s in &first {
+            seen[s] = true;
+        }
+        assert!(
+            seen.iter().filter(|&&s| s).count() >= 2,
+            "32 distinct datasets must spread over more than one shard: {first:?}"
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn per_shard_counters_sum_to_global() {
+        let svc = MineService::start(ServeConfig {
+            shards: 3,
+            ..ServeConfig::default()
+        });
+        for i in 0..12u32 {
+            let spec = DatasetSpec::Inline(vec![vec![i, i + 1, i + 2], vec![i, i + 1]]);
+            let resp = svc.mine(MineRequest::new(spec, Kernel::Lcm, 1));
+            assert_eq!(resp.outcome, Outcome::Complete);
+        }
+        let global = svc.metrics();
+        for name in METRIC_NAMES {
+            let total: u64 = (0..svc.shard_count())
+                .map(|s| svc.shard_metrics(s).get(name))
+                .sum();
+            assert_eq!(total, global.get(name), "{name}: shard sum != global");
+        }
+        assert_eq!(global.get("requests_submitted"), 12);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn identical_cold_requests_coalesce_into_one_mine() {
+        // The deterministic stampede: hold the mining gate, let the
+        // leader register, pile followers onto the flight, release.
+        let svc = MineService::start(ServeConfig {
+            shards: 1,
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        svc.hold_mining(true);
+        let leader = svc.submit(MineRequest::new(toy_spec(), Kernel::Lcm, 2));
+        wait_for(&svc, "singleflight_leaders", 1);
+        const FOLLOWERS: usize = 4;
+        let tickets: Vec<Ticket> = (0..FOLLOWERS)
+            .map(|_| svc.submit(MineRequest::new(toy_spec(), Kernel::Lcm, 2)))
+            .collect();
+        wait_for(&svc, "requests_coalesced", FOLLOWERS as u64);
+        svc.hold_mining(false);
+        let lead_resp = leader.wait();
+        assert_eq!(lead_resp.outcome, Outcome::Complete);
+        assert!(!lead_resp.stats.coalesced);
+        for t in tickets {
+            let resp = t.wait();
+            assert_eq!(resp.outcome, Outcome::Complete);
+            assert!(resp.stats.coalesced, "followers are answered by the leader");
+            assert_eq!(resp.patterns, lead_resp.patterns, "fan-out is byte-identical");
+        }
+        let m = svc.metrics();
+        assert_eq!(m.get("mined_runs"), 1, "the stampede mined exactly once");
+        assert_eq!(m.get("coalesced_served"), FOLLOWERS as u64);
+        assert_eq!(m.get("coalesced_requeued"), 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn coalesced_followers_respect_their_own_budgets() {
+        let svc = MineService::start(ServeConfig {
+            shards: 1,
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        svc.hold_mining(true);
+        let leader = svc.submit(MineRequest::new(toy_spec(), Kernel::Lcm, 2));
+        wait_for(&svc, "singleflight_leaders", 1);
+        let mut limited = MineRequest::new(toy_spec(), Kernel::Lcm, 2);
+        limited.max_patterns = Some(2);
+        let follower = svc.submit(limited);
+        wait_for(&svc, "requests_coalesced", 1);
+        svc.hold_mining(false);
+        let full = leader.wait().patterns.unwrap();
+        let resp = follower.wait();
+        assert!(resp.stats.coalesced);
+        assert!(resp.stats.truncated);
+        assert_eq!(*resp.patterns.unwrap(), full[..2], "fan-out applies the budget cut");
+        svc.shutdown();
+    }
+
+    /// Spins until the global counter reaches `want` (bounded).
+    fn wait_for(svc: &MineService, name: &str, want: u64) {
+        for _ in 0..2000 {
+            if svc.metrics().get(name) >= want {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        panic!("counter {name} never reached {want} (at {})", svc.metrics().get(name));
     }
 }

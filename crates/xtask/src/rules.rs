@@ -633,6 +633,7 @@ const CHAOS_HOOK_IDENTS: &[&str] = &[
     "spurious_trip",
     "corrupt_patterns",
     "admission_flap",
+    "shard_stall",
 ];
 
 fn rule_chaos_sites(ctx: &FileCtx, toks: &[Tok], diags: &mut Vec<Diagnostic>) {

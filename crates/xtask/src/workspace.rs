@@ -31,6 +31,7 @@ pub const EMISSION_PATHS: &[&str] = &[
     "crates/serve/src/request.rs",
     "crates/serve/src/json.rs",
     "crates/serve/src/frontend.rs",
+    "crates/serve/src/loadgen.rs",
 ];
 
 /// Path prefixes allowed to touch the `KernelSpine` machinery directly

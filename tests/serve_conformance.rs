@@ -190,6 +190,173 @@ fn service_responses_match_the_committed_corpus() {
     svc.shutdown();
 }
 
+/// Satellite: the single-flight stampede. K identical cold requests
+/// arrive together; the service must mine exactly once and answer all
+/// K byte-identically to the serial golden for that request. The
+/// mining gate makes the pile-up deterministic: the leader registers,
+/// parks before mining, the followers attach, then the gate opens.
+#[test]
+fn cold_stampede_mines_once_and_fans_out_identically() {
+    const K: usize = 8;
+    let db_rows = vec![
+        vec![0, 2, 5],
+        vec![1, 2, 5],
+        vec![0, 2, 5],
+        vec![3, 4],
+        vec![0, 1, 2, 3, 4, 5],
+    ];
+    let golden = render(&serial(Kernel::Lcm, &toy(), 2));
+    let svc = MineService::start(ServeConfig {
+        shards: 2,
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let req = || MineRequest::new(DatasetSpec::Inline(db_rows.clone()), Kernel::Lcm, 2);
+
+    svc.hold_mining(true);
+    let leader = svc.submit(req());
+    wait_for_counter(&svc, "singleflight_leaders", 1);
+    let followers: Vec<_> = (0..K - 1).map(|_| svc.submit(req())).collect();
+    wait_for_counter(&svc, "requests_coalesced", (K - 1) as u64);
+    svc.hold_mining(false);
+
+    let mut responses = vec![leader.wait()];
+    responses.extend(followers.into_iter().map(|t| t.wait()));
+    assert_eq!(responses.len(), K);
+    for (i, resp) in responses.iter().enumerate() {
+        assert_eq!(resp.outcome, Outcome::Complete, "request {i}");
+        let bytes = render(resp.patterns.as_ref().expect("patterns included"));
+        assert_eq!(
+            bytes, golden,
+            "request {i}: every stampede response is the single-request golden"
+        );
+    }
+    let m = svc.metrics();
+    assert_eq!(m.get("mined_runs"), 1, "the K-way stampede mined exactly once");
+    assert_eq!(m.get("singleflight_leaders"), 1);
+    assert_eq!(m.get("requests_coalesced"), (K - 1) as u64);
+    assert_eq!(m.get("coalesced_served"), (K - 1) as u64);
+    assert_eq!(m.get("coalesced_requeued"), 0);
+    svc.shutdown();
+}
+
+fn wait_for_counter(svc: &MineService, name: &str, want: u64) {
+    for _ in 0..5000 {
+        if svc.metrics().get(name) >= want {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    panic!(
+        "counter {name} never reached {want} (at {})",
+        svc.metrics().get(name)
+    );
+}
+
+/// Satellite: loadgen determinism. The same seed and config must derive
+/// the same arrival schedule (same digest) and — on a service that
+/// absorbs the offered load — the same deterministic report half; a
+/// different seed must offer different traffic.
+#[test]
+fn loadgen_reruns_reproduce_the_deterministic_summary() {
+    use serve::loadgen::{self, LoadConfig};
+    let cfg = LoadConfig {
+        rps: 300.0,
+        duration: std::time::Duration::from_millis(150),
+        keys: 6,
+        ..LoadConfig::default()
+    };
+    let a = loadgen::schedule(&cfg);
+    let b = loadgen::schedule(&cfg);
+    assert_eq!(a, b, "the schedule is a pure function of the config");
+    assert_ne!(
+        loadgen::schedule_digest(&loadgen::schedule(&LoadConfig { seed: cfg.seed + 1, ..cfg })),
+        loadgen::schedule_digest(&a),
+        "a different seed offers different traffic"
+    );
+
+    let run_once = || {
+        let svc = MineService::start(ServeConfig {
+            shards: 2,
+            workers: 2,
+            queue_depth: 4096,
+            ..ServeConfig::default()
+        });
+        let report = loadgen::run(&svc, &cfg);
+        svc.shutdown();
+        report
+    };
+    let first = run_once();
+    let second = run_once();
+    assert_eq!(
+        first.deterministic_summary(),
+        second.deterministic_summary(),
+        "same seed + config must reproduce the BENCH_serve.json summary \
+         modulo timing percentiles"
+    );
+    assert_eq!(first.requests, a.len() as u64, "every scheduled arrival was offered");
+    assert_eq!(first.rejected, 0, "the gentle config is fully absorbed");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Satellite: shard routing. Routing is a stable pure function of
+    /// the dataset spec, and after any request mix the per-shard
+    /// counters sum exactly to the global ones for every metric.
+    #[test]
+    fn shard_routing_is_stable_and_metrics_partition(
+        dbs in prop::collection::vec(
+            prop::collection::vec(
+                prop::collection::btree_set(0u32..12, 1..5)
+                    .prop_map(|s| s.into_iter().collect::<Vec<u32>>()),
+                1..6),
+            1..8),
+        shards in 1usize..5,
+        repeats in 1usize..3,
+    ) {
+        let svc = MineService::start(ServeConfig {
+            shards,
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        prop_assert_eq!(svc.shard_count(), shards.max(1));
+        let specs: Vec<DatasetSpec> =
+            dbs.iter().map(|rows| DatasetSpec::Inline(rows.clone())).collect();
+        let routed: Vec<usize> = specs.iter().map(|s| svc.shard_of(s)).collect();
+        for _ in 0..repeats {
+            for (spec, &shard) in specs.iter().zip(&routed) {
+                prop_assert_eq!(
+                    svc.shard_of(spec), shard,
+                    "routing must not drift while the service runs"
+                );
+                let resp = svc.mine(MineRequest::new(spec.clone(), Kernel::Eclat, 1));
+                prop_assert_eq!(resp.outcome, Outcome::Complete);
+            }
+        }
+        let global = svc.metrics();
+        let total_requests = (dbs.len() * repeats) as u64;
+        prop_assert_eq!(global.get("requests_submitted"), total_requests);
+        for name in serve::METRIC_NAMES {
+            let shard_sum: u64 = (0..svc.shard_count())
+                .map(|s| svc.shard_metrics(s).get(name))
+                .sum();
+            prop_assert_eq!(
+                shard_sum,
+                global.get(name),
+                "{}: per-shard counters must sum to the global counter",
+                name
+            );
+        }
+        // Each spec's traffic landed entirely on its routed shard.
+        for (spec, &shard) in specs.iter().zip(&routed) {
+            let _ = spec;
+            prop_assert!(svc.shard_metrics(shard).get("requests_submitted") > 0);
+        }
+        svc.shutdown();
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

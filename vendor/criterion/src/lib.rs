@@ -1,0 +1,284 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! Provides the API subset the `fpm-bench` benches use —
+//! `criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
+//! `BenchmarkGroup::{sample_size, throughput, bench_function,
+//! bench_with_input, finish}`, [`BenchmarkId`] and [`Throughput`] — with
+//! simple wall-clock measurement: each sample times a batch of
+//! iterations and the median per-iteration time is reported on stdout.
+//! There is no statistical analysis, HTML report, or saved baseline;
+//! the numbers are honest medians, which is all the EXPERIMENTS
+//! methodology relies on for the relative comparisons it plots.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group (printed, not analyzed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `name/parameter`, either part optional.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (the group name supplies the function part).
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    /// Iterations per sample, tuned from a calibration run.
+    iters: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over `sample_count` samples and records the
+    /// per-iteration duration of each.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: find an iteration count that makes one sample
+        // take roughly 5ms, so short routines are not all timer noise.
+        let start = Instant::now();
+        std_black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = Duration::from_millis(5);
+        self.iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters {
+                std_black_box(routine());
+            }
+            self.samples.push(start.elapsed() / self.iters as u32);
+        }
+    }
+
+    fn median(&self) -> Duration {
+        let mut s = self.samples.clone();
+        s.sort();
+        s.get(s.len() / 2).copied().unwrap_or_default()
+    }
+}
+
+/// A named group of benchmarks sharing sample-count configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    // Borrow ties the group to its Criterion like upstream's signature.
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark (upstream default 100; the stand-in keeps
+    /// runs fast with 20 unless the bench overrides it).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Records the group's throughput annotation.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters: 1,
+            sample_count: self.sample_size,
+        };
+        f(&mut b);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Runs one benchmark with an input reference.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters: 1,
+            sample_count: self.sample_size,
+        };
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let med = b.median();
+        let tput = match self.throughput {
+            Some(Throughput::Bytes(n)) if med.as_nanos() > 0 => {
+                let gib = n as f64 / med.as_secs_f64() / (1u64 << 30) as f64;
+                format!("  {gib:.3} GiB/s")
+            }
+            Some(Throughput::Elements(n)) if med.as_nanos() > 0 => {
+                let meps = n as f64 / med.as_secs_f64() / 1e6;
+                format!("  {meps:.3} Melem/s")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: median {} over {} samples x {} iters{tput}",
+            self.name,
+            fmt_duration(med),
+            b.samples.len(),
+            b.iters,
+        );
+    }
+
+    /// Ends the group (output already flushed per benchmark).
+    pub fn finish(self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// Bundles target functions into one group runner, like upstream's
+/// plain form `criterion_group!(benches, f, g, …)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` from group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_their_closures_and_report() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(64));
+        let mut runs = 0u32;
+        g.bench_function("spin", |b| {
+            runs += 1;
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_upstream() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    criterion_group!(sample_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1u64 + 1));
+    }
+
+    #[test]
+    fn macro_generated_group_is_callable() {
+        sample_group();
+    }
+}
