@@ -109,11 +109,19 @@ impl MineControl {
     /// Requests cancellation from any thread. Takes effect at the next
     /// `should_stop` check in every miner sharing this control.
     pub fn cancel(&self) {
+        // ORDERING: Relaxed — a monotonic request flag polled at the
+        // next checkpoint; no payload is published through it, and the
+        // prefix-consistency contract already tolerates checkpoint-
+        // granularity latency in when the cancel lands.
         self.cancelled.store(true, Ordering::Relaxed);
     }
 
     /// Records `cause` as the trip reason if nothing tripped before it.
     fn trip(&self, cause: u8) {
+        // ORDERING: Relaxed — first-cause-wins latch on a single cell;
+        // the CAS itself serializes competing causes, readers only
+        // branch on the value, and the winning cause travels to the
+        // caller through the runtime's join/mutex edges, not this flag.
         let _ = self
             .tripped
             .compare_exchange(RUNNING, cause, Ordering::Relaxed, Ordering::Relaxed);
@@ -134,9 +142,12 @@ impl MineControl {
     /// records the cause ([`stop_cause`](MineControl::stop_cause)).
     #[inline]
     pub fn should_stop(&self) -> bool {
+        // ORDERING: Relaxed — monotonic latch, control-flow only.
         if self.tripped.load(Ordering::Relaxed) != RUNNING {
             return true;
         }
+        // ORDERING: Relaxed — monotonic request flag; a stale `false`
+        // just runs one more checkpoint interval, which the contract allows.
         if self.cancelled.load(Ordering::Relaxed) {
             self.trip(TRIP_CANCELLED);
             return true;
@@ -165,6 +176,9 @@ impl MineControl {
     /// still forwarded, then trips the control.
     #[inline]
     pub fn charge_emission(&self) -> bool {
+        // ORDERING: Relaxed — control-flow-only read of the trip latch;
+        // the emission counter below is the (exempt) counter that keeps
+        // the budget arithmetic exact.
         if self.tripped.load(Ordering::Relaxed) != RUNNING {
             return false;
         }
@@ -189,6 +203,9 @@ impl MineControl {
 
     /// Why the run stopped, or `None` while it is still allowed to run.
     pub fn stop_cause(&self) -> Option<StopCause> {
+        // ORDERING: Relaxed — the cause byte is the whole message; it is
+        // read after the run quiesces (join or checkpoint return), so no
+        // other memory needs to be ordered behind it.
         match self.tripped.load(Ordering::Relaxed) {
             TRIP_CANCELLED => Some(StopCause::Cancelled),
             TRIP_DEADLINE => Some(StopCause::DeadlineExceeded),

@@ -58,6 +58,8 @@ impl MetricSet {
     pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
         self.counters
             .iter()
+            // ORDERING: Relaxed — counter reads; each value is exact
+            // per key, and snapshots promise no cross-key atomicity.
             .map(|(&n, c)| (n, c.load(Ordering::Relaxed)))
             .collect()
     }

@@ -201,6 +201,10 @@ where
 {
     run_with_state_until(tasks, par, || false, init, f)
         .into_iter()
+        // Unreachable: with the constant `false` stop predicate every
+        // slot is filled on return (a task panic re-raises out of the
+        // scheduler before this map runs).
+        // also-lint: allow(panic-path)
         .map(|r| r.expect("scheduler completed with an unexecuted task"))
         .collect()
 }
@@ -305,6 +309,10 @@ where
     let run_one = |state: &mut S, idx: usize, task: T| -> Option<R> {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if fpm::faults::worker_panic(idx) {
+                // The chaos injection site itself: the panic is raised
+                // *inside* this catch_unwind on purpose, taking the
+                // exact path a real kernel bug would.
+                // also-lint: allow(panic-path)
                 panic!("chaos: injected worker panic at task {idx}");
             }
             f(state, task)
@@ -312,6 +320,10 @@ where
         match result {
             Ok(r) => Some(r),
             Err(payload) => {
+                // ORDERING: Relaxed — advisory early-exit flag; the
+                // authoritative panic payload travels under the
+                // `first_panic` mutex and the scope join, so nothing
+                // is published through this store.
                 failed.store(true, Ordering::Relaxed);
                 let mut slot = first_panic.lock().unwrap_or_else(|e| e.into_inner());
                 if slot.is_none() {
@@ -329,6 +341,8 @@ where
         // Serial fast path: same code path shape, no thread spawn.
         let mut state = init(0);
         loop {
+            // ORDERING: Relaxed — monotonic flag, control-flow only; a
+            // stale read runs at most one extra task.
             if stop() || failed.load(Ordering::Relaxed) {
                 break;
             }
@@ -361,6 +375,9 @@ where
                             // task failure: abandon whatever is still
                             // queued. Other workers observe the same
                             // (monotonic) predicates and do likewise.
+                            // ORDERING: Relaxed — same advisory flag; a
+                            // stale read costs one extra task, never
+                            // correctness (results merge after join).
                             if stop() || failed.load(Ordering::Relaxed) {
                                 return out;
                             }

@@ -364,6 +364,10 @@ fn step_conn(
         match conn.pending.front_mut() {
             Some(Pending::Ready(_)) => {
                 let Some(Pending::Ready(line)) = conn.pending.pop_front() else {
+                    // Unreachable: the match arm above just saw
+                    // `front_mut()` return `Ready`, and nothing runs
+                    // between peek and pop.
+                    // also-lint: allow(panic-path)
                     unreachable!()
                 };
                 conn.wbuf.extend_from_slice(line.as_bytes());

@@ -370,7 +370,12 @@ impl MineService {
     /// requests carry deadlines.
     #[doc(hidden)]
     pub fn hold_mining(&self, hold: bool) {
-        self.inner.hold.store(hold, Ordering::SeqCst);
+        // ORDERING: Relaxed — a test-only spin gate. No data is
+        // published through this flag: workers re-check it in a sleep
+        // loop and everything a held leader later reads is synchronized
+        // by the queue/inflight mutexes, so visibility latency only
+        // stretches the gate by a poll interval.
+        self.inner.hold.store(hold, Ordering::Relaxed);
     }
 
     /// Test support: corrupts the cached result for `(spec, kernel,
@@ -693,7 +698,9 @@ fn handle_job(inner: &Inner, shard: &Shard, job: Job) {
 
     // Test gate: park here (leader registered, not yet mining) so
     // deterministic tests can attach followers before releasing.
-    while inner.hold.load(Ordering::SeqCst) {
+    // ORDERING: Relaxed — pure control-flow gate, re-polled every
+    // millisecond; no payload rides on the flag (see `hold_mining`).
+    while inner.hold.load(Ordering::Relaxed) {
         std::thread::sleep(Duration::from_millis(1));
     }
 

@@ -1,0 +1,284 @@
+//! The ratcheted lint baseline.
+//!
+//! New rules land on an old codebase with pre-existing findings. Rather
+//! than blanket `allow` comments (which hide *new* violations in the
+//! same file) or fixing everything in one PR (which couples the lint to
+//! a risky rewrite), known debt is pinned in `lint-baseline.json` at
+//! the repo root as `(file, rule) -> count` entries. The ratchet then
+//! enforces both directions:
+//!
+//! - **fresh**: observed > pinned for an entry (or any unpinned
+//!   finding) fails the build — new debt never lands.
+//! - **stale**: observed < pinned — someone paid debt down but left the
+//!   baseline loose enough for regressions to hide under. That fails
+//!   too, with a hint to run `cargo xtask lint --update-baseline`,
+//!   so the pinned counts only ever ratchet toward zero.
+//!
+//! The file is committed; CI re-generates it and fails on drift, the
+//! same way the proptest-regressions check works.
+
+use crate::diag::Diagnostic;
+use std::collections::BTreeMap;
+
+/// Name of the baseline file, resolved against the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.json";
+
+/// Pinned debt: `(file, rule) -> count`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), u64>,
+}
+
+/// Outcome of ratcheting observed diagnostics against a [`Baseline`].
+#[derive(Debug, Default)]
+pub struct RatchetReport {
+    /// Diagnostics over the pinned count (pinned entries suppress the
+    /// first `count` findings per `(file, rule)` in line order).
+    pub fresh: Vec<Diagnostic>,
+    /// Pinned entries observed *below* their count, as
+    /// `(file, rule, pinned, observed)`.
+    pub stale: Vec<(String, String, u64, u64)>,
+}
+
+impl RatchetReport {
+    /// `true` when the ratchet passes: no fresh findings, no stale pins.
+    pub fn is_clean(&self) -> bool {
+        self.fresh.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Groups diagnostics into baseline form: `(file, rule) -> count`.
+pub fn group(diags: &[Diagnostic]) -> Baseline {
+    let mut entries: BTreeMap<(String, String), u64> = BTreeMap::new();
+    for d in diags {
+        *entries
+            .entry((d.file.clone(), d.rule.to_string()))
+            .or_insert(0) += 1;
+    }
+    Baseline { entries }
+}
+
+impl Baseline {
+    /// `true` when no debt is pinned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Ratchets `diags` against this baseline.
+    pub fn apply(&self, diags: &[Diagnostic]) -> RatchetReport {
+        let mut report = RatchetReport::default();
+        let mut seen: BTreeMap<(String, String), u64> = BTreeMap::new();
+        // Suppress the first `pinned` findings per key in emission
+        // order (which lint_workspace keeps sorted by file and line):
+        // pinned debt is identified by count, not line, so unrelated
+        // edits that shift lines do not invalidate the baseline.
+        for d in diags {
+            let key = (d.file.clone(), d.rule.to_string());
+            let n = seen.entry(key.clone()).or_insert(0);
+            *n += 1;
+            if *n > self.entries.get(&key).copied().unwrap_or(0) {
+                report.fresh.push(d.clone());
+            }
+        }
+        for (key, &pinned) in &self.entries {
+            let observed = seen.get(key).copied().unwrap_or(0);
+            if observed < pinned {
+                report
+                    .stale
+                    .push((key.0.clone(), key.1.clone(), pinned, observed));
+            }
+        }
+        report
+    }
+
+    /// Renders the baseline as stable, committed JSON (sorted keys,
+    /// one entry per line — diff-friendly).
+    pub fn render(&self) -> String {
+        if self.entries.is_empty() {
+            return "{\n  \"entries\": []\n}\n".to_string();
+        }
+        let mut out = String::from("{\n  \"entries\": [\n");
+        let lines: Vec<String> = self
+            .entries
+            .iter()
+            .map(|((file, rule), count)| {
+                format!(
+                    "    {{ \"file\": \"{}\", \"rule\": \"{}\", \"count\": {} }}",
+                    crate::diag::json_escape(file),
+                    crate::diag::json_escape(rule),
+                    count
+                )
+            })
+            .collect();
+        out.push_str(&lines.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses the committed JSON form. Accepts exactly what
+    /// [`Baseline::render`] writes (plus whitespace variation); a
+    /// malformed file is an error, not an empty baseline — silently
+    /// ignoring a corrupt ratchet would let fresh findings through.
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        // Hand-rolled like diag::to_json, and intentionally minimal: we
+        // scan for `"file"`, `"rule"`, `"count"` triples per `{…}`
+        // object. Keys may come in any order within an object.
+        let mut rest = src;
+        let Some(start) = rest.find('[') else {
+            return Err("no `entries` array".into());
+        };
+        rest = &rest[start + 1..];
+        let Some(end) = rest.rfind(']') else {
+            return Err("unterminated `entries` array".into());
+        };
+        rest = &rest[..end];
+        let mut chars = rest.char_indices().peekable();
+        while let Some((i, c)) = chars.next() {
+            if c != '{' {
+                continue;
+            }
+            let Some(obj_end) = rest[i..].find('}') else {
+                return Err("unterminated entry object".into());
+            };
+            let obj = &rest[i + 1..i + obj_end];
+            while chars.peek().is_some_and(|&(j, _)| j < i + obj_end) {
+                chars.next();
+            }
+            let file = json_str_field(obj, "file")?;
+            let rule = json_str_field(obj, "rule")?;
+            let count = json_num_field(obj, "count")?;
+            if entries.insert((file.clone(), rule.clone()), count).is_some() {
+                return Err(format!("duplicate entry for {file} / {rule}"));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+}
+
+fn json_str_field(obj: &str, key: &str) -> Result<String, String> {
+    let pat = format!("\"{key}\"");
+    let Some(k) = obj.find(&pat) else {
+        return Err(format!("entry missing `{key}`"));
+    };
+    let after = &obj[k + pat.len()..];
+    let Some(colon) = after.find(':') else {
+        return Err(format!("`{key}` without value"));
+    };
+    let after = after[colon + 1..].trim_start();
+    let Some(stripped) = after.strip_prefix('"') else {
+        return Err(format!("`{key}` is not a string"));
+    };
+    let mut out = String::new();
+    let mut chars = stripped.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Ok(out),
+            '\\' => match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(e) => out.push(e),
+                None => break,
+            },
+            _ => out.push(c),
+        }
+    }
+    Err(format!("unterminated string for `{key}`"))
+}
+
+fn json_num_field(obj: &str, key: &str) -> Result<u64, String> {
+    let pat = format!("\"{key}\"");
+    let Some(k) = obj.find(&pat) else {
+        return Err(format!("entry missing `{key}`"));
+    };
+    let after = &obj[k + pat.len()..];
+    let Some(colon) = after.find(':') else {
+        return Err(format!("`{key}` without value"));
+    };
+    let digits: String = after[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits
+        .parse()
+        .map_err(|_| format!("`{key}` is not a number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(file: &str, rule: &'static str, line: u32) -> Diagnostic {
+        Diagnostic {
+            file: file.into(),
+            line,
+            rule,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let b = group(&[
+            d("a.rs", "panic-path", 1),
+            d("a.rs", "panic-path", 2),
+            d("b.rs", "lock-order", 9),
+        ]);
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(
+            Baseline::parse(&Baseline::default().render()).unwrap(),
+            Baseline::default()
+        );
+    }
+
+    #[test]
+    fn exact_match_is_clean() {
+        let diags = [d("a.rs", "panic-path", 1), d("a.rs", "panic-path", 7)];
+        let b = group(&diags);
+        assert!(b.apply(&diags).is_clean());
+    }
+
+    #[test]
+    fn extra_finding_is_fresh_even_when_lines_shift() {
+        let b = group(&[d("a.rs", "panic-path", 1)]);
+        // Same debt on a different line plus one new finding.
+        let now = [d("a.rs", "panic-path", 40), d("a.rs", "panic-path", 55)];
+        let report = b.apply(&now);
+        assert_eq!(report.fresh.len(), 1);
+        assert_eq!(report.fresh[0].line, 55);
+        assert!(report.stale.is_empty());
+    }
+
+    #[test]
+    fn unpinned_rule_and_file_are_fresh() {
+        let b = group(&[d("a.rs", "panic-path", 1)]);
+        let report = b.apply(&[d("a.rs", "lock-order", 2), d("c.rs", "panic-path", 3)]);
+        assert_eq!(report.fresh.len(), 2);
+    }
+
+    #[test]
+    fn paid_down_debt_is_stale() {
+        let b = group(&[
+            d("a.rs", "panic-path", 1),
+            d("a.rs", "panic-path", 2),
+            d("b.rs", "lock-order", 3),
+        ]);
+        let report = b.apply(&[d("a.rs", "panic-path", 1)]);
+        assert!(report.fresh.is_empty());
+        assert_eq!(
+            report.stale,
+            vec![
+                ("a.rs".into(), "panic-path".into(), 2, 1),
+                ("b.rs".into(), "lock-order".into(), 1, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse("{ \"entries\": [ { \"file\": \"a\" } ] }").is_err());
+    }
+}

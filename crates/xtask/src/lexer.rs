@@ -131,7 +131,15 @@ pub fn lex(src: &str) -> Vec<Tok> {
             i += 1;
             while i < n {
                 match b[i] {
-                    '\\' => i += 2,
+                    '\\' => {
+                        // A line-continuation escape (`"a\` newline `b"`)
+                        // swallows the newline; it still advances the line
+                        // counter or every later token misreports its line.
+                        if i + 1 < n && b[i + 1] == '\n' {
+                            line += 1;
+                        }
+                        i += 2;
+                    }
                     '\n' => {
                         line += 1;
                         i += 1;
@@ -154,8 +162,10 @@ pub fn lex(src: &str) -> Vec<Tok> {
         if c == '\'' {
             let start = i;
             if i + 1 < n && b[i + 1] == '\\' {
-                // Escaped char: scan to the closing quote.
-                i += 2;
+                // Escaped char: step over the escaped character itself
+                // (it may be `'`, as in `'\''`), then scan to the
+                // closing quote.
+                i += 3;
                 while i < n && b[i] != '\'' {
                     i += 1;
                 }
@@ -211,12 +221,16 @@ pub fn lex(src: &str) -> Vec<Tok> {
                 });
                 continue;
             }
-            // Raw / byte / C string prefixes: r"…", r#"…"#, b"…", br"…", …
-            if matches!(ident.as_str(), "r" | "b" | "c" | "br" | "cr" | "rb")
+            // Raw / byte / C string prefixes: r"…", r#"…"#, b"…", c"…",
+            // br"…", cr"…". Only the r-forms are raw; plain b"…" and
+            // c"…" process escapes like ordinary strings (treating
+            // `c"a\"b"` as raw would close the literal at the escaped
+            // quote and swallow the code after it).
+            if matches!(ident.as_str(), "r" | "b" | "c" | "br" | "cr")
                 && i < n
                 && (b[i] == '"' || b[i] == '#')
             {
-                let raw = ident != "b"; // plain b"…" has escapes, raw forms do not
+                let raw = ident.contains('r');
                 let start_line = line;
                 let mut hashes = 0usize;
                 while i < n && b[i] == '#' {
@@ -231,7 +245,12 @@ pub fn lex(src: &str) -> Vec<Tok> {
                                 line += 1;
                                 i += 1;
                             }
-                            '\\' if !raw => i += 2,
+                            '\\' if !raw => {
+                                if i + 1 < n && b[i + 1] == '\n' {
+                                    line += 1;
+                                }
+                                i += 2;
+                            }
                             '"' => {
                                 let mut k = 0usize;
                                 while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
@@ -262,7 +281,9 @@ pub fn lex(src: &str) -> Vec<Tok> {
                 let cstart = i;
                 i += 1;
                 if i < n && b[i] == '\\' {
-                    i += 1;
+                    // Skip the escaped character too: in `b'\''` it is
+                    // itself a quote, not the closing one.
+                    i += 2;
                 }
                 while i < n && b[i] != '\'' {
                     i += 1;

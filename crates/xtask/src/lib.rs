@@ -25,9 +25,30 @@
 //!   every chaos seam is greppable and resolves to the feature-gated
 //!   no-op stubs.
 //!
-//! Run with `cargo run -p xtask -- lint [--format json]`. Suppress a
-//! finding with `// also-lint: allow(<rule>)` on the offending line or
-//! the line above — the comment is also where the justification lives.
+//! The concurrency-audit layer ([`concurrency`], built on the
+//! token-stream analyses in [`analysis`]) adds:
+//!
+//! - **atomic-ordering** (R8): every atomic op names its `Ordering`;
+//!   `Relaxed` on a non-counter, and every `SeqCst`, needs an adjacent
+//!   `// ORDERING:` justification comment.
+//! - **lock-order** (R9): the per-file lock-acquisition graph is
+//!   acyclic; cycles are reported with a witness path.
+//! - **counter-lockstep** (R10): on the serve metrics path, global and
+//!   shard counters increment in the same body with the same args.
+//! - **panic-path** (R11): no `unwrap`/`expect`/panic macros/indexing
+//!   in non-test code on the serve worker, poll frontend, or par steal
+//!   paths.
+//! - **guard-across-await-free-wait** (R12): no lock guard held across
+//!   `Condvar::wait`/`recv`/`park` except a condvar's own mutex.
+//!
+//! Run with `cargo run -p xtask -- lint [--format json|sarif]`.
+//! Suppress a finding with `// also-lint: allow(<rule>)` on the
+//! offending line or the line above — the comment is also where the
+//! justification lives. Pre-existing debt is pinned in
+//! `lint-baseline.json` ([`baseline`]): the ratchet fails on *new*
+//! findings and on *stale* pins (debt paid down without tightening the
+//! file — regenerate with `cargo xtask lint --update-baseline`).
+//! `--explain <rule>` prints the full rationale for any rule.
 //!
 //! Deliberately std-only (no registry or vendored deps) so the lint
 //! builds in seconds and can run first in CI.
@@ -35,14 +56,19 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+pub mod analysis;
+pub mod baseline;
+pub mod concurrency;
 pub mod diag;
 pub mod lexer;
 pub mod rules;
 pub mod workspace;
 
-pub use diag::{to_json, Diagnostic, RULE_IDS};
+pub use baseline::{group, Baseline, RatchetReport, BASELINE_FILE};
+pub use diag::{explain, to_json, to_sarif, Diagnostic, RULE_IDS};
 pub use rules::{lint_source, FileCtx};
 pub use workspace::{
     classify, lint_workspace, lintable_files, CHAOS_ZONE_FILES, CHAOS_ZONE_PREFIXES,
-    EMISSION_PATHS, KERNEL_INTERNAL_FILES, KERNEL_INTERNAL_PREFIXES,
+    EMISSION_PATHS, KERNEL_INTERNAL_FILES, KERNEL_INTERNAL_PREFIXES, LOCKSTEP_PATHS,
+    PANIC_FREE_PATHS,
 };

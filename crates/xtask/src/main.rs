@@ -1,7 +1,13 @@
 //! Workspace task driver:
 //!
-//! * `cargo run -p xtask -- lint [--format text|json] [--root DIR]` —
-//!   the `also-lint` static analysis pass.
+//! * `cargo run -p xtask -- lint [--format text|json|sarif] [--root DIR]
+//!   [--update-baseline | --no-baseline]` — the `also-lint` static
+//!   analysis pass. When `<root>/lint-baseline.json` exists, the
+//!   ratchet applies by default: pinned debt is suppressed, *fresh*
+//!   findings and *stale* pins fail. `--update-baseline` rewrites the
+//!   file from the current findings; `--no-baseline` lints raw.
+//! * `cargo run -p xtask -- lint --explain <rule>` — print the full
+//!   rationale for one rule.
 //! * `cargo run -p xtask -- regen-goldens` — rewrite the golden corpus
 //!   under `tests/goldens/` (shells out to the `chaos` crate's
 //!   release-built `regen-goldens` bin; the CI-scale datasets are
@@ -14,9 +20,9 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use xtask::{lint_workspace, to_json};
+use xtask::{baseline, explain, lint_workspace, to_json, to_sarif, BASELINE_FILE, RULE_IDS};
 
-const USAGE: &str = "usage: cargo run -p xtask -- <lint [--format text|json] [--root DIR] | regen-goldens>";
+const USAGE: &str = "usage: cargo run -p xtask -- <lint [--format text|json|sarif] [--root DIR] [--update-baseline | --no-baseline] [--explain RULE] | regen-goldens>";
 
 /// Rebuilds `tests/goldens/` by delegating to the chaos crate's bin.
 fn regen_goldens() -> ExitCode {
@@ -42,6 +48,9 @@ fn main() -> ExitCode {
     let mut format = "text".to_string();
     let mut root: Option<PathBuf> = None;
     let mut saw_lint = false;
+    let mut update_baseline = false;
+    let mut no_baseline = false;
+    let mut explain_rule: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -49,7 +58,7 @@ fn main() -> ExitCode {
             "lint" => saw_lint = true,
             "regen-goldens" => return regen_goldens(),
             "--format" => match it.next() {
-                Some(f) if f == "text" || f == "json" => format = f.clone(),
+                Some(f) if f == "text" || f == "json" || f == "sarif" => format = f.clone(),
                 _ => {
                     eprintln!("{USAGE}");
                     return ExitCode::from(2);
@@ -57,6 +66,15 @@ fn main() -> ExitCode {
             },
             "--root" => match it.next() {
                 Some(d) => root = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--update-baseline" => update_baseline = true,
+            "--no-baseline" => no_baseline = true,
+            "--explain" => match it.next() {
+                Some(r) => explain_rule = Some(r.clone()),
                 None => {
                     eprintln!("{USAGE}");
                     return ExitCode::from(2);
@@ -75,6 +93,25 @@ fn main() -> ExitCode {
     if !saw_lint {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
+    }
+    if update_baseline && no_baseline {
+        eprintln!("also-lint: --update-baseline and --no-baseline are mutually exclusive");
+        return ExitCode::from(2);
+    }
+    if let Some(rule) = explain_rule {
+        return match explain(&rule) {
+            Some(doc) => {
+                println!("{doc}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "also-lint: unknown rule `{rule}`; known rules: {}",
+                    RULE_IDS.join(", ")
+                );
+                ExitCode::from(2)
+            }
+        };
     }
 
     // Default root: the workspace containing this crate (CARGO_MANIFEST_DIR
@@ -96,19 +133,73 @@ fn main() -> ExitCode {
         }
     };
 
-    if format == "json" {
-        print!("{}", to_json(&diags));
-    } else {
-        for d in &diags {
-            println!("{d}");
+    let baseline_path = root.join(BASELINE_FILE);
+    if update_baseline {
+        let rendered = baseline::group(&diags).render();
+        if let Err(e) = std::fs::write(&baseline_path, rendered) {
+            eprintln!("also-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
         }
-        if diags.is_empty() {
-            eprintln!("also-lint: workspace clean");
-        } else {
-            eprintln!("also-lint: {} diagnostic(s)", diags.len());
+        eprintln!(
+            "also-lint: pinned {} finding(s) into {}",
+            diags.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Ratchet by default when a committed baseline exists.
+    let pinned = if !no_baseline && baseline_path.is_file() {
+        match std::fs::read_to_string(&baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| baseline::Baseline::parse(&s))
+        {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!(
+                    "also-lint: malformed {}: {e}",
+                    baseline_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
+
+    let (reported, stale): (Vec<_>, Vec<_>) = match &pinned {
+        Some(b) => {
+            let report = b.apply(&diags);
+            (report.fresh, report.stale)
+        }
+        None => (diags, Vec::new()),
+    };
+
+    match format.as_str() {
+        "json" => print!("{}", to_json(&reported)),
+        "sarif" => print!("{}", to_sarif(&reported)),
+        _ => {
+            for d in &reported {
+                println!("{d}");
+            }
+            for (file, rule, pinned, observed) in &stale {
+                println!(
+                    "{file}: stale baseline: {rule} pinned at {pinned} but only {observed} \
+                     observed — run `cargo xtask lint --update-baseline` to ratchet down"
+                );
+            }
+            if reported.is_empty() && stale.is_empty() {
+                eprintln!("also-lint: workspace clean");
+            } else {
+                eprintln!(
+                    "also-lint: {} fresh diagnostic(s), {} stale baseline entr(ies)",
+                    reported.len(),
+                    stale.len()
+                );
+            }
         }
     }
-    if diags.is_empty() {
+    if reported.is_empty() && stale.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

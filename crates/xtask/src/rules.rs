@@ -45,6 +45,12 @@ pub struct FileCtx {
     /// everyone else only crosses `faults::<site>` hooks and never
     /// schedules faults).
     pub chaos_zone: bool,
+    /// On the serve metrics path → R10 (counter-lockstep) applies:
+    /// global and shard counters must increment in the same body.
+    pub lockstep_path: bool,
+    /// On a panic-free path (serve worker loop, poll frontend, par
+    /// steal path) → R11 (panic-path) applies.
+    pub panic_free_path: bool,
 }
 
 /// Lints one file's source text and returns its (sorted, suppression-
@@ -69,6 +75,15 @@ pub fn lint_source(ctx: &FileCtx, src: &str) -> Vec<Diagnostic> {
     if !ctx.chaos_zone {
         rule_chaos_sites(ctx, &toks, &mut diags);
     }
+    crate::concurrency::rule_atomic_ordering(ctx, &toks, &mut diags);
+    crate::concurrency::rule_lock_order(ctx, &toks, &mut diags);
+    if ctx.lockstep_path {
+        crate::concurrency::rule_counter_lockstep(ctx, &toks, &mut diags);
+    }
+    if ctx.panic_free_path {
+        crate::concurrency::rule_panic_path(ctx, &toks, &mut diags);
+    }
+    crate::concurrency::rule_guard_across_wait(ctx, &toks, &mut diags);
     let allows = collect_allows(&toks);
     diags.retain(|d| !is_allowed(&allows, d.line, d.rule));
     diags.sort();

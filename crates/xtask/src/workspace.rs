@@ -56,6 +56,23 @@ pub const CHAOS_ZONE_PREFIXES: &[&str] = &["crates/chaos/"];
 /// module defining the fault plans and hook stubs.
 pub const CHAOS_ZONE_FILES: &[&str] = &["crates/fpm/src/faults.rs"];
 
+/// The serve metrics path, where R10 (counter-lockstep) applies: the
+/// global and per-shard `MetricSet` must increment in the same body,
+/// and only through the paired incrementer. This is the static form of
+/// the chaos-campaign invariant "shard counter sums equal the globals".
+pub const LOCKSTEP_PATHS: &[&str] = &["crates/serve/src/service.rs"];
+
+/// Panic-free paths, where R11 (panic-path) applies: the serve worker
+/// loop and single-flight machinery, the poll frontend's state machine,
+/// and the par runtime's steal path. A panic here poisons locks and
+/// strands in-flight jobs; pre-existing debt is pinned in
+/// `lint-baseline.json` and may only shrink.
+pub const PANIC_FREE_PATHS: &[&str] = &[
+    "crates/serve/src/service.rs",
+    "crates/serve/src/frontend.rs",
+    "crates/par/src/lib.rs",
+];
+
 /// Directory names never descended into.
 const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "node_modules"];
 
@@ -84,6 +101,12 @@ pub fn classify(root: &Path, rel: &str) -> FileCtx {
             || CHAOS_ZONE_FILES
                 .iter()
                 .any(|p| rel == *p || rel.ends_with(&format!("/{p}"))),
+        lockstep_path: LOCKSTEP_PATHS
+            .iter()
+            .any(|p| rel == *p || rel.ends_with(&format!("/{p}"))),
+        panic_free_path: PANIC_FREE_PATHS
+            .iter()
+            .any(|p| rel == *p || rel.ends_with(&format!("/{p}"))),
     }
 }
 
@@ -201,6 +224,19 @@ mod tests {
         assert!(!classify(&root, "crates/fpm/src/control.rs").chaos_zone);
         assert!(!classify(&root, "crates/par/src/lib.rs").chaos_zone);
         assert!(!classify(&root, "crates/serve/src/cache.rs").chaos_zone);
+    }
+
+    #[test]
+    fn classify_marks_concurrency_paths() {
+        let root = repo_root();
+        let c = classify(&root, "crates/serve/src/service.rs");
+        assert!(c.lockstep_path);
+        assert!(c.panic_free_path);
+        assert!(classify(&root, "crates/serve/src/frontend.rs").panic_free_path);
+        assert!(!classify(&root, "crates/serve/src/frontend.rs").lockstep_path);
+        assert!(classify(&root, "crates/par/src/lib.rs").panic_free_path);
+        assert!(!classify(&root, "crates/serve/src/cache.rs").panic_free_path);
+        assert!(!classify(&root, "crates/fpm/src/metrics.rs").lockstep_path);
     }
 
     #[test]

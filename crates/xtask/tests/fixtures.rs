@@ -28,6 +28,10 @@ fn ctx(name: &str) -> FileCtx {
         // R7 is suspended inside crates/chaos and fpm::faults; the
         // fixtures model production code outside that zone.
         chaos_zone: false,
+        // R10 only fires on the serve metrics path.
+        lockstep_path: name.starts_with("r10"),
+        // R11 only fires on panic-free paths.
+        panic_free_path: name.starts_with("r11"),
     }
 }
 
@@ -126,6 +130,70 @@ fn r7_chaos_sites() {
     let mut zone = ctx("r7_bad.rs");
     zone.chaos_zone = true;
     assert!(lint_source(&zone, &fixture("r7_bad.rs")).is_empty());
+}
+
+#[test]
+fn r8_atomic_ordering() {
+    check("r8_good.rs", "atomic-ordering", false);
+    check("r8_bad.rs", "atomic-ordering", true);
+    // The SeqCst store, the Relaxed non-counter load, and the
+    // variable-ordering RMW are each reported.
+    let diags = lint_source(&ctx("r8_bad.rs"), &fixture("r8_bad.rs"));
+    assert_eq!(diags.len(), 3);
+}
+
+#[test]
+fn r9_lock_order() {
+    check("r9_good.rs", "lock-order", false);
+    check("r9_bad.rs", "lock-order", true);
+    // The diagnostic names the witness cycle with both acquisition
+    // sites, so the report is actionable without re-deriving the graph.
+    let diags = lint_source(&ctx("r9_bad.rs"), &fixture("r9_bad.rs"));
+    assert_eq!(diags.len(), 1);
+    let msg = &diags[0].message;
+    assert!(
+        msg.contains("queue -> cache -> queue") || msg.contains("cache -> queue -> cache"),
+        "witness path missing: {msg}"
+    );
+    assert!(msg.contains("while holding"), "witness sites missing: {msg}");
+}
+
+#[test]
+fn r10_counter_lockstep() {
+    check("r10_good.rs", "counter-lockstep", false);
+    check("r10_bad.rs", "counter-lockstep", true);
+    // A dropped shard-side increment fails the build, as does the
+    // direct bypass of the paired incrementer.
+    let diags = lint_source(&ctx("r10_bad.rs"), &fixture("r10_bad.rs"));
+    assert_eq!(diags.len(), 2);
+    assert!(diags.iter().any(|d| d.message.contains("no shard-side twin")));
+    assert!(diags.iter().any(|d| d.message.contains("bypasses the lockstep pair")));
+    // Off the lockstep path the same source is fine.
+    let mut off = ctx("r10_bad.rs");
+    off.lockstep_path = false;
+    assert!(lint_source(&off, &fixture("r10_bad.rs")).is_empty());
+}
+
+#[test]
+fn r11_panic_path() {
+    check("r11_good.rs", "panic-path", false);
+    check("r11_bad.rs", "panic-path", true);
+    // unwrap, expect, panic!, and the indexing are each reported.
+    let diags = lint_source(&ctx("r11_bad.rs"), &fixture("r11_bad.rs"));
+    assert_eq!(diags.len(), 4);
+    // Off the panic-free path the same source is fine.
+    let mut off = ctx("r11_bad.rs");
+    off.panic_free_path = false;
+    assert!(lint_source(&off, &fixture("r11_bad.rs")).is_empty());
+}
+
+#[test]
+fn r12_guard_across_wait() {
+    check("r12_good.rs", "guard-across-await-free-wait", false);
+    check("r12_bad.rs", "guard-across-await-free-wait", true);
+    let diags = lint_source(&ctx("r12_bad.rs"), &fixture("r12_bad.rs"));
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("guard `q`"));
 }
 
 #[test]

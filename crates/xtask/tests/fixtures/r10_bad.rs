@@ -1,0 +1,19 @@
+//! R10 bad: a dropped shard-side increment (per-shard sums drift from
+//! the globals) and a direct `metrics.…` bypass of the lockstep pair.
+
+pub struct Meters {
+    global: MetricSet,
+    shard: MetricSet,
+}
+
+impl Meters {
+    /// The shard twin is missing: shard sums no longer equal globals.
+    pub fn incr(&self, name: &str) {
+        self.global.incr(name);
+    }
+}
+
+/// Bypasses the paired incrementer entirely.
+pub fn record(inner: &Inner) {
+    inner.metrics.incr("requests_total");
+}

@@ -1,0 +1,19 @@
+//! R10 good: every global-side increment has a shard-side twin with the
+//! same method and arguments in the same body.
+
+pub struct Meters {
+    global: MetricSet,
+    shard: MetricSet,
+}
+
+impl Meters {
+    pub fn incr(&self, name: &str) {
+        self.global.incr(name);
+        self.shard.incr(name);
+    }
+
+    pub fn add(&self, name: &str, v: u64) {
+        self.global.add(name, v);
+        self.shard.add(name, v);
+    }
+}

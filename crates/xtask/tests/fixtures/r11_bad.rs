@@ -1,0 +1,11 @@
+//! R11 bad: unwrap, expect, a panic macro, and unguarded indexing on a
+//! panic-free path — each one can strand in-flight work.
+
+pub fn broken(v: &[u32], o: Option<u32>) -> u32 {
+    let a = o.unwrap();
+    let b = v.get(0).expect("present");
+    if a > *b {
+        panic!("boom");
+    }
+    v[0]
+}

@@ -1,0 +1,24 @@
+//! R11 good: a panic-free path that recovers instead of unwrapping,
+//! and one proven indexing site carrying its allow.
+
+use std::sync::Mutex;
+
+/// Fallible access stays fallible.
+pub fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+/// Poisoned locks are recovered, not unwrapped.
+pub fn read(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// An index with a proof carries the allow (and the proof).
+pub fn head(v: &[u32]) -> u32 {
+    if v.is_empty() {
+        return 0;
+    }
+    // Non-empty checked on the line above.
+    // also-lint: allow(panic-path)
+    v[0]
+}

@@ -1,0 +1,15 @@
+//! R12 bad: blocking on a channel recv while a mutex guard is live —
+//! every thread that needs `queue` now waits on this recv too.
+
+use std::sync::Mutex;
+
+pub struct Shard {
+    queue: Mutex<Vec<u32>>,
+    rx: Receiver<u32>,
+}
+
+pub fn stalls(s: &Shard) {
+    let q = s.queue.lock().unwrap_or_else(|e| e.into_inner());
+    let _msg = s.rx.recv();
+    drop(q);
+}

@@ -1,0 +1,21 @@
+//! R12 good: a condvar wait holding only its own mutex, and a blocking
+//! recv issued after the guard is dropped.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Shard {
+    queue: Mutex<Vec<u32>>,
+    ready: Condvar,
+    rx: Receiver<u32>,
+}
+
+pub fn worker(s: &Shard) {
+    let mut q = s.queue.lock().unwrap_or_else(|e| e.into_inner());
+    while q.is_empty() {
+        // The condvar wait consumes and re-acquires its own guard.
+        q = s.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+    }
+    drop(q);
+    // Guard released before blocking on the channel.
+    let _msg = s.rx.recv();
+}

@@ -1,0 +1,19 @@
+//! R8 bad: an unjustified SeqCst, an unjustified Relaxed on a
+//! non-counter, and an RMW whose ordering hides behind a variable.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// SeqCst without a proof that a single global order is required.
+pub fn gate(hold: &AtomicBool) {
+    hold.store(true, Ordering::SeqCst);
+}
+
+/// Relaxed on a flag that never takes `fetch_add` — not a counter.
+pub fn peek(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Relaxed)
+}
+
+/// The ordering must be named literally at the call site.
+pub fn bump(n: &AtomicU64, o: Ordering) {
+    n.fetch_add(1, o);
+}

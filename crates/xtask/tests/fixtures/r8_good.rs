@@ -1,0 +1,33 @@
+//! R8 good: every atomic op names its ordering; Relaxed appears only on
+//! counters or under an ORDERING proof; Acquire/Release are
+//! self-describing; non-atomic `swap` is not confused for an atomic.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Counters exempt themselves by receiving `fetch_add` in this file.
+pub fn count(hits: &AtomicU64) -> u64 {
+    hits.fetch_add(1, Ordering::Relaxed);
+    hits.load(Ordering::Relaxed)
+}
+
+/// Publication with self-describing orderings needs no comment.
+pub fn publish(ready: &AtomicBool) {
+    ready.store(true, Ordering::Release);
+}
+
+/// Matching consume side.
+pub fn consume(ready: &AtomicBool) -> bool {
+    ready.load(Ordering::Acquire)
+}
+
+/// A Relaxed latch with its proof attached.
+pub fn cancel(flag: &AtomicBool) {
+    // ORDERING: Relaxed — monotonic control-flow latch; no payload is
+    // published through the flag.
+    flag.store(true, Ordering::Relaxed);
+}
+
+/// `Vec::swap` has no `Ordering` argument, so it is not an atomic op.
+pub fn shuffle(v: &mut [u32]) {
+    v.swap(0, 1);
+}

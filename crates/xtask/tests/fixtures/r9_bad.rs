@@ -1,0 +1,26 @@
+//! R9 bad: two functions acquire the same pair of locks in opposite
+//! orders — the classic cross-thread deadlock. The diagnostic must name
+//! the witness cycle.
+
+use std::sync::Mutex;
+
+pub struct Shard {
+    queue: Mutex<Vec<u32>>,
+    cache: Mutex<Vec<u32>>,
+}
+
+/// queue, then cache…
+pub fn drain(s: &Shard) {
+    let q = s.queue.lock().unwrap_or_else(|e| e.into_inner());
+    let c = s.cache.lock().unwrap_or_else(|e| e.into_inner());
+    drop(c);
+    drop(q);
+}
+
+/// …and cache, then queue.
+pub fn refresh(s: &Shard) {
+    let c = s.cache.lock().unwrap_or_else(|e| e.into_inner());
+    let q = s.queue.lock().unwrap_or_else(|e| e.into_inner());
+    drop(q);
+    drop(c);
+}

@@ -1,0 +1,26 @@
+//! R9 good: nested acquisition in one global order (queue before
+//! cache), and an out-of-order pair made safe by dropping the first
+//! guard before taking the second.
+
+use std::sync::Mutex;
+
+pub struct Shard {
+    queue: Mutex<Vec<u32>>,
+    cache: Mutex<Vec<u32>>,
+}
+
+/// Holds both — in the canonical order.
+pub fn drain(s: &Shard) {
+    let q = s.queue.lock().unwrap_or_else(|e| e.into_inner());
+    let c = s.cache.lock().unwrap_or_else(|e| e.into_inner());
+    drop(c);
+    drop(q);
+}
+
+/// Touches cache first, but releases it before taking queue: no edge.
+pub fn refresh(s: &Shard) {
+    let c = s.cache.lock().unwrap_or_else(|e| e.into_inner());
+    drop(c);
+    let q = s.queue.lock().unwrap_or_else(|e| e.into_inner());
+    drop(q);
+}

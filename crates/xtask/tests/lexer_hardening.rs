@@ -1,0 +1,188 @@
+//! Lexer hardening: dedicated edge-case tests for the constructs a
+//! token-stream linter must never mis-scan. A lexing error here is not a
+//! cosmetic bug — a string that swallows trailing code, or a comment
+//! that loses a line, makes every downstream rule silently skip (or
+//! misreport) real violations. Each test pins either a fixed bug or a
+//! behavior the rules depend on.
+
+use xtask::lexer::{lex, Tok, TokKind};
+
+fn idents(toks: &[Tok]) -> Vec<&str> {
+    toks.iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect()
+}
+
+fn line_of(toks: &[Tok], ident: &str) -> u32 {
+    toks.iter()
+        .find(|t| t.is_ident(ident))
+        .unwrap_or_else(|| panic!("no ident `{ident}`"))
+        .line
+}
+
+// --- raw strings -----------------------------------------------------------
+
+#[test]
+fn raw_string_hash_depths() {
+    // One token per literal; the code after each survives.
+    for src in [
+        "let a = r\"x \\ y\"; after",
+        "let a = r#\"x \" y\"#; after",
+        "let a = r##\"x \"# y\"##; after",
+        "let a = r###\"quotes \"\" hashes ## \"## end\"###; after",
+    ] {
+        let toks = lex(src);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1,
+            "{src}"
+        );
+        assert!(toks.iter().any(|t| t.is_ident("after")), "{src}");
+    }
+}
+
+#[test]
+fn raw_string_partial_hash_close_does_not_end_literal() {
+    // `"#` inside an `r##"…"##` literal is content, not a terminator.
+    let toks = lex("let a = r##\"a\"#b\"##; y");
+    let s = toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+    assert_eq!(s.text, "r##\"a\"#b\"##");
+    assert!(toks.iter().any(|t| t.is_ident("y")));
+}
+
+#[test]
+fn multiline_raw_string_counts_lines() {
+    let toks = lex("let a = r#\"one\ntwo\nthree\"#;\nfn f() {}");
+    assert_eq!(line_of(&toks, "fn"), 4);
+}
+
+#[test]
+fn unterminated_raw_string_swallows_rest_without_panicking() {
+    let toks = lex("let a = r#\"never closed\nunsafe { }");
+    // The dangling literal extends to EOF: no `unsafe` ident escapes it.
+    assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+}
+
+#[test]
+fn adjacent_raw_strings_stay_separate() {
+    let toks = lex(r##"let p = (r#"a"#, r#"b"#); tail"##);
+    assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+    assert!(toks.iter().any(|t| t.is_ident("tail")));
+}
+
+#[test]
+fn byte_and_c_string_prefixes() {
+    // b"…" and c"…" process escapes: an escaped quote must not close
+    // the literal early (regression: `c` was treated as a raw prefix,
+    // so `c"a\"b"` closed at the `\"` and swallowed the code after it).
+    for src in ["let s = b\"a\\\"b\"; guard", "let s = c\"a\\\"b\"; guard"] {
+        let toks = lex(src);
+        let strs: Vec<&Tok> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1, "{src}");
+        assert!(strs[0].text.ends_with("b\""), "literal runs to the real close: {src}");
+        assert!(toks.iter().any(|t| t.is_ident("guard")), "{src}");
+    }
+    // br/cr are raw: backslash is content and does not escape the close.
+    for src in ["let s = br\"a\\\"; guard", "let s = cr\"a\\\"; guard"] {
+        let toks = lex(src);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1, "{src}");
+        assert!(toks.iter().any(|t| t.is_ident("guard")), "{src}");
+    }
+}
+
+#[test]
+fn string_line_continuation_counts_the_newline() {
+    // Regression: the `\` + newline escape consumed the newline without
+    // advancing the line counter, shifting every later line number (and
+    // therefore every `also-lint: allow` match) off by one.
+    let toks = lex("let s = \"a\\\nb\";\nfn f() {}");
+    assert_eq!(line_of(&toks, "fn"), 3);
+}
+
+#[test]
+fn ident_hash_that_is_not_a_raw_string_rewinds() {
+    // `r # !` (e.g. from macro fragments) must not eat the hash.
+    let toks = lex("r # x");
+    assert_eq!(idents(&toks), vec!["r", "x"]);
+    assert!(toks.iter().any(|t| t.is_punct('#')));
+}
+
+// --- nested block comments -------------------------------------------------
+
+#[test]
+fn deeply_nested_block_comments_balance() {
+    let toks = lex("/* 1 /* 2 /* 3 */ 2 */ 1 */ x");
+    assert_eq!(toks.len(), 2);
+    assert_eq!(toks[0].kind, TokKind::BlockComment);
+    assert!(toks[1].is_ident("x"));
+}
+
+#[test]
+fn nested_block_comment_counts_interior_lines() {
+    let toks = lex("/* a\n/* b\n*/\nc */\nfn f() {}");
+    assert_eq!(line_of(&toks, "fn"), 5);
+}
+
+#[test]
+fn unterminated_nested_comment_swallows_rest() {
+    let toks = lex("/* open /* still open */ unsafe { }");
+    assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+}
+
+#[test]
+fn block_comment_with_crlf_line_endings() {
+    let toks = lex("/* a\r\n b */\r\nfn f() {}");
+    assert_eq!(line_of(&toks, "fn"), 3);
+}
+
+#[test]
+fn star_slash_inside_string_inside_code_is_not_a_close() {
+    // The comment scanner is not string-aware (rustc's isn't either):
+    // `*/` inside a comment closes it regardless of quotes. But `/*`
+    // inside a *string* must not open a comment.
+    let toks = lex("let s = \"/* not a comment */\"; x");
+    assert!(toks.iter().all(|t| t.kind != TokKind::BlockComment));
+    assert!(toks.iter().any(|t| t.is_ident("x")));
+}
+
+// --- char literals ---------------------------------------------------------
+
+#[test]
+fn escaped_quote_char_literal_closes_correctly() {
+    // Regression: `'\''` closed at the escaped quote, leaving a
+    // spurious dangling token behind.
+    for src in ["if c == '\\'' { x() }", "if c == b'\\'' { x() }"] {
+        let toks = lex(src);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Char).count(),
+            1,
+            "{src}"
+        );
+        assert!(toks.iter().any(|t| t.is_ident("x")), "{src}");
+        assert!(
+            toks.iter().all(|t| t.kind != TokKind::Lifetime),
+            "no spurious lifetime: {src}"
+        );
+    }
+}
+
+#[test]
+fn multi_char_escapes_in_char_literals() {
+    for src in ["'\\x41'", "'\\u{1F600}'", "'\\n'", "'\\\\'", "b'\\x00'"] {
+        let toks = lex(&format!("let c = {src}; y"));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Char).count(),
+            1,
+            "{src}"
+        );
+        assert!(toks.iter().any(|t| t.is_ident("y")), "{src}");
+    }
+}
+
+#[test]
+fn lifetime_before_string_does_not_merge() {
+    let toks = lex("fn f<'a>() -> &'a str { \"s\" }");
+    assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime));
+    assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+}

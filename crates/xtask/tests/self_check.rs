@@ -1,9 +1,11 @@
-//! Self-check: the lint must run clean on the real workspace — this is
-//! the same invariant CI enforces with `cargo run -p xtask -- lint`.
+//! Self-check: the lint must run clean on the real workspace *modulo
+//! the committed baseline* — the same invariant CI enforces with
+//! `cargo run -p xtask -- lint` (the ratchet applies by default when
+//! `lint-baseline.json` exists).
 
 use std::path::Path;
 use std::process::Command;
-use xtask::lint_workspace;
+use xtask::{baseline::Baseline, lint_workspace, BASELINE_FILE};
 
 fn repo_root() -> &'static Path {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -14,18 +16,46 @@ fn repo_root() -> &'static Path {
 }
 
 #[test]
-fn workspace_lints_clean() {
-    let diags = lint_workspace(repo_root()).expect("workspace walk");
+fn workspace_lints_clean_modulo_baseline() {
+    let root = repo_root();
+    let diags = lint_workspace(root).expect("workspace walk");
+    let pinned = match std::fs::read_to_string(root.join(BASELINE_FILE)) {
+        Ok(s) => Baseline::parse(&s).expect("parse committed baseline"),
+        Err(_) => Baseline::default(),
+    };
+    let report = pinned.apply(&diags);
     assert!(
-        diags.is_empty(),
-        "workspace has {} also-lint diagnostic(s):\n{}",
-        diags.len(),
-        diags
+        report.fresh.is_empty(),
+        "workspace has {} fresh also-lint diagnostic(s) over the baseline:\n{}",
+        report.fresh.len(),
+        report
+            .fresh
             .iter()
             .map(|d| d.to_string())
             .collect::<Vec<_>>()
             .join("\n")
     );
+    assert!(
+        report.stale.is_empty(),
+        "baseline pins debt that no longer exists (run `cargo xtask lint \
+         --update-baseline`): {:?}",
+        report.stale
+    );
+}
+
+#[test]
+fn baseline_only_pins_concurrency_debt_we_expect() {
+    // The ratchet is for pre-existing panic-path debt on the serve and
+    // par paths — the original seven rules must hold outright, so a new
+    // R1–R7 violation can never hide behind `--update-baseline`.
+    let root = repo_root();
+    let diags = lint_workspace(root).expect("workspace walk");
+    for d in &diags {
+        assert_eq!(
+            d.rule, "panic-path",
+            "only panic-path debt may be baselined, found: {d}"
+        );
+    }
 }
 
 #[test]
@@ -62,4 +92,58 @@ fn binary_emits_json() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("\"count\""));
     assert!(stdout.contains("\"diagnostics\""));
+}
+
+#[test]
+fn binary_emits_sarif_with_all_rules() {
+    let out = Command::new(env!("CARGO_BIN_EXE_also-lint"))
+        .args(["lint", "--format", "sarif", "--root"])
+        .arg(repo_root())
+        .output()
+        .expect("spawn also-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"version\": \"2.1.0\""));
+    assert!(stdout.contains("\"name\": \"also-lint\""));
+    for id in xtask::RULE_IDS {
+        assert!(stdout.contains(id), "sarif driver missing rule {id}");
+    }
+}
+
+#[test]
+fn binary_explains_every_rule_and_rejects_unknown() {
+    for id in xtask::RULE_IDS {
+        let out = Command::new(env!("CARGO_BIN_EXE_also-lint"))
+            .args(["lint", "--explain", id])
+            .output()
+            .expect("spawn also-lint");
+        assert!(out.status.success(), "--explain {id} failed");
+        assert!(
+            String::from_utf8_lossy(&out.stdout).starts_with(id),
+            "--explain {id} output does not lead with the rule id"
+        );
+    }
+    let out = Command::new(env!("CARGO_BIN_EXE_also-lint"))
+        .args(["lint", "--explain", "no-such-rule"])
+        .output()
+        .expect("spawn also-lint");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn no_baseline_flag_exposes_the_pinned_debt() {
+    // `--no-baseline` lints raw: with debt pinned, the workspace is
+    // expected to be dirty and exit 1; the committed ratchet is the
+    // only thing keeping CI green, which is exactly the point.
+    let out = Command::new(env!("CARGO_BIN_EXE_also-lint"))
+        .args(["lint", "--no-baseline", "--root"])
+        .arg(repo_root())
+        .output()
+        .expect("spawn also-lint");
+    let has_baseline = repo_root().join(BASELINE_FILE).is_file();
+    if has_baseline {
+        assert_eq!(out.status.code(), Some(1), "pinned debt should surface raw");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("panic-path"));
+    } else {
+        assert!(out.status.success());
+    }
 }
