@@ -3,8 +3,8 @@
 //! the prefix-consistency contract.
 //!
 //! One campaign **case** is a pure function of its seed: the seed picks
-//! a `(fault site, kernel, thread count)` combination (the first 54
-//! seeds enumerate the full 6 × 3 × 3 matrix; later seeds re-mix) and
+//! a `(fault site, kernel, thread count)` combination (the first 63
+//! seeds enumerate the full 7 × 3 × 3 matrix; later seeds re-mix) and
 //! the [`FaultPlan`] derived from the same seed schedules *when* the
 //! site fires. [`run_case`] then drives two phases on the DS1-smoke
 //! workload —
@@ -13,7 +13,9 @@
 //!    at one thread, so the worker-panic site is always armed);
 //! 2. **serve**: a cold + warm request pair against a fresh two-shard
 //!    [`MineService`], exercising the cache-corruption,
-//!    admission-flap, and shard-stall sites;
+//!    admission-flap, and shard-stall sites — and, for the
+//!    artifact-corruption site, warm-started from a pre-built store
+//!    whose bytes the plan damages at load;
 //!
 //! — and asserts the three invariants after each (DESIGN.md §12):
 //!
@@ -66,17 +68,20 @@ pub struct Case {
 }
 
 impl Case {
-    /// Derives the case for `seed`. Seeds `0..54` enumerate the full
+    /// Derives the case for `seed`. Seeds `0..63` enumerate the full
     /// `site × kernel × threads` matrix in order; higher seeds remix
     /// through [`mix`] so every `u64` is a valid case.
     pub fn from_seed(seed: u64) -> Case {
-        let combos = (FaultSite::ALL.len() * Kernel::ALL.len() * THREAD_COUNTS.len()) as u64;
+        let nsites = FaultSite::ALL.len() as u64;
+        let nkernels = Kernel::ALL.len() as u64;
+        let nthreads = THREAD_COUNTS.len() as u64;
+        let combos = nsites * nkernels * nthreads;
         let combo = if seed < combos { seed } else { mix(seed) % combos };
         Case {
             seed,
-            site: FaultSite::ALL[(combo % 6) as usize],
-            kernel: Kernel::ALL[((combo / 6) % 3) as usize],
-            threads: THREAD_COUNTS[((combo / 18) % 3) as usize],
+            site: FaultSite::ALL[(combo % nsites) as usize],
+            kernel: Kernel::ALL[((combo / nsites) % nkernels) as usize],
+            threads: THREAD_COUNTS[((combo / (nsites * nkernels)) % nthreads) as usize],
         }
     }
 
@@ -227,7 +232,13 @@ fn exec_phase(case: &Case) {
                 "{label}: clean run must emit the full serial golden"
             );
         }
-        (FaultSite::CacheCorrupt | FaultSite::AdmissionFlap | FaultSite::ShardStall, true) => {
+        (
+            FaultSite::CacheCorrupt
+            | FaultSite::AdmissionFlap
+            | FaultSite::ShardStall
+            | FaultSite::ArtifactCorrupt,
+            true,
+        ) => {
             panic!("{label}: the executor never crosses the {} site", case.site.label())
         }
     }
@@ -235,6 +246,9 @@ fn exec_phase(case: &Case) {
 
 /// Phase 2: the fault plan against a fresh [`MineService`] — a cold
 /// request (mines and caches) followed by a warm one (cache probe).
+/// For the artifact-corruption site the service boots against a
+/// pre-built single-artifact store whose bytes the armed plan damages
+/// at load time.
 fn serve_phase(case: &Case) {
     let want = golden(case.kernel);
     let minsup = goldens::SMOKE_MINSUP;
@@ -244,19 +258,48 @@ fn serve_phase(case: &Case) {
         scale: SCALE,
     };
 
+    // Pre-build the store *outside* the armed window: the case under
+    // test is the loader, not the producer.
+    let store_dir = (case.site == FaultSite::ArtifactCorrupt).then(|| {
+        let dir = std::env::temp_dir().join(format!(
+            "fpm-chaos-store-{}-{}",
+            std::process::id(),
+            case.seed
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create chaos store dir");
+        let meta = store::SpecMeta::named(
+            &DATASET.label().to_ascii_lowercase(),
+            SCALE.label(),
+        );
+        let mut artifact = store::Artifact::build(meta, dataset(), minsup);
+        let mut sink = fpm::CollectSink::default();
+        MinePlan::kernel(case.kernel, minsup).execute(dataset(), &mut sink);
+        artifact.push_result(case.kernel.code(), minsup, sink.patterns);
+        artifact.store(&artifact.path_in(&dir)).expect("write chaos artifact");
+        dir
+    });
+
+    // The guard is installed before `start`: the artifact-corruption
+    // site fires inside the warm-start load. No other site is crossed
+    // during boot, so the early install is harmless for them.
+    let guard = install(FaultPlan::for_site(case.site, case.seed));
     let svc = MineService::start(ServeConfig {
         shards: 2,
         workers: 1,
         mine_threads: case.threads,
+        store_dir: store_dir.clone(),
         ..ServeConfig::default()
     });
     let metrics = svc.metrics();
-    let guard = install(FaultPlan::for_site(case.site, case.seed));
     let cold = svc.mine(MineRequest::new(spec.clone(), case.kernel, minsup));
     let warm = svc.mine(MineRequest::new(spec, case.kernel, minsup));
     let fired = guard.plan().fired();
     drop(guard);
     svc.shutdown();
+    if let Some(dir) = &store_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
 
     // Invariant (a) holds for every response that carries patterns: the
     // service never hands out anything but a serial prefix.
@@ -356,6 +399,57 @@ fn serve_phase(case: &Case) {
                 );
                 assert!(warm.stats.cache_hit, "{label}: the warm request must hit the cache");
             }
+        }
+        (FaultSite::ArtifactCorrupt, true) => {
+            // The damaged artifact must be detected at load and the
+            // boot degrade to a cold start: nothing loaded, nothing
+            // warmed, the cold request honestly re-mines the golden.
+            assert_eq!(
+                metrics.get("store_integrity_failures"),
+                fired,
+                "{label}: every fired corruption is detected and counted"
+            );
+            assert_eq!(
+                metrics.get("store_artifacts_loaded"),
+                0,
+                "{label}: a damaged artifact must not load"
+            );
+            assert_eq!(
+                metrics.get("store_warm_entries"),
+                0,
+                "{label}: a damaged artifact must warm nothing"
+            );
+            assert_eq!(outcomes, [Outcome::Complete; 2], "{label}: the cold rebuild succeeds");
+            assert!(
+                !cold.stats.cache_hit,
+                "{label}: the cold request must re-mine, not hit poison"
+            );
+            assert!(warm.stats.cache_hit, "{label}: the re-mined entry serves the warm probe");
+            assert_eq!(metrics.get("mined_runs"), 1, "{label}: exactly the cold rebuild mined");
+        }
+        (FaultSite::ArtifactCorrupt, false) => {
+            // The plan never fired: the warm start must fully take and
+            // both requests answer from the store without mining.
+            assert_eq!(metrics.get("store_integrity_failures"), 0, "{label}");
+            assert_eq!(
+                metrics.get("store_artifacts_loaded"),
+                1,
+                "{label}: the clean artifact must load"
+            );
+            assert!(
+                metrics.get("store_warm_entries") >= 1,
+                "{label}: the persisted result must seed the cache"
+            );
+            assert_eq!(outcomes, [Outcome::Complete; 2], "{label}: warm answers complete");
+            assert!(
+                cold.stats.cache_hit && warm.stats.cache_hit,
+                "{label}: both requests answer from the warm-started cache"
+            );
+            assert_eq!(
+                metrics.get("mined_runs"),
+                0,
+                "{label}: a warm start means zero mined runs"
+            );
         }
         (FaultSite::StealLatency, _) | (_, false) => {
             assert_eq!(

@@ -40,8 +40,8 @@ fn deterministic_campaign_covers_the_fault_matrix() {
         .collect();
     assert_eq!(
         covered.len(),
-        54,
-        "the {CAMPAIGN_SEEDS}-seed sweep must cover all 6 sites x 3 kernels x 3 thread counts"
+        63,
+        "the {CAMPAIGN_SEEDS}-seed sweep must cover all 7 sites x 3 kernels x 3 thread counts"
     );
 
     // Drive the cases under a quiet hook (an injected worker panic is

@@ -7,11 +7,16 @@
 //! fpm-mine --input db.dat --minsup 50 --kernel lcm --advise
 //! fpm-mine serve --stdio
 //! fpm-mine serve --addr 127.0.0.1:7878 --workers 4 --mine-threads 4
+//! fpm-mine store build --dir artifacts --dataset ds1 --scale smoke
+//! fpm-mine serve --stdio --store-dir artifacts
 //! ```
 //!
 //! The `serve` subcommand runs the `fpm-serve` mining service: one JSON
 //! request per input line, one JSON response per output line (see the
-//! README's `serve` quickstart for the request shape).
+//! README's `serve` quickstart for the request shape). With
+//! `--store-dir` the service warm-starts from persisted artifacts and
+//! flushes its result cache back on shutdown; the `store` subcommand
+//! builds, inspects, verifies and appends to those artifacts offline.
 //!
 //! Kernels: `lcm` (default), `eclat`, `fpgrowth`, `apriori`, `hmine`.
 //! Variants: each kernel's Figure 8 columns (`base`, `lex`, …, `all`);
@@ -208,7 +213,7 @@ fn serve_usage() -> ! {
                 [--shards N] [--workers N] [--queue-depth N]
                 [--cache N] [--cache-bytes N] [--cache-ttl-ms N]
                 [--mine-threads N] [--max-bound X]
-                [--poll] [--max-conns N]
+                [--store-dir DIR] [--poll] [--max-conns N]
 
   one JSON request per line in, one JSON response per line out, e.g.
   {{\"dataset\":{{\"name\":\"ds1\",\"scale\":\"smoke\"}},\"kernel\":\"lcm\",
@@ -222,6 +227,8 @@ fn serve_usage() -> ! {
   --cache-ttl-ms  cached results older than this re-mine (default: never)
   --mine-threads  threads per mining run, >1 uses the par runtime (default serial)
   --max-bound     admission ceiling on the candidate bound (default unlimited)
+  --store-dir     persistent artifact store: warm-start cached results on
+                  boot, flush the result cache there on shutdown
   --poll          with --addr: one event-driven frontend thread instead of
                   a thread per connection
   --max-conns     with --addr: exit after N connections (default: serve forever)"
@@ -266,6 +273,7 @@ fn run_serve(argv: &[String]) -> ExitCode {
             "--max-bound" => {
                 cfg.max_candidate_bound = value(&mut i).parse().unwrap_or_else(|_| serve_usage())
             }
+            "--store-dir" => cfg.store_dir = Some(std::path::PathBuf::from(value(&mut i))),
             "--max-conns" => {
                 max_conns = Some(value(&mut i).parse().unwrap_or_else(|_| serve_usage()))
             }
@@ -335,7 +343,7 @@ fn loadgen_usage() -> ! {
                 [--deadline-ms N]
                 [--shards N] [--workers N] [--queue-depth N]
                 [--cache N] [--cache-bytes N] [--cache-ttl-ms N]
-                [--mine-threads N] [--out FILE]
+                [--mine-threads N] [--store-dir DIR] [--out FILE]
 
   replays a seeded Poisson/Zipf request schedule against an in-process
   mining service and prints a JSON report (p50/p95/p99 latency,
@@ -409,6 +417,9 @@ fn run_loadgen(argv: &[String]) -> ExitCode {
             "--mine-threads" => {
                 svc_cfg.mine_threads = value(&mut i).parse().unwrap_or_else(|_| loadgen_usage())
             }
+            "--store-dir" => {
+                svc_cfg.store_dir = Some(std::path::PathBuf::from(value(&mut i)))
+            }
             "--out" => out = Some(value(&mut i)),
             "--help" | "-h" => loadgen_usage(),
             other => {
@@ -418,7 +429,7 @@ fn run_loadgen(argv: &[String]) -> ExitCode {
         }
         i += 1;
     }
-    let service = serve::MineService::start(svc_cfg);
+    let service = serve::MineService::start(svc_cfg.clone());
     let report = serve::loadgen::run(&service, &cfg);
     service.shutdown();
     let note = format!(
@@ -451,6 +462,281 @@ fn run_loadgen(argv: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn store_usage() -> ! {
+    eprintln!(
+        "usage: fpm-mine store build   --dir DIR --dataset ds1..ds4 [--scale smoke|ci|full]
+                              [--minsup N] [--kernels lcm,eclat,fpgrowth]
+       fpm-mine store inspect --dir DIR
+       fpm-mine store verify  --dir DIR
+       fpm-mine store append  --dir DIR --name STEM (--tx \"1 2 3\")... [--file FILE.dat]
+
+  build    generates the dataset, prepares the remapped DB, bit-matrix and
+           FP-tree at --minsup (default: the scaled Table 6 support), mines
+           each kernel in --kernels (default lcm) and writes the artifact
+           atomically as DIR/named-<ds>-<scale>.fpa — `serve --store-dir DIR`
+           then answers those requests from the store without re-mining
+  inspect  prints each artifact's identity, generation and cached results
+  verify   decodes and deep-verifies every artifact; exits 1 on any damage
+  append   appends transactions (space-separated u32 items, from --tx
+           and/or a FIMI --file), bumps the generation — invalidating the
+           cached results — and rewrites the artifact atomically"
+    );
+    std::process::exit(2);
+}
+
+/// Flag parser shared by the `store` subcommands.
+struct StoreArgs {
+    dir: Option<String>,
+    name: Option<String>,
+    dataset: Option<Dataset>,
+    scale: Scale,
+    minsup: Option<u64>,
+    kernels: Vec<String>,
+    txs: Vec<Vec<fpm::Item>>,
+    file: Option<String>,
+}
+
+fn parse_store_args(argv: &[String]) -> StoreArgs {
+    let mut a = StoreArgs {
+        dir: None,
+        name: None,
+        dataset: None,
+        scale: Scale::Smoke,
+        minsup: None,
+        kernels: vec!["lcm".into()],
+        txs: Vec::new(),
+        file: None,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| store_usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--dir" => a.dir = Some(value(&mut i)),
+            "--name" => a.name = Some(value(&mut i)),
+            "--dataset" => {
+                a.dataset = Some(Dataset::by_label(&value(&mut i)).unwrap_or_else(|| store_usage()))
+            }
+            "--scale" => a.scale = Scale::by_label(&value(&mut i)).unwrap_or_else(|| store_usage()),
+            "--minsup" => a.minsup = value(&mut i).parse().ok(),
+            "--kernels" => {
+                a.kernels = value(&mut i).split(',').map(str::to_string).collect()
+            }
+            "--tx" => {
+                let items: Option<Vec<fpm::Item>> = value(&mut i)
+                    .split_whitespace()
+                    .map(|w| w.parse().ok())
+                    .collect();
+                a.txs.push(items.unwrap_or_else(|| store_usage()));
+            }
+            "--file" => a.file = Some(value(&mut i)),
+            "--help" | "-h" => store_usage(),
+            other => {
+                eprintln!("unknown store argument {other}");
+                store_usage()
+            }
+        }
+        i += 1;
+    }
+    a
+}
+
+fn store_build(a: &StoreArgs) -> ExitCode {
+    let (Some(dir), Some(ds)) = (&a.dir, a.dataset) else {
+        store_usage()
+    };
+    let db = ds.generate(a.scale);
+    let minsup = a.minsup.unwrap_or_else(|| ds.support(a.scale));
+    let spec = store::SpecMeta::named(&ds.label().to_ascii_lowercase(), a.scale.label());
+    let mut artifact = store::Artifact::build(spec, &db, minsup);
+    for label in &a.kernels {
+        let Some(kernel) = fpm::Kernel::by_label(label) else {
+            eprintln!("unknown kernel {label}");
+            return ExitCode::from(2);
+        };
+        let mut sink = CollectSink::default();
+        exec::MinePlan::kernel(kernel, minsup).execute(&db, &mut sink);
+        eprintln!("{label}: {} patterns at minsup {minsup}", sink.patterns.len());
+        artifact.push_result(kernel.code(), minsup, sink.patterns);
+    }
+    let dir = std::path::Path::new(dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let path = artifact.path_in(dir);
+    match artifact.store(&path) {
+        Ok(()) => {
+            eprintln!("wrote {}", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Artifact paths under `--dir`, narrowed to `--name` when given.
+fn store_paths(a: &StoreArgs) -> Vec<std::path::PathBuf> {
+    let Some(dir) = &a.dir else { store_usage() };
+    let paths = store::scan(std::path::Path::new(dir)).unwrap_or_else(|e| {
+        eprintln!("cannot scan {dir}: {e}");
+        std::process::exit(1);
+    });
+    match &a.name {
+        Some(stem) => paths
+            .into_iter()
+            .filter(|p| p.file_stem().and_then(|s| s.to_str()) == Some(stem))
+            .collect(),
+        None => paths,
+    }
+}
+
+fn store_inspect(a: &StoreArgs) -> ExitCode {
+    let paths = store_paths(a);
+    if paths.is_empty() {
+        eprintln!("no artifacts found");
+        return ExitCode::FAILURE;
+    }
+    for path in paths {
+        match store::Artifact::load(&path) {
+            Ok(art) => {
+                println!(
+                    "{}: {} {}{}{} gen {} fp {:016x} | {} raw rows, {} frequent items, \
+                     prepared minsup {} | {} result(s), {} live",
+                    path.display(),
+                    art.spec.kind.label(),
+                    art.spec.dataset,
+                    if art.spec.scale.is_empty() { "" } else { "-" },
+                    art.spec.scale,
+                    art.generation,
+                    art.fingerprint,
+                    art.raw.len(),
+                    art.ranked.to_orig.len(),
+                    art.prepared_minsup,
+                    art.results.len(),
+                    art.live_results().count(),
+                );
+                for entry in &art.results {
+                    let label = fpm::Kernel::ALL
+                        .iter()
+                        .find(|k| k.code() == entry.kernel)
+                        .map(|k| k.label())
+                        .unwrap_or("?");
+                    println!(
+                        "  {} minsup {} gen {}: {} patterns{}",
+                        label,
+                        entry.min_support,
+                        entry.generation,
+                        entry.patterns.len(),
+                        if entry.generation == art.generation {
+                            ""
+                        } else {
+                            " (stale)"
+                        }
+                    );
+                }
+            }
+            Err(e) => println!("{}: UNREADABLE ({e})", path.display()),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn store_verify(a: &StoreArgs) -> ExitCode {
+    let paths = store_paths(a);
+    if paths.is_empty() {
+        eprintln!("no artifacts found");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in paths {
+        match store::Artifact::load(&path) {
+            Ok(art) => match art.verify_deep() {
+                Ok(()) => println!("{}: ok", path.display()),
+                Err(e) => {
+                    println!("{}: DEEP-VERIFY FAILED ({e})", path.display());
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                println!("{}: CORRUPT ({e})", path.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn store_append(a: &StoreArgs) -> ExitCode {
+    if a.name.is_none() {
+        store_usage();
+    }
+    let mut rows = a.txs.clone();
+    if let Some(path) = &a.file {
+        match fpm::io::read_dat_file(path) {
+            Ok(db) => rows.extend(db.transactions().iter().cloned()),
+            Err(e) => {
+                eprintln!("error reading {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if rows.is_empty() {
+        eprintln!("append needs at least one --tx or a non-empty --file");
+        return ExitCode::from(2);
+    }
+    let paths = store_paths(a);
+    let [path] = paths.as_slice() else {
+        eprintln!("--name must match exactly one artifact");
+        return ExitCode::FAILURE;
+    };
+    let mut artifact = match store::Artifact::load(path) {
+        Ok(art) => art,
+        Err(e) => {
+            eprintln!("{}: cannot load ({e})", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = store::append(&mut artifact, &rows);
+    if let Err(e) = artifact.store(path) {
+        eprintln!("cannot rewrite {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "appended {} row(s) to {} ({}), now generation {}; {} cached result(s) invalidated",
+        report.appended_rows,
+        path.display(),
+        if report.incremental {
+            "incremental patch"
+        } else {
+            "order changed, prepared sections rebuilt"
+        },
+        report.generation,
+        report.invalidated_results,
+    );
+    ExitCode::SUCCESS
+}
+
+fn run_store(argv: &[String]) -> ExitCode {
+    let Some(sub) = argv.first() else { store_usage() };
+    let a = parse_store_args(&argv[1..]);
+    match sub.as_str() {
+        "build" => store_build(&a),
+        "inspect" => store_inspect(&a),
+        "verify" => store_verify(&a),
+        "append" => store_append(&a),
+        _ => store_usage(),
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("serve") {
@@ -458,6 +744,9 @@ fn main() -> ExitCode {
     }
     if raw.first().map(String::as_str) == Some("loadgen") {
         return run_loadgen(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("store") {
+        return run_store(&raw[1..]);
     }
     let args = parse_args();
     let (db, minsup) = load(&args);

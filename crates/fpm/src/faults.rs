@@ -2,12 +2,13 @@
 //! and the `chaos` harness.
 //!
 //! Production code never branches on chaos state directly. Instead, the
-//! six **injection sites** — a worker-task panic in the parallel
+//! seven **injection sites** — a worker-task panic in the parallel
 //! runtime, artificial latency before a steal, a spurious
 //! [`MineControl`](crate::control::MineControl) trip, corruption of a
-//! cached serve result, an admission-control flap, and a stalled (or
-//! failed) shard worker in the serve layer — each call one hook in this
-//! module. Without the `chaos` cargo feature every hook is
+//! cached serve result, an admission-control flap, a stalled (or
+//! failed) shard worker in the serve layer, and damage to a persisted
+//! store artifact between disk read and decode — each call one hook in
+//! this module. Without the `chaos` cargo feature every hook is
 //! a constant (`false` / no-op) that the optimizer erases, so tier-1
 //! binaries carry no chaos code paths; with the feature on, the hooks
 //! consult the installed [`FaultPlan`].
@@ -25,7 +26,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// The six named injection sites of the workspace.
+/// The seven named injection sites of the workspace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultSite {
     /// A task closure panics inside the work-stealing runtime
@@ -46,17 +47,23 @@ pub enum FaultSite {
     /// job outright (panic flavor). The targeted *shard index* is the
     /// plan's `fire_at`.
     ShardStall,
+    /// Bytes of a persisted store artifact are damaged — truncated or
+    /// bit-flipped, by flavor — between the disk read and the sectioned
+    /// decode. The loader must detect the damage (every byte is CRC- or
+    /// table-covered) and fall back to a cold rebuild.
+    ArtifactCorrupt,
 }
 
 impl FaultSite {
     /// Every site, in registry order (the order seeds enumerate).
-    pub const ALL: [FaultSite; 6] = [
+    pub const ALL: [FaultSite; 7] = [
         FaultSite::WorkerPanic,
         FaultSite::StealLatency,
         FaultSite::SpuriousTrip,
         FaultSite::CacheCorrupt,
         FaultSite::AdmissionFlap,
         FaultSite::ShardStall,
+        FaultSite::ArtifactCorrupt,
     ];
 
     /// Stable name, used in campaign labels and failure reports.
@@ -68,6 +75,7 @@ impl FaultSite {
             FaultSite::CacheCorrupt => "cache-corrupt",
             FaultSite::AdmissionFlap => "admission-flap",
             FaultSite::ShardStall => "shard-stall",
+            FaultSite::ArtifactCorrupt => "artifact-corruption",
         }
     }
 
@@ -139,6 +147,10 @@ impl FaultPlan {
             FaultSite::CacheCorrupt => draw(1) % 3,
             FaultSite::AdmissionFlap => draw(1) % 3,
             FaultSite::ShardStall => draw(1) % 4,
+            // A warm start loads one artifact per registered dataset;
+            // ordinal 0 damages the first load, ordinal 1 usually never
+            // fires — the campaign's clean warm-start cases.
+            FaultSite::ArtifactCorrupt => draw(1) % 2,
         };
         FaultPlan {
             seed,
@@ -405,6 +417,41 @@ pub fn shard_stall(shard: usize) -> bool {
     }
 }
 
+/// Injection site: damage a serialized store artifact's bytes between
+/// the disk read and the sectioned decode. Returns `true` when a
+/// mutation was applied. The truncation flavor cuts the buffer to a
+/// strictly shorter seed-chosen length; the bit-flip flavor flips one
+/// seed-chosen bit. Either way the artifact format's full checksum
+/// coverage must turn the damage into a detected load failure.
+#[inline]
+pub fn corrupt_artifact(bytes: &mut Vec<u8>) -> bool {
+    #[cfg(feature = "chaos")]
+    {
+        let Some(p) = active::current() else {
+            return false;
+        };
+        if !p.fire_ordinal(FaultSite::ArtifactCorrupt) {
+            return false;
+        }
+        if bytes.is_empty() {
+            bytes.push(0xFF);
+            return true;
+        }
+        let at = (p.flavor >> 8) as usize % bytes.len();
+        if p.flavor % 2 == 0 {
+            bytes.truncate(at);
+        } else {
+            bytes[at] ^= 1 << ((p.flavor >> 4) % 8);
+        }
+        true
+    }
+    #[cfg(not(feature = "chaos"))]
+    {
+        let _ = bytes;
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,7 +478,7 @@ mod tests {
 
     #[test]
     fn seeds_cover_every_site() {
-        let mut seen = [false; 6];
+        let mut seen = [false; 7];
         for seed in 0..64u64 {
             let p = FaultPlan::from_seed(seed);
             seen[FaultSite::ALL.iter().position(|s| *s == p.site()).unwrap()] = true;
@@ -494,6 +541,9 @@ mod tests {
         let before = patterns.clone();
         assert!(!corrupt_patterns(&mut patterns));
         assert_eq!(patterns, before);
+        let mut bytes = vec![1u8, 2, 3];
+        assert!(!corrupt_artifact(&mut bytes));
+        assert_eq!(bytes, vec![1, 2, 3]);
     }
 
     #[cfg(feature = "chaos")]

@@ -41,6 +41,16 @@ impl Scale {
             _ => None,
         }
     }
+
+    /// The wire label ([`by_label`](Scale::by_label)'s inverse); the
+    /// store layer keys persisted artifacts by it.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Ci => "ci",
+            Scale::Full => "full",
+        }
+    }
 }
 
 /// One of the paper's four evaluation datasets.
@@ -164,6 +174,14 @@ mod tests {
         assert_eq!(Dataset::Ds3.paper_support(), 50_000);
         assert_eq!(Dataset::Ds4.paper_transactions(), 1_800_000);
         assert_eq!(Dataset::Ds1.name(), "T60I10D300K");
+    }
+
+    #[test]
+    fn scale_labels_roundtrip() {
+        for scale in [Scale::Smoke, Scale::Ci, Scale::Full] {
+            assert_eq!(Scale::by_label(scale.label()), Some(scale));
+        }
+        assert_eq!(Scale::by_label("nope"), None);
     }
 
     #[test]

@@ -316,6 +316,14 @@ impl ResultCache {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// The live entries, in key order (the map is a `BTreeMap`, so the
+    /// order is deterministic — R3). The store flush walks this to
+    /// persist a shard's cache partition; entries are yielded as-is,
+    /// without touching LRU stamps or TTL clocks.
+    pub fn entries(&self) -> impl Iterator<Item = (&CacheKey, &Arc<Vec<ItemsetCount>>)> {
+        self.map.iter().map(|(k, e)| (k, &e.patterns))
+    }
 }
 
 #[cfg(test)]

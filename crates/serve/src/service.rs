@@ -45,6 +45,21 @@
 //! shard's [`MineService::shard_metrics`] — the per-shard counters sum
 //! exactly to the global ones, an invariant the conformance suite
 //! property-tests.
+//!
+//! ## Warm start (DESIGN.md §14)
+//!
+//! With [`ServeConfig::store_dir`] set, startup scans the directory for
+//! persisted artifacts (`fpm-store`): each one that loads cleanly —
+//! every section checksum-verified, fingerprint cross-checked against
+//! the database rebuilt from its raw section — registers its named
+//! dataset (so the first request skips generation) and seeds the owning
+//! shard's cache partition with the artifact's generation-live results.
+//! A damaged artifact is counted (`store_integrity_failures`) and
+//! skipped — the service falls back to the ordinary cold path, which
+//! chaos site #7 (`artifact-corruption`) exercises seed by seed.
+//! Shutdown flushes each registered dataset's cached results back to
+//! the store atomically, so a restart answers previously-cached
+//! requests without re-mining.
 
 use crate::cache::{fingerprint, CacheConfig, CacheKey, Lookup, ResultCache};
 use crate::request::{DatasetSpec, Kernel, MineRequest, MineResponse, MineStats, Outcome};
@@ -53,6 +68,7 @@ use fpm::control::{MineControl, StopCause};
 use fpm::metrics::MetricSet;
 use fpm::{CollectSink, ItemsetCount, TransactionDb};
 use std::collections::{BTreeMap, VecDeque};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -60,7 +76,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs of one [`MineService`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Dataset shards (min 1). Requests hash-route by dataset spec;
     /// each shard owns a queue, a cache partition, a worker pool, and
@@ -85,6 +101,11 @@ pub struct ServeConfig {
     /// Threads for one mining run: 0 or 1 = serial in the worker;
     /// n > 1 = the shared work-stealing runtime with n threads.
     pub mine_threads: usize,
+    /// Persistent artifact store directory (`fpm-store`). `Some`: boot
+    /// warm-starts shard caches from `*.fpa` artifacts found there, and
+    /// shutdown flushes each registered named dataset's cached results
+    /// back, atomically. `None` (the default): fully in-memory.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +119,7 @@ impl Default for ServeConfig {
             cache_ttl: None,
             max_candidate_bound: f64::INFINITY,
             mine_threads: 0,
+            store_dir: None,
         }
     }
 }
@@ -112,6 +134,11 @@ impl Default for ServeConfig {
 /// - `cache_integrity_failures` ≤ `cache_misses`, `cache_expired` ≤
 ///   `cache_misses` (both are miss subspecies);
 /// - `requests_coalesced` = `coalesced_served` + `coalesced_requeued`;
+/// - `store_warm_entries` counts cache entries restored at warm start,
+///   `store_artifacts_loaded` the artifacts they came from,
+///   `store_integrity_failures` the artifacts rejected at load (damage
+///   or fingerprint mismatch), and `store_flushed_entries` the cache
+///   entries persisted at shutdown;
 /// - each global counter = sum of that counter across shards.
 pub const METRIC_NAMES: &[&str] = &[
     "requests_submitted",
@@ -135,6 +162,10 @@ pub const METRIC_NAMES: &[&str] = &[
     "requests_coalesced",
     "coalesced_served",
     "coalesced_requeued",
+    "store_artifacts_loaded",
+    "store_integrity_failures",
+    "store_warm_entries",
+    "store_flushed_entries",
 ];
 
 struct Job {
@@ -172,6 +203,11 @@ struct Inner {
     /// generating DS1 once per server instead of once per request.
     /// Shared across shards: the transactions are immutable.
     datasets: Mutex<BTreeMap<(&'static str, usize), Arc<TransactionDb>>>,
+    /// Datasets the store layer tracks, keyed by artifact file stem:
+    /// the spec plus the artifact generation it was loaded at (0 for
+    /// datasets first seen in this process). Shutdown flushes exactly
+    /// these. Only populated when `cfg.store_dir` is set.
+    store_reg: Mutex<BTreeMap<String, (DatasetSpec, u64)>>,
     metrics: Arc<MetricSet>,
     /// Test gate: while `true`, leaders park right before mining —
     /// giving deterministic tests a window in which followers attach.
@@ -271,12 +307,19 @@ impl MineService {
             cfg,
             shards,
             datasets: Mutex::new(BTreeMap::new()),
+            store_reg: Mutex::new(BTreeMap::new()),
             metrics: Arc::new(MetricSet::new(METRIC_NAMES)),
             hold: AtomicBool::new(false),
         });
+        // Warm-start before any worker exists: the caches and dataset
+        // registry are seeded while the service is still quiescent, so
+        // the very first request can hit.
+        if let Some(dir) = inner.cfg.store_dir.clone() {
+            warm_start(&inner, &dir);
+        }
         let mut workers = Vec::new();
         for shard_idx in 0..inner.shards.len() {
-            for _ in 0..cfg.workers.max(1) {
+            for _ in 0..inner.cfg.workers.max(1) {
                 let inner = Arc::clone(&inner);
                 workers.push(std::thread::spawn(move || worker_loop(&inner, shard_idx)));
             }
@@ -326,7 +369,7 @@ impl MineService {
             control: Arc::clone(&control),
         };
         let submitted = Instant::now();
-        let mut q = shard.queue.lock().expect("queue lock poisoned");
+        let mut q = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
         let reject = if q.shutdown {
             Some("service shut down")
         } else if q.jobs.len() >= self.inner.cfg.queue_depth {
@@ -397,7 +440,7 @@ impl MineService {
         self.inner.shards[shard_of(spec, self.inner.shards.len())]
             .cache
             .lock()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .tamper(&key, f)
     }
 
@@ -419,26 +462,31 @@ impl MineService {
         self.inner.shards[shard_of(spec, self.inner.shards.len())]
             .cache
             .lock()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .age(&key, by)
     }
 
     /// Stops accepting work, drains the queues, and joins the workers.
-    /// Jobs already queued are still answered.
+    /// Jobs already queued are still answered. With a store directory
+    /// configured, the quiesced caches are then flushed to disk so the
+    /// next process warm-starts from them.
     pub fn shutdown(&self) {
         for shard in &self.inner.shards {
-            let mut q = shard.queue.lock().expect("queue lock poisoned");
+            let mut q = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
             q.shutdown = true;
             drop(q);
             shard.ready.notify_all();
         }
         let handles: Vec<JoinHandle<()>> = {
-            let mut w = self.workers.lock().expect("worker list lock poisoned");
+            let mut w = self.workers.lock().unwrap_or_else(|e| e.into_inner());
             w.drain(..).collect()
         };
         for h in handles {
             let _ = h.join();
         }
+        // After the join the service is quiescent: no worker mutates a
+        // cache, so the flush sees a consistent snapshot.
+        flush_store(&self.inner);
     }
 }
 
@@ -493,7 +541,7 @@ fn worker_loop(inner: &Inner, shard_idx: usize) {
     let shard = &inner.shards[shard_idx];
     loop {
         let job = {
-            let mut q = shard.queue.lock().expect("queue lock poisoned");
+            let mut q = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(job) = q.jobs.pop_front() {
                     break job;
@@ -504,7 +552,7 @@ fn worker_loop(inner: &Inner, shard_idx: usize) {
                 q = shard
                     .ready
                     .wait(q)
-                    .expect("queue lock poisoned while waiting");
+                    .unwrap_or_else(|e| e.into_inner());
             }
         };
         // Chaos injection site: a stalled shard worker. The delay
@@ -611,7 +659,7 @@ fn handle_job(inner: &Inner, shard: &Shard, job: Job) {
     // entries have been dropped by the probe; both are misses and the
     // request falls through to mining.
     m.incr("cache_probes");
-    let looked = shard.cache.lock().expect("cache lock poisoned").probe(&key);
+    let looked = shard.cache.lock().unwrap_or_else(|e| e.into_inner()).probe(&key);
     match looked {
         Lookup::Hit(full) => {
             m.incr("cache_hits");
@@ -660,7 +708,7 @@ fn handle_job(inner: &Inner, shard: &Shard, job: Job) {
     // as its leader. Check-and-register is atomic under the inflight
     // lock, so a key has at most one leader at a time.
     {
-        let mut inflight = shard.inflight.lock().expect("inflight lock poisoned");
+        let mut inflight = shard.inflight.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(flight) = inflight.get_mut(&key) {
             m.incr("requests_coalesced");
             flight.followers.push(job);
@@ -677,12 +725,12 @@ fn handle_job(inner: &Inner, shard: &Shard, job: Job) {
     // best-effort. The access is an internal dedup check, not a
     // request-level probe, so it stays out of the cache_probes
     // arithmetic (the request already counted its one probe as a miss).
-    let rechecked = shard.cache.lock().expect("cache lock poisoned").probe(&key);
+    let rechecked = shard.cache.lock().unwrap_or_else(|e| e.into_inner()).probe(&key);
     if let Lookup::Hit(full) = rechecked {
         let followers = shard
             .inflight
             .lock()
-            .expect("inflight lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .remove(&key)
             .map(|f| f.followers)
             .unwrap_or_default();
@@ -726,7 +774,7 @@ fn handle_job(inner: &Inner, shard: &Shard, job: Job) {
         let evicted = shard
             .cache
             .lock()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .insert(key, Arc::clone(&patterns));
         m.add("cache_evictions", evicted);
     }
@@ -736,7 +784,7 @@ fn handle_job(inner: &Inner, shard: &Shard, job: Job) {
     let followers = shard
         .inflight
         .lock()
-        .expect("inflight lock poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .remove(&key)
         .map(|f| f.followers)
         .unwrap_or_default();
@@ -771,7 +819,7 @@ fn fan_out(
         let n = followers.len() as u64;
         if n > 0 {
             m.add("coalesced_requeued", n);
-            let mut q = shard.queue.lock().expect("queue lock poisoned");
+            let mut q = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
             // Keep relative submit order: push_front in reverse.
             for job in followers.into_iter().rev() {
                 q.jobs.push_front(job);
@@ -827,14 +875,203 @@ fn count_outcome(m: &Meters<'_>, outcome: Outcome) {
     });
 }
 
+/// Artifact file stem for a named spec — must agree with
+/// `store::Artifact::stem` so a flush lands where the next warm start
+/// scans.
+fn named_stem(dataset: &quest::Dataset, scale: &quest::Scale) -> String {
+    // Lowercase to match the wire labels (`ds1`), so the stem equals
+    // what `store::Artifact::stem` derives from the persisted spec.
+    format!(
+        "named-{}-{}",
+        dataset.label().to_ascii_lowercase(),
+        scale.label()
+    )
+}
+
+/// Deterministic shard attribution for an artifact that failed to load
+/// (its spec — and therefore its routing shard — is unreadable): hash
+/// the file stem the same FNV-then-mix way specs are routed.
+fn stem_shard(path: &Path, shards: usize) -> usize {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+    for &b in stem.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    (fpm::faults::mix(h) % shards.max(1) as u64) as usize
+}
+
+/// Boot-time warm start: scan `dir`, and for every artifact that loads
+/// cleanly register its dataset and seed the owning shard's cache with
+/// the artifact's generation-live results. Damage of any kind — bad
+/// magic, failed CRC, truncation, or a fingerprint that does not match
+/// the database rebuilt from the raw section — counts one
+/// `store_integrity_failures` and falls back to the cold path.
+fn warm_start(inner: &Inner, dir: &Path) {
+    let Ok(paths) = store::scan(dir) else {
+        // Missing or unreadable directory: nothing to warm from. The
+        // first shutdown flush will create it.
+        return;
+    };
+    for path in paths {
+        let artifact = match store::Artifact::load(&path) {
+            Ok(a) => a,
+            Err(_) => {
+                let idx = stem_shard(&path, inner.shards.len());
+                if let Some(shard) = inner.shards.get(idx) {
+                    let m = Meters {
+                        global: &inner.metrics,
+                        shard: &shard.metrics,
+                    };
+                    m.incr("store_integrity_failures");
+                }
+                continue;
+            }
+        };
+        // Only named specs are warm-startable: inline/path artifacts
+        // carry no identity the service could route a request by.
+        let (Some(dataset), Some(scale)) = (
+            quest::Dataset::by_label(&artifact.spec.dataset),
+            quest::Scale::by_label(&artifact.spec.scale),
+        ) else {
+            continue;
+        };
+        let spec = DatasetSpec::Named { dataset, scale };
+        let idx = shard_of(&spec, inner.shards.len());
+        let Some(shard) = inner.shards.get(idx) else {
+            continue;
+        };
+        let m = Meters {
+            global: &inner.metrics,
+            shard: &shard.metrics,
+        };
+        // Cross-check the recorded fingerprint against the database the
+        // raw section actually rebuilds — the serve-side half of the
+        // integrity contract (CRCs alone cannot catch a stale raw
+        // section written by a buggy producer).
+        let db = Arc::new(TransactionDb::from_transactions(artifact.raw.clone()));
+        if fingerprint(&db) != artifact.fingerprint {
+            m.incr("store_integrity_failures");
+            continue;
+        }
+        // Register the dataset: the first request skips generation —
+        // the boot-time "skip prepare" of the tentpole.
+        inner
+            .datasets
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert((dataset.label(), scale.factor()), Arc::clone(&db));
+        inner
+            .store_reg
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(
+                named_stem(&dataset, &scale),
+                (spec.clone(), artifact.generation),
+            );
+        m.incr("store_artifacts_loaded");
+        let mut evicted = 0;
+        let mut warmed = 0;
+        {
+            let mut cache = shard.cache.lock().unwrap_or_else(|e| e.into_inner());
+            for entry in artifact.live_results() {
+                let key: CacheKey = (artifact.fingerprint, entry.kernel, entry.min_support);
+                evicted += cache.insert(key, Arc::new(entry.patterns.clone()));
+                warmed += 1;
+            }
+        }
+        m.add("store_warm_entries", warmed);
+        m.add("cache_evictions", evicted);
+    }
+}
+
+/// Shutdown flush: persist each registered dataset's cached complete
+/// results (plus freshly built prepared sections) back to the store,
+/// atomically, one artifact per dataset. Datasets with nothing cached
+/// are skipped — `store build` covers the results-free case.
+fn flush_store(inner: &Inner) {
+    let Some(dir) = inner.cfg.store_dir.as_deref() else {
+        return;
+    };
+    let reg: Vec<(String, DatasetSpec, u64)> = inner
+        .store_reg
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(stem, (spec, generation))| (stem.clone(), spec.clone(), *generation))
+        .collect();
+    if reg.is_empty() {
+        return;
+    }
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    for (stem, spec, generation) in reg {
+        let Ok(db) = resolve_dataset(inner, &spec) else {
+            continue;
+        };
+        let fp = fingerprint(&db);
+        let idx = shard_of(&spec, inner.shards.len());
+        let Some(shard) = inner.shards.get(idx) else {
+            continue;
+        };
+        let entries: Vec<(CacheKey, Arc<Vec<ItemsetCount>>)> = {
+            let cache = shard.cache.lock().unwrap_or_else(|e| e.into_inner());
+            cache
+                .entries()
+                .filter(|(k, _)| k.0 == fp)
+                .map(|(k, p)| (*k, Arc::clone(p)))
+                .collect()
+        };
+        if entries.is_empty() {
+            continue;
+        }
+        let spec_meta = match &spec {
+            DatasetSpec::Named { dataset, scale } => {
+                store::SpecMeta::named(&dataset.label().to_ascii_lowercase(), scale.label())
+            }
+            _ => continue,
+        };
+        // Prepare at the smallest cached minsup: every cached result's
+        // frequent items survive that border.
+        let minsup = entries.iter().map(|(k, _)| k.2).min().unwrap_or(1);
+        let mut artifact = store::Artifact::build(spec_meta, &db, minsup);
+        artifact.generation = generation;
+        let flushed = entries.len() as u64;
+        for (key, patterns) in entries {
+            artifact.push_result(key.1, key.2, (*patterns).clone());
+        }
+        let path = dir.join(format!("{}.{}", stem, store::EXTENSION));
+        if artifact.store(&path).is_ok() {
+            let m = Meters {
+                global: &inner.metrics,
+                shard: &shard.metrics,
+            };
+            m.add("store_flushed_entries", flushed);
+        }
+    }
+}
+
 fn resolve_dataset(inner: &Inner, spec: &DatasetSpec) -> Result<Arc<TransactionDb>, String> {
     match spec {
         DatasetSpec::Named { dataset, scale } => {
             let key = (dataset.label(), scale.factor());
+            // With a store configured, track every named dataset seen so
+            // the shutdown flush knows what to persist.
+            if inner.cfg.store_dir.is_some() {
+                inner
+                    .store_reg
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .entry(named_stem(dataset, scale))
+                    .or_insert_with(|| (spec.clone(), 0));
+            }
             if let Some(db) = inner
                 .datasets
                 .lock()
-                .expect("dataset cache lock poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .get(&key)
             {
                 return Ok(Arc::clone(db));
@@ -846,7 +1083,7 @@ fn resolve_dataset(inner: &Inner, spec: &DatasetSpec) -> Result<Arc<TransactionD
             inner
                 .datasets
                 .lock()
-                .expect("dataset cache lock poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .insert(key, Arc::clone(&db));
             Ok(db)
         }

@@ -1,0 +1,225 @@
+//! Incremental append: grow a persisted dataset without a full rebuild.
+//!
+//! The write-efficiency idea (PAPERS.md, wear-leveling-aware persistent
+//! FPM) is to treat the big prepared sections as *cold* and route
+//! growth through a small *hot* delta: appending transactions extends
+//! the raw section, bumps the per-item frequency counters in place, and
+//! — whenever the frequent-item **rank order is unchanged** — merely
+//! appends the new rows' remapped forms to the ranked section instead
+//! of re-deriving it from scratch. Only the conditional structures
+//! derived from the ranked rows (bit-matrix, prefix tree) rebuild, and
+//! those are linear passes over data already in memory.
+//!
+//! Every append bumps the artifact **generation**, which is the
+//! invalidation mechanism for persisted results: cached entries record
+//! the generation they were mined at, and [`crate::Artifact::live_results`]
+//! only yields entries whose generation matches — so a warm-starting
+//! service can never serve pre-append patterns for a post-append
+//! database.
+//!
+//! Correctness is anchored by equivalence, not trust in the patch
+//! logic: after either path, the artifact compares equal (fingerprint,
+//! freq, ranked, vbm, fpt) to a from-scratch [`crate::Artifact::build`]
+//! of the appended database — tested below and property-tested in
+//! `tests/roundtrip.rs`.
+
+use crate::artifact::{fingerprint, Artifact, BitMatrix, PrefixTree, RankedSection};
+use fpm::{remap, Item, TransactionDb};
+
+/// What an [`append`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendReport {
+    /// Transactions appended (after normalization; empties count).
+    pub appended_rows: usize,
+    /// The artifact's new generation.
+    pub generation: u64,
+    /// Result-cache entries invalidated by the generation bump.
+    pub invalidated_results: usize,
+    /// `true` when the frequent-item rank order survived and the ranked
+    /// section was patched in place; `false` when the order changed and
+    /// the prepared sections were re-derived from the raw section.
+    pub incremental: bool,
+}
+
+/// Appends `new_rows` to the artifact's dataset, invalidating dependent
+/// results and patching (or, when the rank order changed, rebuilding)
+/// the prepared sections. See the module docs for the contract.
+pub fn append(a: &mut Artifact, new_rows: &[Vec<Item>]) -> AppendReport {
+    // Normalize exactly like `TransactionDb::from_transactions`: items
+    // sorted ascending, duplicates dropped, empty rows kept.
+    let normalized: Vec<Vec<Item>> = new_rows
+        .iter()
+        .map(|t| {
+            let mut row = t.clone();
+            row.sort_unstable();
+            row.dedup();
+            row
+        })
+        .collect();
+
+    let invalidated_results = a.live_results().count();
+    a.generation += 1;
+    a.results.clear();
+
+    for row in &normalized {
+        if let Some(&max) = row.last() {
+            if max as usize >= a.freq.len() {
+                a.freq.resize(max as usize + 1, 0);
+            }
+        }
+        for &i in row {
+            a.freq[i as usize] += 1;
+        }
+    }
+    a.raw.extend(normalized.iter().cloned());
+
+    // The raw rows are already normalized, so rebuilding the db is a
+    // pure copy; it re-derives n_items and the fingerprint for us.
+    let db = TransactionDb::from_transactions(a.raw.clone());
+    a.fingerprint = fingerprint(&db);
+
+    // Re-derive the frequent-rank order from the updated counters,
+    // mirroring `fpm::remap` exactly (freq desc, original id asc).
+    let minsup = a.prepared_minsup.max(1);
+    let mut frequent: Vec<Item> = (0..a.freq.len() as u32)
+        .filter(|&i| a.freq[i as usize] >= minsup)
+        .collect();
+    frequent.sort_by(|&x, &y| {
+        a.freq[y as usize]
+            .cmp(&a.freq[x as usize])
+            .then(x.cmp(&y))
+    });
+
+    let incremental = frequent == a.ranked.to_orig;
+    if incremental {
+        // Rank order unchanged: patch supports, append remapped rows.
+        for (rank, &orig) in frequent.iter().enumerate() {
+            a.ranked.supports[rank] = a.freq[orig as usize];
+        }
+        let mut to_rank = vec![u32::MAX; a.freq.len()];
+        for (rank, &orig) in frequent.iter().enumerate() {
+            to_rank[orig as usize] = rank as u32;
+        }
+        for row in &normalized {
+            let mut mapped: Vec<u32> = row
+                .iter()
+                .filter_map(|&i| {
+                    let r = to_rank[i as usize];
+                    (r != u32::MAX).then_some(r)
+                })
+                .collect();
+            if !mapped.is_empty() {
+                mapped.sort_unstable();
+                a.ranked.rows.push(mapped);
+            }
+        }
+        a.ranked.original_len += normalized.len() as u64;
+    } else {
+        // Order changed: the remapped ids themselves are stale, so the
+        // whole prepared family re-derives from raw.
+        a.ranked = RankedSection::from_ranked(&remap(&db, a.prepared_minsup));
+    }
+    // The conditional structures always rebuild from the (patched or
+    // re-derived) ranked rows: they index by row position and rank, so
+    // any growth touches them wholesale anyway.
+    a.vbm = BitMatrix::build(&a.ranked.rows, a.ranked.to_orig.len());
+    a.fpt = PrefixTree::build(&a.ranked.rows);
+
+    AppendReport {
+        appended_rows: normalized.len(),
+        generation: a.generation,
+        invalidated_results,
+        incremental,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::SpecMeta;
+    use fpm::ItemsetCount;
+
+    fn base_rows() -> Vec<Vec<Item>> {
+        vec![
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![2, 3],
+            vec![1, 2, 5],
+            vec![4],
+        ]
+    }
+
+    fn built(rows: Vec<Vec<Item>>, minsup: u64) -> Artifact {
+        let db = TransactionDb::from_transactions(rows);
+        Artifact::build(SpecMeta::named("ds1", "smoke"), &db, minsup)
+    }
+
+    /// Appending must land on exactly the state a from-scratch build of
+    /// the full dataset produces, whichever path it took.
+    fn assert_matches_scratch(appended: &Artifact, all_rows: Vec<Vec<Item>>) {
+        let scratch = built(all_rows, appended.prepared_minsup);
+        assert_eq!(appended.fingerprint, scratch.fingerprint);
+        assert_eq!(appended.freq, scratch.freq);
+        assert_eq!(appended.ranked, scratch.ranked);
+        assert_eq!(appended.vbm, scratch.vbm);
+        assert_eq!(appended.fpt, scratch.fpt);
+        assert!(appended.verify_deep().is_ok());
+    }
+
+    #[test]
+    fn order_preserving_append_is_incremental() {
+        let mut a = built(base_rows(), 2);
+        // [1,2] reinforces the existing order (2 most frequent, then 1).
+        let delta = vec![vec![2, 1], vec![2]];
+        let report = append(&mut a, &delta);
+        assert!(report.incremental);
+        assert_eq!(report.appended_rows, 2);
+        assert_eq!(report.generation, 1);
+        let mut all = base_rows();
+        all.extend(delta);
+        assert_matches_scratch(&a, all);
+    }
+
+    #[test]
+    fn order_change_falls_back_to_rebuild() {
+        let mut a = built(base_rows(), 2);
+        // Flood item 7 (previously absent) to the top of the ranking.
+        let delta: Vec<Vec<Item>> = (0..10).map(|_| vec![7]).collect();
+        let report = append(&mut a, &delta);
+        assert!(!report.incremental);
+        let mut all = base_rows();
+        all.extend(delta);
+        assert_matches_scratch(&a, all);
+    }
+
+    #[test]
+    fn append_bumps_generation_and_invalidates_results() {
+        let mut a = built(base_rows(), 2);
+        a.push_result(0, 2, vec![ItemsetCount { items: vec![1], support: 3 }]);
+        assert_eq!(a.live_results().count(), 1);
+        let report = append(&mut a, &[vec![1, 2]]);
+        assert_eq!(report.invalidated_results, 1);
+        assert_eq!(a.generation, 1);
+        assert_eq!(a.live_results().count(), 0);
+        assert!(a.results.is_empty(), "stale entries are dropped, not kept as dead bytes");
+    }
+
+    #[test]
+    fn appended_artifact_roundtrips_on_disk() {
+        let mut a = built(base_rows(), 2);
+        append(&mut a, &[vec![1, 3], vec![]]);
+        let bytes = a.encode();
+        assert_eq!(Artifact::decode(&bytes).expect("clean decode"), a);
+    }
+
+    #[test]
+    fn unnormalized_and_empty_rows_are_handled() {
+        let mut a = built(base_rows(), 2);
+        let delta = vec![vec![2, 2, 1], vec![]];
+        let report = append(&mut a, &delta);
+        assert_eq!(report.appended_rows, 2);
+        let mut all = base_rows();
+        all.extend(delta);
+        assert_matches_scratch(&a, all);
+    }
+}

@@ -1,0 +1,157 @@
+//! Little-endian primitive encoding and the CRC-32 used by every
+//! section of the artifact format.
+//!
+//! Everything here is deliberately boring: fixed-width little-endian
+//! integers, length-prefixed byte strings, and the IEEE CRC-32
+//! polynomial in its table-driven reflected form (the same polynomial
+//! as zip/png, so third-party tooling can cross-check section sums).
+//! The cursor reader is bounds-checked at every step and returns
+//! `None` on any overrun — the caller maps that to a named corrupt
+//! section instead of panicking, which is what lets the loader promise
+//! "any damage degrades to a cold rebuild".
+
+/// IEEE CRC-32 (reflected, polynomial `0xEDB88320`), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        let idx = ((crc ^ b as u32) & 0xff) as usize;
+        crc = (crc >> 8) ^ table[idx];
+    }
+    !crc
+}
+
+/// The 256-entry CRC table, built at compile time so the checksum pass
+/// allocates nothing.
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Appends a `u32` little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed UTF-8 string (`u32` length + bytes).
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked forward-only reader over a byte slice. Every
+/// accessor returns `None` past the end; nothing panics.
+pub struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    /// Starts reading `buf` from the beginning.
+    pub fn new(buf: &'a [u8]) -> Rd<'a> {
+        Rd { buf, pos: 0 }
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    /// Reads a little-endian `u8`.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.bytes(1).map(|b| b[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.bytes(4).map(|b| {
+            let mut a = [0u8; 4];
+            a.copy_from_slice(b);
+            u32::from_le_bytes(a)
+        })
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.bytes(8).map(|b| {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(b);
+            u64::from_le_bytes(a)
+        })
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Option<String> {
+        let n = self.u32()? as usize;
+        let b = self.bytes(n)?;
+        String::from_utf8(b.to_vec()).ok()
+    }
+
+    /// True when every byte has been consumed — sections must not carry
+    /// trailing garbage (it would be unchecksummed dead weight).
+    pub fn exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_matches_known_vectors() {
+        // The canonical IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc_detects_single_bit_flips() {
+        let base = b"artifact section payload".to_vec();
+        let want = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8u8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), want, "flip at {byte}.{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn rd_roundtrips_and_bounds_checks() {
+        let mut out = Vec::new();
+        put_u32(&mut out, 0xDEAD_BEEF);
+        put_u64(&mut out, 42);
+        put_str(&mut out, "ds1");
+        let mut rd = Rd::new(&out);
+        assert_eq!(rd.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(rd.u64(), Some(42));
+        assert_eq!(rd.str().as_deref(), Some("ds1"));
+        assert!(rd.exhausted());
+        assert_eq!(rd.u8(), None);
+
+        let mut short = Rd::new(&out[..5]);
+        assert_eq!(short.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(short.u64(), None);
+    }
+}

@@ -649,6 +649,7 @@ const CHAOS_HOOK_IDENTS: &[&str] = &[
     "corrupt_patterns",
     "admission_flap",
     "shard_stall",
+    "corrupt_artifact",
 ];
 
 fn rule_chaos_sites(ctx: &FileCtx, toks: &[Tok], diags: &mut Vec<Diagnostic>) {

@@ -16,9 +16,11 @@ use std::path::{Path, PathBuf};
 /// parallel runtime's merge, the plan executor (whose driver owns the
 /// rank-ordered prefix replay), and the whole serve layer (its cache
 /// eviction, response rendering, and prefix merge all feed
-/// caller-visible output). These carry PR 1's
-/// byte-identical-to-serial determinism guarantee, so R3
-/// (deterministic-iteration) applies to them.
+/// caller-visible output), plus the artifact store's encoder/decoder
+/// and incremental-append patcher (persisted bytes must be a pure
+/// function of the artifact, or checksums and warm-start byte-identity
+/// break). These carry PR 1's byte-identical-to-serial determinism
+/// guarantee, so R3 (deterministic-iteration) applies to them.
 pub const EMISSION_PATHS: &[&str] = &[
     "crates/fpm/src/sink.rs",
     "crates/fpm/src/postfilter.rs",
@@ -32,6 +34,9 @@ pub const EMISSION_PATHS: &[&str] = &[
     "crates/serve/src/json.rs",
     "crates/serve/src/frontend.rs",
     "crates/serve/src/loadgen.rs",
+    "crates/store/src/fmt.rs",
+    "crates/store/src/artifact.rs",
+    "crates/store/src/append.rs",
 ];
 
 /// Path prefixes allowed to touch the `KernelSpine` machinery directly
@@ -195,6 +200,13 @@ mod tests {
         // carries R3.
         let c = classify(&root, "crates/serve/src/cache.rs");
         assert!(c.emission_path);
+        // The store persists bytes that must round-trip exactly, so its
+        // encoder, decoder and append patcher carry R3 too.
+        let c = classify(&root, "crates/store/src/artifact.rs");
+        assert!(c.emission_path);
+        assert!(classify(&root, "crates/store/src/fmt.rs").emission_path);
+        assert!(classify(&root, "crates/store/src/append.rs").emission_path);
+        assert!(!classify(&root, "crates/store/src/lib.rs").emission_path);
         let c = classify(&root, "crates/serve/src/lib.rs");
         assert!(c.is_crate_root);
         assert!(!c.emission_path, "the crate root holds no iteration");
