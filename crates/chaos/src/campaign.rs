@@ -37,7 +37,8 @@ use crate::goldens::{self, GoldenCase};
 use exec::MinePlan;
 use fpm::control::{MineControl, StopCause};
 use fpm::faults::{install, mix, FaultPlan, FaultSite};
-use fpm::{ItemsetCount, Kernel, PatternSink, RecordSink, TransactionDb};
+use fpm::types::MineKind;
+use fpm::{ItemsetCount, Kernel, PatternQuery, PatternSink, RecordSink, TransactionDb};
 use par::ParConfig;
 use quest::{Dataset, Scale};
 use serve::{DatasetSpec, MineRequest, MineResponse, MineService, Outcome, ServeConfig};
@@ -48,6 +49,20 @@ pub const CAMPAIGN_SEEDS: u64 = 96;
 
 /// Thread counts the matrix covers.
 pub const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Query variants the extended matrix covers. Index 0 is the identity
+/// query: the base 63-seed `site × kernel × threads` sweep pins it, so
+/// those cases are exactly the pre-query campaign; remix seeds (≥ 63)
+/// draw from the full query-extended matrix and so also drive the
+/// postfilter path (closed class) and the top-k path under every fault
+/// site.
+pub fn campaign_queries() -> [PatternQuery; 3] {
+    [
+        PatternQuery::all(),
+        PatternQuery::class(MineKind::Closed),
+        PatternQuery::all().top_k(16),
+    ]
+}
 
 /// The campaign workload: DS1 at smoke scale.
 pub const DATASET: Dataset = Dataset::Ds1;
@@ -65,6 +80,9 @@ pub struct Case {
     pub kernel: Kernel,
     /// Worker threads for the run.
     pub threads: usize,
+    /// The pattern query both phases run under (identity for the base
+    /// matrix; remix seeds sweep [`campaign_queries`]).
+    pub query: PatternQuery,
 }
 
 impl Case {
@@ -72,27 +90,35 @@ impl Case {
     /// `site × kernel × threads` matrix in order; higher seeds remix
     /// through [`mix`] so every `u64` is a valid case.
     pub fn from_seed(seed: u64) -> Case {
+        let queries = campaign_queries();
         let nsites = FaultSite::ALL.len() as u64;
         let nkernels = Kernel::ALL.len() as u64;
         let nthreads = THREAD_COUNTS.len() as u64;
         let combos = nsites * nkernels * nthreads;
-        let combo = if seed < combos { seed } else { mix(seed) % combos };
+        let (combo, query) = if seed < combos {
+            (seed, queries[0])
+        } else {
+            let m = mix(seed);
+            (m % combos, queries[((m / combos) % queries.len() as u64) as usize])
+        };
         Case {
             seed,
             site: FaultSite::ALL[(combo % nsites) as usize],
             kernel: Kernel::ALL[((combo / nsites) % nkernels) as usize],
             threads: THREAD_COUNTS[((combo / (nsites * nkernels)) % nthreads) as usize],
+            query,
         }
     }
 
     /// The case in one line, leading with the reproduction command.
     pub fn label(&self) -> String {
         format!(
-            "FPM_CHAOS_SEED={} [site={} kernel={} threads={}]",
+            "FPM_CHAOS_SEED={} [site={} kernel={} threads={} query={}]",
             self.seed,
             self.site.label(),
             self.kernel.label(),
-            self.threads
+            self.threads,
+            self.query.label()
         )
     }
 }
@@ -147,6 +173,30 @@ pub fn golden(kernel: Kernel) -> &'static [u8] {
     &all[idx]
 }
 
+/// The query-adjusted golden: the committed serial golden's pattern
+/// list with `query` applied (the pure reference semantics of
+/// `PatternQuery::apply`), rendered. For the identity query this is
+/// byte-identical to [`golden`] — asserted once per process, which
+/// anchors the query references to the committed corpus too.
+pub fn query_golden(kernel: Kernel, query: &PatternQuery) -> Vec<u8> {
+    static PATTERNS: OnceLock<[Vec<ItemsetCount>; 3]> = OnceLock::new();
+    let all = PATTERNS.get_or_init(|| {
+        Kernel::ALL.map(|kernel| {
+            let mut sink = fpm::CollectSink::default();
+            MinePlan::kernel(kernel, goldens::SMOKE_MINSUP).execute(dataset(), &mut sink);
+            assert_eq!(
+                render(&sink.patterns),
+                golden(kernel),
+                "{}: collected serial patterns must render the committed golden",
+                kernel.label()
+            );
+            sink.patterns
+        })
+    });
+    let idx = Kernel::ALL.iter().position(|k| *k == kernel).expect("known kernel");
+    render(&query.apply(all[idx].clone(), dataset().len() as u64))
+}
+
 /// Renders patterns exactly as [`RecordSink`] would, so service
 /// responses can be prefix-compared against the byte goldens.
 pub fn render(patterns: &[ItemsetCount]) -> Vec<u8> {
@@ -184,7 +234,12 @@ pub fn run_case(seed: u64) {
 /// Phase 1: the fault plan against `MinePlan::execute_controlled` on
 /// the work-stealing runtime.
 fn exec_phase(case: &Case) {
-    let want = golden(case.kernel);
+    // For a non-identity query, invariant (a)'s reference is the query
+    // answer over the committed golden: the executor's query path emits
+    // the applied result in serial order (or an empty prefix when the
+    // collection tripped), so prefix-of-the-query-golden is exactly the
+    // contract.
+    let want = query_golden(case.kernel, &case.query);
     let minsup = goldens::SMOKE_MINSUP;
     let label = format!("{} exec", case.label());
 
@@ -196,12 +251,13 @@ fn exec_phase(case: &Case) {
     // the runtime — the worker-panic site must be armed at every count.
     let summary = MinePlan::kernel(case.kernel, minsup)
         .par_config(ParConfig::with_threads(case.threads))
+        .query(case.query)
         .execute_controlled(dataset(), &control, &mut sink);
     let fired = guard.plan().fired();
     drop(guard);
 
     // Invariant (a) holds unconditionally.
-    assert_line_prefix(&sink.bytes, want, &label);
+    assert_line_prefix(&sink.bytes, &want, &label);
 
     // Invariant (b): the summary names the true first cause.
     match (case.site, fired > 0) {
@@ -250,7 +306,7 @@ fn exec_phase(case: &Case) {
 /// pre-built single-artifact store whose bytes the armed plan damages
 /// at load time.
 fn serve_phase(case: &Case) {
-    let want = golden(case.kernel);
+    let want = query_golden(case.kernel, &case.query);
     let minsup = goldens::SMOKE_MINSUP;
     let label = format!("{} serve", case.label());
     let spec = DatasetSpec::Named {
@@ -274,8 +330,10 @@ fn serve_phase(case: &Case) {
         );
         let mut artifact = store::Artifact::build(meta, dataset(), minsup);
         let mut sink = fpm::CollectSink::default();
-        MinePlan::kernel(case.kernel, minsup).execute(dataset(), &mut sink);
-        artifact.push_result(case.kernel.code(), minsup, sink.patterns);
+        MinePlan::kernel(case.kernel, minsup)
+            .query(case.query)
+            .execute(dataset(), &mut sink);
+        artifact.push_result(case.kernel.code(), minsup, case.query.key(), sink.patterns);
         artifact.store(&artifact.path_in(&dir)).expect("write chaos artifact");
         dir
     });
@@ -292,8 +350,8 @@ fn serve_phase(case: &Case) {
         ..ServeConfig::default()
     });
     let metrics = svc.metrics();
-    let cold = svc.mine(MineRequest::new(spec.clone(), case.kernel, minsup));
-    let warm = svc.mine(MineRequest::new(spec, case.kernel, minsup));
+    let cold = svc.mine(MineRequest::new(spec.clone(), case.kernel, minsup).with_query(case.query));
+    let warm = svc.mine(MineRequest::new(spec, case.kernel, minsup).with_query(case.query));
     let fired = guard.plan().fired();
     drop(guard);
     svc.shutdown();
@@ -305,7 +363,7 @@ fn serve_phase(case: &Case) {
     // service never hands out anything but a serial prefix.
     for (resp, phase) in [(&cold, "cold"), (&warm, "warm")] {
         let rendered = resp.patterns.as_ref().map_or_else(Vec::new, |p| render(p));
-        assert_line_prefix(&rendered, want, &format!("{label} {phase}"));
+        assert_line_prefix(&rendered, &want, &format!("{label} {phase}"));
         if resp.outcome == Outcome::Complete && !resp.stats.truncated {
             assert_eq!(
                 rendered, want,

@@ -44,6 +44,27 @@ fn deterministic_campaign_covers_the_fault_matrix() {
         "the {CAMPAIGN_SEEDS}-seed sweep must cover all 7 sites x 3 kernels x 3 thread counts"
     );
 
+    // The remix seeds extend the matrix with a query dimension: every
+    // query variant (identity, closed postfilter, top-k) must appear,
+    // and non-identity queries must meet more than one fault site.
+    let queries: BTreeSet<String> = (0..CAMPAIGN_SEEDS)
+        .map(|seed| Case::from_seed(seed).query.label())
+        .collect();
+    assert_eq!(
+        queries.len(),
+        campaign::campaign_queries().len(),
+        "the sweep must cover every query variant (got {queries:?})"
+    );
+    let query_sites: BTreeSet<&str> = (0..CAMPAIGN_SEEDS)
+        .map(Case::from_seed)
+        .filter(|c| !c.query.is_all())
+        .map(|c| c.site.label())
+        .collect();
+    assert!(
+        query_sites.len() >= 3,
+        "non-identity queries must sweep several fault sites (got {query_sites:?})"
+    );
+
     // Drive the cases under a quiet hook (an injected worker panic is
     // expected noise); a real invariant violation re-panics with the
     // reproduction command attached.

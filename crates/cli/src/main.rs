@@ -5,9 +5,12 @@
 //! fpm-mine --dataset ds1 --scale smoke --kernel eclat --variant simd --out patterns.txt
 //! fpm-mine --dataset ds3 --scale ci --kernel fpgrowth --variant base --count-only
 //! fpm-mine --input db.dat --minsup 50 --kernel lcm --advise
+//! fpm-mine --dataset ds1 --scale smoke --class closed --top-k 10
+//! fpm-mine rules --dataset ds1 --scale smoke --min-confidence 0.8
 //! fpm-mine serve --stdio
 //! fpm-mine serve --addr 127.0.0.1:7878 --workers 4 --mine-threads 4
 //! fpm-mine store build --dir artifacts --dataset ds1 --scale smoke
+//! fpm-mine store inspect --dir artifacts --format json
 //! fpm-mine serve --stdio --store-dir artifacts
 //! ```
 //!
@@ -46,6 +49,7 @@ struct Args {
     advise: bool,
     profile: bool,
     kind: fpm::MineKind,
+    top_k: Option<u64>,
     threads: Option<usize>,
 }
 
@@ -54,11 +58,14 @@ fn usage() -> ! {
         "usage: fpm-mine (--input FILE.dat | --dataset ds1..ds4 [--scale smoke|ci|full])
                 [--minsup N] [--kernel lcm|eclat|fpgrowth|apriori|hmine]
                 [--variant base|lex|reorg|pref|tile|simd|all] [--advise]
-                [--kind all|closed|maximal] [--out FILE] [--count-only] [--profile]
-                [--threads N]
+                [--class all|closed|maximal] [--top-k N]
+                [--out FILE] [--count-only] [--profile] [--threads N]
+       fpm-mine rules ... (association rules; `fpm-mine rules --help`)
 
   --minsup defaults to the dataset's Table 6 support (required for --input)
   --advise lets the input profile choose the pattern set (overrides --variant)
+  --class  mines a pattern query (--kind is an accepted alias); --top-k keeps
+           the k best by (support desc, serial rank asc), in that order
   --profile prints the input profile and the advisor's recommendation
   --threads mines on the work-stealing runtime (0 = auto; lcm/eclat/fpgrowth)"
     );
@@ -78,6 +85,7 @@ fn parse_args() -> Args {
         advise: false,
         profile: false,
         kind: fpm::MineKind::All,
+        top_k: None,
         threads: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -98,14 +106,10 @@ fn parse_args() -> Args {
             "--variant" => a.variant = value(&mut i),
             "--out" => a.out = Some(value(&mut i)),
             "--count-only" => a.count_only = true,
-            "--kind" => {
-                a.kind = match value(&mut i).as_str() {
-                    "all" => fpm::MineKind::All,
-                    "closed" => fpm::MineKind::Closed,
-                    "maximal" => fpm::MineKind::Maximal,
-                    _ => usage(),
-                }
+            "--class" | "--kind" => {
+                a.kind = fpm::MineKind::by_label(&value(&mut i)).unwrap_or_else(|| usage())
             }
+            "--top-k" => a.top_k = value(&mut i).parse().ok().or_else(|| usage()),
             "--threads" => a.threads = value(&mut i).parse().ok().or_else(|| usage()),
             "--advise" => a.advise = true,
             "--profile" => a.profile = true,
@@ -191,9 +195,12 @@ fn mine_with<S: PatternSink>(
     db: &TransactionDb,
     minsup: u64,
     threads: Option<usize>,
+    query: fpm::PatternQuery,
     sink: &mut S,
 ) -> Result<(), String> {
-    let mut plan = exec::MinePlan::by_label(kernel, minsup)?.variant(variant)?;
+    let mut plan = exec::MinePlan::by_label(kernel, minsup)?
+        .variant(variant)?
+        .query(query);
     if let Some(n) = threads {
         if !plan.config().supports_parallel() {
             return Err(format!(
@@ -205,6 +212,140 @@ fn mine_with<S: PatternSink>(
     }
     plan.execute(db, sink);
     Ok(())
+}
+
+fn rules_usage() -> ! {
+    eprintln!(
+        "usage: fpm-mine rules (--input FILE.dat | --dataset ds1..ds4 [--scale smoke|ci|full])
+                      [--minsup N] [--kernel lcm|eclat|fpgrowth|apriori|hmine]
+                      --min-confidence X [--min-lift X] [--limit N]
+
+  mines the complete frequent set, generates every single-consequent
+  association rule `antecedent => consequent` that clears the thresholds,
+  and prints one rule per line (support, confidence, lift) in
+  deterministic order: serial rank of the source itemset, then consequent.
+
+  --min-confidence  required, in [0, 1]
+  --min-lift        default 0 (1.0 = no better than independence)
+  --limit           print at most N rules (all are still counted)"
+    );
+    std::process::exit(2);
+}
+
+fn run_rules(argv: &[String]) -> ExitCode {
+    let mut input: Option<String> = None;
+    let mut dataset: Option<Dataset> = None;
+    let mut scale = Scale::Ci;
+    let mut minsup: Option<u64> = None;
+    let mut kernel = "lcm".to_string();
+    let mut spec: Option<fpm::RuleSpec> = None;
+    let mut min_lift = 0.0f64;
+    let mut limit: Option<usize> = None;
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| rules_usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--input" => input = Some(value(&mut i)),
+            "--dataset" => {
+                dataset = Some(Dataset::by_label(&value(&mut i)).unwrap_or_else(|| rules_usage()))
+            }
+            "--scale" => scale = Scale::by_label(&value(&mut i)).unwrap_or_else(|| rules_usage()),
+            "--minsup" => minsup = value(&mut i).parse().ok(),
+            "--kernel" => kernel = value(&mut i),
+            "--min-confidence" => {
+                let c: f64 = value(&mut i).parse().unwrap_or_else(|_| rules_usage());
+                if !(0.0..=1.0).contains(&c) {
+                    eprintln!("--min-confidence must be in [0, 1]");
+                    return ExitCode::from(2);
+                }
+                spec = Some(fpm::RuleSpec::confidence(c));
+            }
+            "--min-lift" => {
+                min_lift = value(&mut i).parse().unwrap_or_else(|_| rules_usage());
+                if !min_lift.is_finite() || min_lift < 0.0 {
+                    eprintln!("--min-lift must be finite and non-negative");
+                    return ExitCode::from(2);
+                }
+            }
+            "--limit" => limit = value(&mut i).parse().ok().or_else(|| rules_usage()),
+            "--help" | "-h" => rules_usage(),
+            other => {
+                eprintln!("unknown rules argument {other}");
+                rules_usage()
+            }
+        }
+        i += 1;
+    }
+    let Some(mut spec) = spec else {
+        eprintln!("rules needs --min-confidence");
+        rules_usage()
+    };
+    spec.min_lift = min_lift;
+    let args = Args {
+        input,
+        dataset,
+        scale,
+        minsup,
+        kernel: kernel.clone(),
+        variant: "all".into(),
+        out: None,
+        count_only: false,
+        advise: false,
+        profile: false,
+        kind: fpm::MineKind::All,
+        top_k: None,
+        threads: None,
+    };
+    if args.input.is_none() && args.dataset.is_none() {
+        rules_usage();
+    }
+    let (db, minsup) = load(&args);
+    let mut sink = CollectSink::default();
+    if let Err(e) = mine_with(
+        &kernel,
+        "all",
+        &db,
+        minsup,
+        None,
+        fpm::PatternQuery::all(),
+        &mut sink,
+    ) {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
+    let rules = fpm::query::rules(&sink.patterns, db.len() as u64, &spec);
+    eprintln!(
+        "{} rule(s) from {} frequent itemsets at minsup {} (min_confidence {}, min_lift {})",
+        rules.len(),
+        sink.patterns.len(),
+        minsup,
+        spec.min_confidence,
+        spec.min_lift
+    );
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    for rule in rules.iter().take(limit.unwrap_or(usize::MAX)) {
+        let antecedent = rule
+            .antecedent
+            .iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        if writeln!(
+            lock,
+            "{antecedent} => {} ({}, {:.4}, {:.4})",
+            rule.consequent, rule.support, rule.confidence, rule.lift
+        )
+        .is_err()
+        {
+            break;
+        }
+    }
+    lock.flush().ok();
+    ExitCode::SUCCESS
 }
 
 fn serve_usage() -> ! {
@@ -340,7 +481,7 @@ fn loadgen_usage() -> ! {
     eprintln!(
         "usage: fpm-mine loadgen [--seed N] [--rps X] [--duration-ms N]
                 [--keys N] [--skew X] [--kernel lcm|eclat|fpgrowth]
-                [--deadline-ms N]
+                [--query-mix N] [--deadline-ms N]
                 [--shards N] [--workers N] [--queue-depth N]
                 [--cache N] [--cache-bytes N] [--cache-ttl-ms N]
                 [--mine-threads N] [--store-dir DIR] [--out FILE]
@@ -356,6 +497,8 @@ fn loadgen_usage() -> ! {
   --keys          distinct request keys (default 16)
   --skew          Zipf exponent over keys, 0 = uniform (default 1.0)
   --kernel        kernel every request asks for (default lcm)
+  --query-mix     pattern-query variants in the mix, 1..=4: identity,
+                  closed, maximal, top-k (default 1 = identity only)
   --deadline-ms   per-request deadline (default: none)
   --out           write the JSON report here instead of stdout
   (service flags as for `fpm-mine serve`; loadgen defaults: 2 shards,
@@ -394,6 +537,9 @@ fn run_loadgen(argv: &[String]) -> ExitCode {
             "--deadline-ms" => {
                 let ms: u64 = value(&mut i).parse().unwrap_or_else(|_| loadgen_usage());
                 cfg.deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            "--query-mix" => {
+                cfg.query_mix = value(&mut i).parse().unwrap_or_else(|_| loadgen_usage())
             }
             "--shards" => {
                 svc_cfg.shards = value(&mut i).parse().unwrap_or_else(|_| loadgen_usage())
@@ -466,7 +612,7 @@ fn store_usage() -> ! {
     eprintln!(
         "usage: fpm-mine store build   --dir DIR --dataset ds1..ds4 [--scale smoke|ci|full]
                               [--minsup N] [--kernels lcm,eclat,fpgrowth]
-       fpm-mine store inspect --dir DIR
+       fpm-mine store inspect --dir DIR [--format text|json]
        fpm-mine store verify  --dir DIR
        fpm-mine store append  --dir DIR --name STEM (--tx \"1 2 3\")... [--file FILE.dat]
 
@@ -475,7 +621,9 @@ fn store_usage() -> ! {
            each kernel in --kernels (default lcm) and writes the artifact
            atomically as DIR/named-<ds>-<scale>.fpa — `serve --store-dir DIR`
            then answers those requests from the store without re-mining
-  inspect  prints each artifact's identity, generation and cached results
+  inspect  prints each artifact's identity, generation and cached results,
+           each result entry tagged with its pattern query and generation;
+           --format json emits one JSON object per artifact for scripting
   verify   decodes and deep-verifies every artifact; exits 1 on any damage
   append   appends transactions (space-separated u32 items, from --tx
            and/or a FIMI --file), bumps the generation — invalidating the
@@ -494,6 +642,7 @@ struct StoreArgs {
     kernels: Vec<String>,
     txs: Vec<Vec<fpm::Item>>,
     file: Option<String>,
+    format: String,
 }
 
 fn parse_store_args(argv: &[String]) -> StoreArgs {
@@ -506,6 +655,7 @@ fn parse_store_args(argv: &[String]) -> StoreArgs {
         kernels: vec!["lcm".into()],
         txs: Vec::new(),
         file: None,
+        format: "text".into(),
     };
     let mut i = 0;
     let value = |i: &mut usize| -> String {
@@ -532,6 +682,13 @@ fn parse_store_args(argv: &[String]) -> StoreArgs {
                 a.txs.push(items.unwrap_or_else(|| store_usage()));
             }
             "--file" => a.file = Some(value(&mut i)),
+            "--format" => {
+                a.format = value(&mut i);
+                if a.format != "text" && a.format != "json" {
+                    eprintln!("--format must be text or json");
+                    store_usage();
+                }
+            }
             "--help" | "-h" => store_usage(),
             other => {
                 eprintln!("unknown store argument {other}");
@@ -559,7 +716,7 @@ fn store_build(a: &StoreArgs) -> ExitCode {
         let mut sink = CollectSink::default();
         exec::MinePlan::kernel(kernel, minsup).execute(&db, &mut sink);
         eprintln!("{label}: {} patterns at minsup {minsup}", sink.patterns.len());
-        artifact.push_result(kernel.code(), minsup, sink.patterns);
+        artifact.push_result(kernel.code(), minsup, fpm::QueryKey::default(), sink.patterns);
     }
     let dir = std::path::Path::new(dir);
     if let Err(e) = std::fs::create_dir_all(dir) {
@@ -595,52 +752,126 @@ fn store_paths(a: &StoreArgs) -> Vec<std::path::PathBuf> {
     }
 }
 
+/// Renders a result entry's query tag for inspect output. A tag whose
+/// class code a newer writer minted (undecodable here) still prints,
+/// as `unknown`.
+fn query_label(key: fpm::QueryKey) -> String {
+    fpm::PatternQuery::from_key(key)
+        .map(|q| q.label())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// The query tag as a JSON object (`class`, `top_k`, `rules`), mirroring
+/// the serve request fields so inspect output can be replayed.
+fn query_json(key: fpm::QueryKey) -> String {
+    let Some(q) = fpm::PatternQuery::from_key(key) else {
+        return format!("{{\"unknown_class\":{}}}", key.class);
+    };
+    let top_k = q.top_k.map_or("null".into(), |k| k.to_string());
+    let rules = q.rules.map_or("null".into(), |r| {
+        format!(
+            "{{\"min_confidence\":{},\"min_lift\":{}}}",
+            r.min_confidence, r.min_lift
+        )
+    });
+    format!(
+        "{{\"class\":\"{}\",\"top_k\":{top_k},\"rules\":{rules}}}",
+        q.class.name()
+    )
+}
+
 fn store_inspect(a: &StoreArgs) -> ExitCode {
     let paths = store_paths(a);
     if paths.is_empty() {
         eprintln!("no artifacts found");
         return ExitCode::FAILURE;
     }
+    let kernel_label = |code: u8| {
+        fpm::Kernel::ALL
+            .iter()
+            .find(|k| k.code() == code)
+            .map(|k| k.label())
+            .unwrap_or("?")
+    };
     for path in paths {
-        match store::Artifact::load(&path) {
-            Ok(art) => {
-                println!(
-                    "{}: {} {}{}{} gen {} fp {:016x} | {} raw rows, {} frequent items, \
-                     prepared minsup {} | {} result(s), {} live",
-                    path.display(),
-                    art.spec.kind.label(),
-                    art.spec.dataset,
-                    if art.spec.scale.is_empty() { "" } else { "-" },
-                    art.spec.scale,
-                    art.generation,
-                    art.fingerprint,
-                    art.raw.len(),
-                    art.ranked.to_orig.len(),
-                    art.prepared_minsup,
-                    art.results.len(),
-                    art.live_results().count(),
-                );
-                for entry in &art.results {
-                    let label = fpm::Kernel::ALL
-                        .iter()
-                        .find(|k| k.code() == entry.kernel)
-                        .map(|k| k.label())
-                        .unwrap_or("?");
+        let art = match store::Artifact::load(&path) {
+            Ok(art) => art,
+            Err(e) => {
+                if a.format == "json" {
                     println!(
-                        "  {} minsup {} gen {}: {} patterns{}",
-                        label,
-                        entry.min_support,
-                        entry.generation,
-                        entry.patterns.len(),
-                        if entry.generation == art.generation {
-                            ""
-                        } else {
-                            " (stale)"
-                        }
+                        "{{\"path\":{:?},\"error\":\"{e}\"}}",
+                        path.display().to_string()
                     );
+                } else {
+                    println!("{}: UNREADABLE ({e})", path.display());
                 }
+                continue;
             }
-            Err(e) => println!("{}: UNREADABLE ({e})", path.display()),
+        };
+        if a.format == "json" {
+            let results: Vec<String> = art
+                .results
+                .iter()
+                .map(|entry| {
+                    format!(
+                        "{{\"kernel\":\"{}\",\"min_support\":{},\"query\":{},\
+                         \"generation\":{},\"live\":{},\"patterns\":{}}}",
+                        kernel_label(entry.kernel),
+                        entry.min_support,
+                        query_json(entry.query),
+                        entry.generation,
+                        entry.generation == art.generation,
+                        entry.patterns.len()
+                    )
+                })
+                .collect();
+            println!(
+                "{{\"path\":{:?},\"kind\":\"{}\",\"dataset\":{:?},\"scale\":{:?},\
+                 \"generation\":{},\"fingerprint\":\"{:016x}\",\"raw_rows\":{},\
+                 \"frequent_items\":{},\"prepared_minsup\":{},\"results\":[{}]}}",
+                path.display().to_string(),
+                art.spec.kind.label(),
+                art.spec.dataset,
+                art.spec.scale,
+                art.generation,
+                art.fingerprint,
+                art.raw.len(),
+                art.ranked.to_orig.len(),
+                art.prepared_minsup,
+                results.join(",")
+            );
+            continue;
+        }
+        println!(
+            "{}: {} {}{}{} gen {} fp {:016x} | {} raw rows, {} frequent items, \
+             prepared minsup {} | {} result(s), {} live",
+            path.display(),
+            art.spec.kind.label(),
+            art.spec.dataset,
+            if art.spec.scale.is_empty() { "" } else { "-" },
+            art.spec.scale,
+            art.generation,
+            art.fingerprint,
+            art.raw.len(),
+            art.ranked.to_orig.len(),
+            art.prepared_minsup,
+            art.results.len(),
+            art.live_results().count(),
+        );
+        for entry in &art.results {
+            println!(
+                "  {} minsup {} query {} gen {}: {} patterns{}",
+                kernel_label(entry.kernel),
+                entry.min_support,
+                query_label(entry.query),
+                entry.generation,
+                entry.patterns.len(),
+                if entry.generation == art.generation {
+                    ""
+                } else {
+                    " (stale)"
+                }
+            );
         }
     }
     ExitCode::SUCCESS
@@ -748,6 +979,9 @@ fn main() -> ExitCode {
     if raw.first().map(String::as_str) == Some("store") {
         return run_store(&raw[1..]);
     }
+    if raw.first().map(String::as_str) == Some("rules") {
+        return run_rules(&raw[1..]);
+    }
     let args = parse_args();
     let (db, minsup) = load(&args);
     eprintln!(
@@ -774,10 +1008,15 @@ fn main() -> ExitCode {
         args.variant.clone()
     };
 
+    let query = fpm::PatternQuery {
+        class: args.kind,
+        top_k: args.top_k,
+        rules: None,
+    };
     let start = Instant::now();
-    let result = if args.count_only && matches!(args.kind, fpm::MineKind::All) {
+    let result = if args.count_only && query.is_all() {
         let mut sink = CountSink::default();
-        mine_with(&args.kernel, &variant, &db, minsup, args.threads, &mut sink).map(|()| {
+        mine_with(&args.kernel, &variant, &db, minsup, args.threads, query, &mut sink).map(|()| {
             eprintln!(
                 "{} frequent itemsets in {:.3}s",
                 sink.count,
@@ -786,17 +1025,19 @@ fn main() -> ExitCode {
         })
     } else {
         let mut sink = CollectSink::default();
-        mine_with(&args.kernel, &variant, &db, minsup, args.threads, &mut sink).map(|()| {
-            let filtered = match args.kind {
-                fpm::MineKind::All => sink.patterns,
-                fpm::MineKind::Closed => fpm::postfilter::closed(sink.patterns),
-                fpm::MineKind::Maximal => fpm::postfilter::maximal(sink.patterns),
+        mine_with(&args.kernel, &variant, &db, minsup, args.threads, query, &mut sink).map(|()| {
+            // A top-k answer is *ordered* (support desc, serial rank
+            // asc) — canonicalizing would destroy the ranking, so only
+            // unranked answers are canonicalized for stable output.
+            let patterns = if query.top_k.is_some() {
+                sink.patterns
+            } else {
+                fpm::types::canonicalize(sink.patterns)
             };
-            let patterns = fpm::types::canonicalize(filtered);
             eprintln!(
                 "{} {} itemsets in {:.3}s",
                 patterns.len(),
-                args.kind.name(),
+                query.label(),
                 start.elapsed().as_secs_f64()
             );
             if args.count_only {

@@ -38,7 +38,9 @@
 
 use fpm::control::{MineControl, StopCause};
 use fpm::exec::KernelSpine;
-use fpm::{CollectSink, ControlledSink, PatternSink, TransactionDb};
+use fpm::query::TopKSink;
+use fpm::types::MineKind;
+use fpm::{CollectSink, ControlledSink, ItemsetCount, PatternQuery, PatternSink, TransactionDb};
 use memsim::NullProbe;
 use par::ParConfig;
 use std::time::Duration;
@@ -173,6 +175,7 @@ pub struct MinePlan {
     mode: Mode,
     deadline: Option<Duration>,
     max_patterns: Option<u64>,
+    query: PatternQuery,
 }
 
 impl MinePlan {
@@ -184,6 +187,7 @@ impl MinePlan {
             mode: Mode::Serial,
             deadline: None,
             max_patterns: None,
+            query: PatternQuery::all(),
         }
     }
 
@@ -251,6 +255,24 @@ impl MinePlan {
         }
     }
 
+    /// Selects which slice of the frequent set the plan answers with
+    /// (DESIGN.md §15). The identity query keeps the streaming path; any
+    /// other query mines the complete All-class set first (so the prefix
+    /// contract holds unchanged), applies the query as a pure function
+    /// of the serial-order list, and delivers the answer through the
+    /// control — budgets charge per *query result*, and the output is
+    /// byte-identical at every thread count. A run whose collection
+    /// phase trips (deadline, cancel, task panic) delivers the empty
+    /// prefix rather than an unfounded partial answer.
+    pub fn query(self, query: PatternQuery) -> MinePlan {
+        MinePlan { query, ..self }
+    }
+
+    /// The plan's pattern query.
+    pub fn pattern_query(&self) -> &PatternQuery {
+        &self.query
+    }
+
     /// Runs the plan, delivering patterns (original item ids, serial
     /// emission order) to `sink`. Arms a fresh [`MineControl`] from the
     /// plan's deadline and budget; use
@@ -270,6 +292,9 @@ impl MinePlan {
         control: &MineControl,
         sink: &mut S,
     ) -> ExecSummary {
+        if !self.query.is_all() {
+            return self.execute_query(db, control, sink);
+        }
         let mut tally = Tally { inner: sink, emitted: 0 };
         let complete = match &self.config {
             KernelConfig::Lcm(cfg) => {
@@ -296,6 +321,81 @@ impl MinePlan {
             complete,
             emitted: tally.emitted,
             stop_cause: control.stop_cause(),
+        }
+    }
+
+    /// The non-identity query path: collect the complete All-class set
+    /// (deadline/cancel/panic still trip the collection cooperatively;
+    /// the budget is *not* charged while collecting), apply the query,
+    /// then deliver the answer through the control so the budget charges
+    /// exactly one unit per query result. Serial and parallel modes feed
+    /// the same serial-order list into [`PatternQuery::apply`], so the
+    /// delivered bytes are identical at every thread count.
+    fn execute_query<S: PatternSink>(
+        &self,
+        db: &TransactionDb,
+        control: &MineControl,
+        sink: &mut S,
+    ) -> ExecSummary {
+        let (all, collected) = self.collect_query_input(db, control);
+        if !collected {
+            // The collection tripped: a partial All-set cannot support
+            // closedness/rules/top-k claims, so the honest answer is the
+            // empty prefix with the stop cause attached.
+            return ExecSummary {
+                complete: false,
+                emitted: 0,
+                stop_cause: control.stop_cause(),
+            };
+        }
+        let answer = self.query.apply(all, db.len() as u64);
+        let mut tally = Tally { inner: sink, emitted: 0 };
+        let mut controlled = ControlledSink::new(control, &mut tally);
+        for p in &answer {
+            controlled.emit(&p.items, p.support);
+        }
+        let complete = controlled.suppressed == 0;
+        ExecSummary {
+            complete,
+            emitted: tally.emitted,
+            stop_cause: control.stop_cause(),
+        }
+    }
+
+    /// Collects the complete frequent set for the query path. For a pure
+    /// top-k query the serial mode streams through a [`TopKSink`], which
+    /// raises the control's dynamic support floor as its heap fills (its
+    /// output equals the collect-then-select result by construction);
+    /// every other shape collects the full set.
+    fn collect_query_input(
+        &self,
+        db: &TransactionDb,
+        control: &MineControl,
+    ) -> (Vec<ItemsetCount>, bool) {
+        let fast_top_k = match (self.query.class, self.query.rules, self.query.top_k) {
+            (MineKind::All, None, Some(k)) => Some(k),
+            _ => None,
+        };
+        match &self.config {
+            KernelConfig::Lcm(cfg) => {
+                collect::<lcm::LcmSpine>(db, cfg, self.minsup, self.mode, control, fast_top_k)
+            }
+            KernelConfig::Eclat(cfg) => {
+                collect::<eclat::EclatSpine>(db, cfg, self.minsup, self.mode, control, fast_top_k)
+            }
+            KernelConfig::FpGrowth(cfg) => {
+                collect::<fpgrowth::FpSpine>(db, cfg, self.minsup, self.mode, control, fast_top_k)
+            }
+            KernelConfig::Apriori => {
+                let mut sink = CollectSink::default();
+                apriori::mine(db, self.minsup, &mut sink);
+                (sink.patterns, !control.should_stop())
+            }
+            KernelConfig::HMine => {
+                let mut sink = CollectSink::default();
+                fpm::hmine::mine(db, self.minsup, &mut sink);
+                (sink.patterns, !control.should_stop())
+            }
         }
     }
 }
@@ -393,6 +493,87 @@ fn drive<K: KernelSpine, S: PatternSink>(
             fpm::replay_merged_prefix(buffers, sink) && panic.is_none()
         }
     }
+}
+
+/// The query path's collection driver: like [`drive`], but the sink is
+/// *not* budget-charged — the control still trips collection on
+/// deadline/cancel/panic, and the returned flag says whether the full
+/// serial sequence was captured. Serial mode streams into `sink` (a
+/// [`CollectSink`] or the top-k fast path's [`TopKSink`]); parallel mode
+/// buffers per task and replay-merges in rank order, so both produce the
+/// same serial-order list.
+fn collect<K: KernelSpine>(
+    db: &TransactionDb,
+    cfg: &K::Config,
+    minsup: u64,
+    mode: Mode,
+    control: &MineControl,
+    fast_top_k: Option<u64>,
+) -> (Vec<ItemsetCount>, bool) {
+    let prepared = K::prepare(db, minsup, cfg);
+    let tasks = K::root_tasks(&prepared);
+    match mode {
+        Mode::Serial => match fast_top_k {
+            Some(k) => {
+                let mut sink = TopKSink::new(k, control);
+                let complete = serial_tasks::<K, _>(&prepared, tasks, control, &mut sink);
+                (sink.finish(), complete)
+            }
+            None => {
+                let mut sink = CollectSink::default();
+                let complete = serial_tasks::<K, _>(&prepared, tasks, control, &mut sink);
+                (sink.patterns, complete)
+            }
+        },
+        Mode::Parallel(par_cfg) => {
+            let prepared = &prepared;
+            let (buffers, panic) = par::run_with_state_until_settled(
+                tasks,
+                &par_cfg,
+                || control.should_stop(),
+                |_worker| (),
+                |(), task| {
+                    let mut sink = CollectSink::default();
+                    let done = K::mine_task(prepared, task, &mut NullProbe, control, &mut sink);
+                    (sink.patterns, done)
+                },
+            );
+            if panic.is_some() {
+                control.trip_panicked();
+            }
+            let mut merged = CollectSink::default();
+            let complete = fpm::replay_merged_prefix(buffers, &mut merged) && panic.is_none();
+            (merged.patterns, complete)
+        }
+    }
+}
+
+/// Streams root tasks in serial order into `sink` with panic capture,
+/// returning `true` iff every task ran to completion.
+fn serial_tasks<K: KernelSpine, S: PatternSink>(
+    prepared: &K::Prepared,
+    tasks: Vec<K::Task>,
+    control: &MineControl,
+    sink: &mut S,
+) -> bool {
+    let mut probe = NullProbe;
+    for task in tasks {
+        if control.should_stop() {
+            return false;
+        }
+        let done = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            K::mine_task(prepared, task, &mut probe, control, sink)
+        }));
+        match done {
+            Ok(true) => {}
+            Ok(false) => return false,
+            Err(_payload) => {
+                control.trip_panicked();
+                return false;
+            }
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -563,6 +744,146 @@ mod tests {
                 })
                 .execute(&db, &mut sink);
             assert_eq!(sink.bytes, want, "granularity={granularity}");
+        }
+    }
+
+    #[test]
+    fn query_plans_match_oracle_and_are_thread_invariant() {
+        use fpm::types::MineKind;
+        use fpm::{naive, PatternQuery, RuleSpec};
+        let db = toy();
+        let n = db.len() as u64;
+        let queries = [
+            PatternQuery::class(MineKind::Closed),
+            PatternQuery::class(MineKind::Maximal),
+            PatternQuery::all().top_k(4),
+            PatternQuery::class(MineKind::Closed).top_k(3),
+            PatternQuery::all().rules(RuleSpec { min_confidence: 0.5, min_lift: 1.0 }),
+        ];
+        for q in queries {
+            let naive_want = q.apply(naive::mine(&db, 2), n);
+            for kernel in fpm::Kernel::ALL {
+                // Tie-breaking inside top-k follows the kernel's serial
+                // rank, so the per-kernel oracle applies the query to the
+                // kernel's own serial All-class output.
+                let mut all = CollectSink::default();
+                MinePlan::kernel(kernel, 2).execute(&db, &mut all);
+                let want = q.apply(all.patterns, n);
+                let mut reference: Option<Vec<u8>> = None;
+                for threads in [1usize, 2, 4] {
+                    let mut sink = RecordSink::default();
+                    let summary = MinePlan::kernel(kernel, 2)
+                        .query(q)
+                        .threads(threads)
+                        .execute(&db, &mut sink);
+                    assert!(summary.complete, "{} {} t={threads}", kernel.label(), q.label());
+                    assert_eq!(summary.emitted, want.len() as u64);
+                    match &reference {
+                        None => reference = Some(sink.bytes.clone()),
+                        Some(r) => assert_eq!(
+                            &sink.bytes,
+                            r,
+                            "{} {} t={threads}",
+                            kernel.label(),
+                            q.label()
+                        ),
+                    }
+                    // The emitted list is exactly the per-kernel oracle,
+                    // and (tie-free queries) the naive oracle's set.
+                    let mut collect = CollectSink::default();
+                    MinePlan::kernel(kernel, 2).query(q).threads(threads).execute(&db, &mut collect);
+                    assert_eq!(collect.patterns, want, "{} {}", kernel.label(), q.label());
+                    if q.top_k.is_none() {
+                        assert_eq!(
+                            canonicalize(collect.patterns),
+                            canonicalize(naive_want.clone()),
+                            "{} {}",
+                            kernel.label(),
+                            q.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_budget_cuts_to_prefix_of_query_answer() {
+        use fpm::types::MineKind;
+        use fpm::PatternQuery;
+        let db = toy();
+        let q = PatternQuery::class(MineKind::Closed);
+        for kernel in fpm::Kernel::ALL {
+            let mut full = RecordSink::default();
+            MinePlan::kernel(kernel, 2).query(q).execute(&db, &mut full);
+            let lines: Vec<&[u8]> = full.bytes.split_inclusive(|&b| b == b'\n').collect();
+            assert!(lines.len() > 2);
+            for threads in [1usize, 3] {
+                let mut cut = RecordSink::default();
+                let summary = MinePlan::kernel(kernel, 2)
+                    .query(q)
+                    .threads(threads)
+                    .max_patterns(2)
+                    .execute(&db, &mut cut);
+                // Budgets charge per query result: exactly 2 delivered,
+                // and they are the first 2 lines of the full answer at
+                // any thread count.
+                assert_eq!(summary.emitted, 2, "{} t={threads}", kernel.label());
+                assert!(!summary.complete);
+                assert_eq!(summary.stop_cause, Some(StopCause::BudgetExhausted));
+                let want: Vec<u8> = lines[..2].iter().flat_map(|l| l.iter().copied()).collect();
+                assert_eq!(cut.bytes, want, "{} t={threads}", kernel.label());
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_query_run_delivers_empty_prefix() {
+        use fpm::PatternQuery;
+        let db = toy();
+        let control = MineControl::unlimited();
+        control.cancel();
+        let mut sink = CollectSink::default();
+        let summary = MinePlan::kernel(fpm::Kernel::Lcm, 2)
+            .query(PatternQuery::all().top_k(3))
+            .execute_controlled(&db, &control, &mut sink);
+        assert!(sink.patterns.is_empty(), "tripped collection must not leak a partial answer");
+        assert!(!summary.complete);
+        assert_eq!(summary.emitted, 0);
+        assert_eq!(summary.stop_cause, Some(StopCause::Cancelled));
+    }
+
+    #[test]
+    fn serial_top_k_raises_support_floor_through_control() {
+        use fpm::PatternQuery;
+        let db = toy();
+        let control = MineControl::unlimited();
+        let mut sink = CollectSink::default();
+        let summary = MinePlan::kernel(fpm::Kernel::Eclat, 1)
+            .query(PatternQuery::all().top_k(2))
+            .execute_controlled(&db, &control, &mut sink);
+        assert!(summary.complete);
+        assert_eq!(sink.patterns.len(), 2);
+        assert!(
+            control.support_floor() > 0,
+            "the streaming top-k path must publish its dynamic floor"
+        );
+    }
+
+    #[test]
+    fn reference_miners_answer_queries_too() {
+        use fpm::types::MineKind;
+        use fpm::{naive, PatternQuery};
+        let db = toy();
+        let want = PatternQuery::class(MineKind::Maximal).apply(naive::mine(&db, 2), db.len() as u64);
+        for label in ["apriori", "hmine"] {
+            let mut sink = CollectSink::default();
+            let summary = MinePlan::by_label(label, 2)
+                .unwrap()
+                .query(PatternQuery::class(MineKind::Maximal))
+                .execute(&db, &mut sink);
+            assert!(summary.complete, "{label}");
+            assert_eq!(canonicalize(sink.patterns), canonicalize(want.clone()), "{label}");
         }
     }
 

@@ -63,6 +63,10 @@ pub struct MineControl {
     deadline: Option<Instant>,
     budget: Option<u64>,
     emitted: AtomicU64,
+    /// Dynamic minimum-support floor for top-k runs: raised monotonically
+    /// as the selection heap fills, read by collectors to skip patterns
+    /// that can no longer place.
+    support_floor: AtomicU64,
 }
 
 impl Default for MineControl {
@@ -83,6 +87,7 @@ impl MineControl {
             deadline: None,
             budget: None,
             emitted: AtomicU64::new(0),
+            support_floor: AtomicU64::new(0),
         }
     }
 
@@ -201,6 +206,25 @@ impl MineControl {
         self.emitted.load(Ordering::Relaxed)
     }
 
+    /// Raises the dynamic support floor (monotone max). A top-k
+    /// selection calls this once its heap holds `k` patterns: every
+    /// further candidate below the floor is provably outside the final
+    /// answer, so collectors may skip it without changing the output.
+    pub fn raise_support_floor(&self, floor: u64) {
+        // ORDERING: Relaxed — monotonic max used only as a skip hint;
+        // a stale low value admits a pattern the selection heap then
+        // rejects deterministically, never the other way around.
+        self.support_floor.fetch_max(floor, Ordering::Relaxed);
+    }
+
+    /// The current dynamic support floor (0 until a top-k selection
+    /// raises it).
+    pub fn support_floor(&self) -> u64 {
+        // ORDERING: Relaxed — see `raise_support_floor`; the floor is a
+        // monotone hint, not a synchronization edge.
+        self.support_floor.load(Ordering::Relaxed)
+    }
+
     /// Why the run stopped, or `None` while it is still allowed to run.
     pub fn stop_cause(&self) -> Option<StopCause> {
         // ORDERING: Relaxed — the cause byte is the whole message; it is
@@ -296,6 +320,18 @@ mod tests {
         assert!(!c.charge_emission());
         assert_eq!(c.stop_cause(), Some(StopCause::BudgetExhausted));
         assert_eq!(c.emitted(), 1, "the attempt is counted, not delivered");
+    }
+
+    #[test]
+    fn support_floor_is_monotone_max() {
+        let c = MineControl::unlimited();
+        assert_eq!(c.support_floor(), 0);
+        c.raise_support_floor(5);
+        assert_eq!(c.support_floor(), 5);
+        c.raise_support_floor(3);
+        assert_eq!(c.support_floor(), 5, "floor never lowers");
+        c.raise_support_floor(9);
+        assert_eq!(c.support_floor(), 9);
     }
 
     #[test]

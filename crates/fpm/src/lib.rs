@@ -32,6 +32,7 @@ pub mod io;
 pub mod metrics;
 pub mod naive;
 pub mod postfilter;
+pub mod query;
 pub mod remap;
 pub mod sink;
 pub mod stats;
@@ -40,6 +41,7 @@ pub mod vertical;
 
 pub use control::{MineControl, StopCause};
 pub use db::TransactionDb;
+pub use query::{PatternQuery, QueryKey, Rule, RuleSpec};
 pub use remap::{remap, RankMap, RankedDb};
 pub use sink::{
     replay_merged, replay_merged_prefix, CollectSink, ControlledSink, CountSink, LimitSink,

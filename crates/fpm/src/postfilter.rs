@@ -2,79 +2,23 @@
 //! variants (DESIGN.md §7 extension; LCM is, after all, the *closed*
 //! itemset miner).
 //!
-//! Both filters run in `O(Σ|Q|)` hash operations over the frequent set,
-//! using the one-step structure of the lattice:
-//!
-//! * `P` is **not closed** iff some one-item extension `Q = P ∪ {e}` is
-//!   frequent with `sup(Q) == sup(P)` — larger supersets cannot have
-//!   equal support unless a one-step one does (support is
-//!   anti-monotone along any chain between them).
-//! * `P` is **not maximal** iff *any* one-item extension is frequent.
-//!
-//! So marking, for every frequent `Q`, each of its `|Q|` one-item-removed
-//! subsets suffices.
+//! The original implementation marked, for every frequent `Q`, each of
+//! its `|Q|` one-item-removed subsets; PR 9 replaced that scan with
+//! FastLMFI-style superset checking over the prefix-ordered
+//! [`SetTrie`](crate::query::SetTrie) (PAPERS.md), which prunes
+//! equal-support searches on a per-subtree support bound. This module
+//! keeps the historical entry points as thin wrappers so existing
+//! callers and the R6 kernel-entry story are unchanged; the engine (and
+//! the first-class query surface built on it) lives in [`crate::query`].
 
-use crate::types::ItemsetCount;
-use std::collections::HashMap;
-
-/// Filters a complete frequent set down to the closed itemsets.
-pub fn closed(patterns: Vec<ItemsetCount>) -> Vec<ItemsetCount> {
-    filter(patterns, true)
-}
-
-/// Filters a complete frequent set down to the maximal itemsets.
-pub fn maximal(patterns: Vec<ItemsetCount>) -> Vec<ItemsetCount> {
-    filter(patterns, false)
-}
-
-fn filter(patterns: Vec<ItemsetCount>, closed: bool) -> Vec<ItemsetCount> {
-    // index by sorted itemset
-    // deterministic-iteration audit: this map is probed with `get` only;
-    // output order comes from walking `patterns` (a Vec) below, so hash
-    // order never reaches the emission sequence.
-    let index: HashMap<Vec<u32>, usize> = patterns
-        .iter()
-        .enumerate()
-        .map(|(i, p)| {
-            let mut k = p.items.clone();
-            k.sort_unstable();
-            (k, i)
-        })
-        .collect();
-    let mut keep = vec![true; patterns.len()];
-    let mut sub = Vec::new();
-    for q in &patterns {
-        let mut items = q.items.clone();
-        items.sort_unstable();
-        if items.len() < 2 {
-            // the empty set is not represented; a 1-itemset's only
-            // sub-pattern is ∅, which the output convention omits
-            continue;
-        }
-        for drop in 0..items.len() {
-            sub.clear();
-            sub.extend_from_slice(&items[..drop]);
-            sub.extend_from_slice(&items[drop + 1..]);
-            if let Some(&pi) = index.get(&sub) {
-                if !closed || patterns[pi].support == q.support {
-                    keep[pi] = false;
-                }
-            }
-        }
-    }
-    patterns
-        .into_iter()
-        .zip(keep)
-        .filter_map(|(p, k)| k.then_some(p))
-        .collect()
-}
+pub use crate::query::{closed, maximal};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::db::TransactionDb;
     use crate::naive;
-    use crate::types::{canonicalize, MineKind};
+    use crate::types::{canonicalize, ItemsetCount, MineKind};
 
     fn toy() -> TransactionDb {
         TransactionDb::from_transactions(vec![
@@ -155,5 +99,22 @@ mod tests {
         ];
         assert_eq!(closed(ps.clone()).len(), 2);
         assert_eq!(maximal(ps).len(), 2);
+    }
+
+    #[test]
+    fn preserves_serial_input_order() {
+        // The filters must keep survivors in input (serial emission)
+        // order — the executor's byte-identity depends on it.
+        let all = naive::mine(&toy(), 2);
+        let c = closed(all.clone());
+        let mut it = all.iter();
+        for p in &c {
+            assert!(it.any(|q| q == p), "closed output must be a subsequence");
+        }
+        let m = maximal(all.clone());
+        let mut it = all.iter();
+        for p in &m {
+            assert!(it.any(|q| q == p), "maximal output must be a subsequence");
+        }
     }
 }

@@ -44,6 +44,39 @@ impl MineKind {
             MineKind::Maximal => "maximal",
         }
     }
+
+    /// Parses `all` / `closed` / `maximal`.
+    pub fn by_label(label: &str) -> Option<MineKind> {
+        match label.to_ascii_lowercase().as_str() {
+            "all" => Some(MineKind::All),
+            "closed" => Some(MineKind::Closed),
+            "maximal" => Some(MineKind::Maximal),
+            _ => None,
+        }
+    }
+
+    /// A stable one-byte code for cache keys and on-disk query tags —
+    /// the [`Kernel::code`] convention applied to pattern classes.
+    pub fn code(&self) -> u8 {
+        match self {
+            MineKind::All => 0,
+            MineKind::Closed => 1,
+            MineKind::Maximal => 2,
+        }
+    }
+
+    /// The inverse of [`code`](MineKind::code).
+    pub fn from_code(code: u8) -> Option<MineKind> {
+        match code {
+            0 => Some(MineKind::All),
+            1 => Some(MineKind::Closed),
+            2 => Some(MineKind::Maximal),
+            _ => None,
+        }
+    }
+
+    /// All pattern classes a query can ask for.
+    pub const ALL: [MineKind; 3] = [MineKind::All, MineKind::Closed, MineKind::Maximal];
 }
 
 /// Which mining kernel executes a run.
@@ -140,5 +173,20 @@ mod tests {
         assert_eq!(MineKind::All.name(), "all");
         assert_eq!(MineKind::Closed.name(), "closed");
         assert_eq!(MineKind::Maximal.name(), "maximal");
+    }
+
+    #[test]
+    fn mine_kind_codes_roundtrip() {
+        for kind in MineKind::ALL {
+            assert_eq!(MineKind::from_code(kind.code()), Some(kind));
+            assert_eq!(MineKind::by_label(kind.name()), Some(kind));
+        }
+        // Query encodings and store tags depend on these codes staying put.
+        assert_eq!(MineKind::All.code(), 0);
+        assert_eq!(MineKind::Closed.code(), 1);
+        assert_eq!(MineKind::Maximal.code(), 2);
+        assert_eq!(MineKind::from_code(3), None);
+        assert_eq!(MineKind::by_label("CLOSED"), Some(MineKind::Closed));
+        assert_eq!(MineKind::by_label("nope"), None);
     }
 }

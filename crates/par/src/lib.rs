@@ -146,7 +146,11 @@ fn steal_batch<T>(
     let mut got = false;
     for d in 1..n_workers {
         let v = (w + d) % n_workers;
-        let mut victim = lock(&deques[v]);
+        // In range by the modulo; a missing deque just means no victim.
+        let Some(victim) = deques.get(v) else {
+            continue;
+        };
+        let mut victim = lock(victim);
         for _ in 0..steal_max {
             match victim.pop_back() {
                 Some(t) => {
@@ -291,7 +295,10 @@ where
         .map(|_| Mutex::new(VecDeque::new()))
         .collect();
     for (idx, task) in tasks.into_iter().enumerate() {
-        lock(&deques[idx % n_workers]).push_back((idx, task));
+        // idx % n_workers is in range by construction of `deques`.
+        if let Some(q) = deques.get(idx % n_workers) {
+            lock(q).push_back((idx, task));
+        }
     }
 
     let mut slots: Vec<Option<R>> = (0..n_tasks).map(|_| None).collect();
@@ -346,10 +353,12 @@ where
             if stop() || failed.load(Ordering::Relaxed) {
                 break;
             }
-            match lock(&deques[0]).pop_front() {
+            match deques.first().and_then(|q| lock(q).pop_front()) {
                 Some((idx, task)) => {
                     if let Some(r) = run_one(&mut state, idx, task) {
-                        slots[idx] = Some(r);
+                        if let Some(slot) = slots.get_mut(idx) {
+                            *slot = Some(r);
+                        }
                     }
                 }
                 None => break,
@@ -370,6 +379,11 @@ where
                         let mut out: Vec<(usize, R)> = Vec::new();
                         let mut stolen: VecDeque<(usize, T)> =
                             VecDeque::with_capacity(steal_max);
+                        // w < n_workers by the spawn range; a missing
+                        // deque means this worker was dealt nothing.
+                        let Some(own_queue) = deques.get(w) else {
+                            return out;
+                        };
                         loop {
                             // Cooperative cancellation — or a sibling's
                             // task failure: abandon whatever is still
@@ -382,7 +396,7 @@ where
                                 return out;
                             }
                             // Own deque first, front to back.
-                            let own = lock(&deques[w]).pop_front();
+                            let own = lock(own_queue).pop_front();
                             if let Some((idx, task)) = own {
                                 if let Some(r) = run_one(&mut state, idx, task) {
                                     out.push((idx, r));
@@ -423,8 +437,10 @@ where
             }
         });
         for (idx, r) in done.into_iter().flatten() {
-            debug_assert!(slots[idx].is_none(), "task {idx} ran twice");
-            slots[idx] = Some(r);
+            if let Some(slot) = slots.get_mut(idx) {
+                debug_assert!(slot.is_none(), "task {idx} ran twice");
+                *slot = Some(r);
+            }
         }
     }
 

@@ -1,10 +1,13 @@
 //! Result cache: repeated queries skip mining entirely.
 //!
-//! Keyed by `(dataset fingerprint, kernel, min_support)` — the three
-//! inputs that determine a miner's output exactly. Only *complete,
-//! untruncated* runs are inserted, so a hit can serve any request
-//! (budget-limited callers get a prefix of the cached list, which is by
-//! construction the same prefix a fresh truncated run would emit).
+//! Keyed by `(dataset fingerprint, kernel, min_support, query)` — the
+//! four inputs that determine a miner's output exactly (the query key is
+//! the lossless [`QueryKey`] form of the request's [`fpm::PatternQuery`],
+//! DESIGN.md §15; pre-query keys map to `QueryKey::default()`). Only
+//! *complete, untruncated* runs are inserted, so a hit can serve any
+//! request (budget-limited callers get a prefix of the cached list,
+//! which is by construction the same prefix a fresh truncated run would
+//! emit).
 //!
 //! Eviction is least-recently-used via a monotonic stamp; the map is a
 //! `BTreeMap` so iteration during eviction is deterministic (the R3
@@ -24,13 +27,13 @@
 //! reads the entry as [`Lookup::Expired`] — dropped and re-mined, and
 //! counted as a *miss* (never a hit) in the service's probe arithmetic.
 
-use fpm::{ItemsetCount, TransactionDb};
+use fpm::{ItemsetCount, QueryKey, TransactionDb};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// `(dataset fingerprint, kernel code, min_support)`.
-pub type CacheKey = (u64, u8, u64);
+/// `(dataset fingerprint, kernel code, min_support, query key)`.
+pub type CacheKey = (u64, u8, u64, QueryKey);
 
 /// FNV-1a over the full transaction content — shape and items — so two
 /// datasets collide only with 64-bit-hash probability. Deterministic
@@ -337,6 +340,11 @@ mod tests {
         }])
     }
 
+    /// The historical 3-tuple key padded with the identity query.
+    fn k(fingerprint: u64, kernel: u8, minsup: u64) -> CacheKey {
+        (fingerprint, kernel, minsup, QueryKey::default())
+    }
+
     #[test]
     fn fingerprint_distinguishes_contents() {
         let a = TransactionDb::from_transactions(vec![vec![1, 2], vec![3]]);
@@ -349,22 +357,22 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let mut c = ResultCache::new(2);
-        assert_eq!(c.insert((1, 0, 1), pats(1)), 0);
-        assert_eq!(c.insert((2, 0, 1), pats(2)), 0);
-        assert!(c.get(&(1, 0, 1)).is_some()); // refresh key 1
-        assert_eq!(c.insert((3, 0, 1), pats(3)), 1); // evicts key 2
-        assert!(c.get(&(2, 0, 1)).is_none());
-        assert!(c.get(&(1, 0, 1)).is_some());
-        assert!(c.get(&(3, 0, 1)).is_some());
+        assert_eq!(c.insert(k(1, 0, 1), pats(1)), 0);
+        assert_eq!(c.insert(k(2, 0, 1), pats(2)), 0);
+        assert!(c.get(&k(1, 0, 1)).is_some()); // refresh key 1
+        assert_eq!(c.insert(k(3, 0, 1), pats(3)), 1); // evicts key 2
+        assert!(c.get(&k(2, 0, 1)).is_none());
+        assert!(c.get(&k(1, 0, 1)).is_some());
+        assert!(c.get(&k(3, 0, 1)).is_some());
         assert_eq!(c.len(), 2);
     }
 
     #[test]
     fn reinsert_does_not_evict() {
         let mut c = ResultCache::new(1);
-        assert_eq!(c.insert((1, 0, 1), pats(1)), 0);
-        assert_eq!(c.insert((1, 0, 1), pats(9)), 0, "same key: overwrite in place");
-        assert_eq!(c.get(&(1, 0, 1)).unwrap()[0].support, 9);
+        assert_eq!(c.insert(k(1, 0, 1), pats(1)), 0);
+        assert_eq!(c.insert(k(1, 0, 1), pats(9)), 0, "same key: overwrite in place");
+        assert_eq!(c.get(&k(1, 0, 1)).unwrap()[0].support, 9);
     }
 
     #[test]
@@ -373,15 +381,15 @@ mod tests {
         // as Corrupt (then a miss — the service re-mines), never as a
         // hit serving the poisoned list.
         let mut c = ResultCache::new(4);
-        c.insert((1, 0, 1), pats(1));
-        assert!(c.tamper(&(1, 0, 1), |p| p[0].support ^= 1));
+        c.insert(k(1, 0, 1), pats(1));
+        assert!(c.tamper(&k(1, 0, 1), |p| p[0].support ^= 1));
         assert!(
-            matches!(c.probe(&(1, 0, 1)), Lookup::Corrupt),
+            matches!(c.probe(&k(1, 0, 1)), Lookup::Corrupt),
             "checksum mismatch must surface as Corrupt"
         );
         assert!(c.is_empty(), "the poisoned entry is gone");
         assert!(
-            matches!(c.probe(&(1, 0, 1)), Lookup::Miss),
+            matches!(c.probe(&k(1, 0, 1)), Lookup::Miss),
             "subsequent probes are plain misses"
         );
     }
@@ -394,12 +402,12 @@ mod tests {
             ItemsetCount { items: vec![1, 2], support: 2 },
             ItemsetCount { items: vec![2], support: 2 },
         ]);
-        c.insert((7, 1, 2), Arc::clone(&full));
-        assert!(c.tamper(&(7, 1, 2), |p| p.truncate(1)));
-        assert!(matches!(c.probe(&(7, 1, 2)), Lookup::Corrupt));
+        c.insert(k(7, 1, 2), Arc::clone(&full));
+        assert!(c.tamper(&k(7, 1, 2), |p| p.truncate(1)));
+        assert!(matches!(c.probe(&k(7, 1, 2)), Lookup::Corrupt));
         // Re-inserting a fresh complete result heals the slot.
-        c.insert((7, 1, 2), Arc::clone(&full));
-        match c.probe(&(7, 1, 2)) {
+        c.insert(k(7, 1, 2), Arc::clone(&full));
+        match c.probe(&k(7, 1, 2)) {
             Lookup::Hit(got) => assert_eq!(got, full),
             other => panic!("want a verified hit, got {other:?}"),
         }
@@ -414,13 +422,31 @@ mod tests {
                 ItemsetCount { items: vec![1, 2], support: 2 },
                 ItemsetCount { items: vec![2], support: 2 },
             ]);
-            c.insert((9, 2, 1), patterns);
-            assert!(c.tamper(&(9, 2, 1), |p| p[victim].items[0] ^= 1));
+            c.insert(k(9, 2, 1), patterns);
+            assert!(c.tamper(&k(9, 2, 1), |p| p[victim].items[0] ^= 1));
             assert!(
-                matches!(c.probe(&(9, 2, 1)), Lookup::Corrupt),
+                matches!(c.probe(&k(9, 2, 1)), Lookup::Corrupt),
                 "victim={victim}"
             );
         }
+    }
+
+    #[test]
+    fn distinct_queries_occupy_distinct_slots() {
+        use fpm::types::MineKind;
+        use fpm::PatternQuery;
+        let mut c = ResultCache::new(8);
+        let all = PatternQuery::all().key();
+        let closed = PatternQuery::class(MineKind::Closed).key();
+        let topk = PatternQuery::all().top_k(5).key();
+        assert_eq!(all, QueryKey::default(), "identity query is the default key");
+        c.insert((1, 0, 2, all), pats(1));
+        c.insert((1, 0, 2, closed), pats(2));
+        c.insert((1, 0, 2, topk), pats(3));
+        assert_eq!(c.len(), 3, "same (fp, kernel, minsup), three query slots");
+        assert_eq!(c.get(&(1, 0, 2, all)).unwrap()[0].support, 1);
+        assert_eq!(c.get(&(1, 0, 2, closed)).unwrap()[0].support, 2);
+        assert_eq!(c.get(&(1, 0, 2, topk)).unwrap()[0].support, 3);
     }
 
     #[test]
@@ -436,8 +462,8 @@ mod tests {
     #[test]
     fn zero_capacity_disables_caching() {
         let mut c = ResultCache::new(0);
-        assert_eq!(c.insert((1, 0, 1), pats(1)), 0);
-        assert!(c.get(&(1, 0, 1)).is_none());
+        assert_eq!(c.insert(k(1, 0, 1), pats(1)), 0);
+        assert!(c.get(&k(1, 0, 1)).is_none());
         assert!(c.is_empty());
     }
 
@@ -448,18 +474,18 @@ mod tests {
             max_bytes: 0,
             ttl: Some(Duration::from_secs(60)),
         });
-        c.insert((1, 0, 1), pats(1));
+        c.insert(k(1, 0, 1), pats(1));
         assert!(
-            matches!(c.probe(&(1, 0, 1)), Lookup::Hit(_)),
+            matches!(c.probe(&k(1, 0, 1)), Lookup::Hit(_)),
             "fresh entry serves"
         );
-        assert!(c.age(&(1, 0, 1), Duration::from_secs(61)));
+        assert!(c.age(&k(1, 0, 1), Duration::from_secs(61)));
         assert!(
-            matches!(c.probe(&(1, 0, 1)), Lookup::Expired),
+            matches!(c.probe(&k(1, 0, 1)), Lookup::Expired),
             "an entry past its TTL must not serve"
         );
         assert!(c.is_empty(), "the expired entry is gone");
-        assert!(matches!(c.probe(&(1, 0, 1)), Lookup::Miss));
+        assert!(matches!(c.probe(&k(1, 0, 1)), Lookup::Miss));
         assert_eq!(c.bytes(), 0, "expiry releases the byte budget");
     }
 
@@ -470,9 +496,9 @@ mod tests {
             max_bytes: 0,
             ttl: Some(Duration::from_secs(60)),
         });
-        c.insert((1, 0, 1), pats(1));
-        assert!(c.age(&(1, 0, 1), Duration::from_secs(30)));
-        assert!(matches!(c.probe(&(1, 0, 1)), Lookup::Hit(_)));
+        c.insert(k(1, 0, 1), pats(1));
+        assert!(c.age(&k(1, 0, 1), Duration::from_secs(30)));
+        assert!(matches!(c.probe(&k(1, 0, 1)), Lookup::Hit(_)));
         assert_eq!(c.len(), 1);
     }
 
@@ -484,13 +510,13 @@ mod tests {
             max_bytes: one * 2,
             ttl: None,
         });
-        assert_eq!(c.insert((1, 0, 1), pats(1)), 0);
-        assert_eq!(c.insert((2, 0, 1), pats(2)), 0);
+        assert_eq!(c.insert(k(1, 0, 1), pats(1)), 0);
+        assert_eq!(c.insert(k(2, 0, 1), pats(2)), 0);
         assert_eq!(c.bytes(), one * 2);
-        assert!(c.get(&(1, 0, 1)).is_some()); // refresh key 1
-        assert_eq!(c.insert((3, 0, 1), pats(3)), 1, "budget full: evict LRU");
-        assert!(c.get(&(2, 0, 1)).is_none(), "key 2 was least recent");
-        assert!(c.get(&(1, 0, 1)).is_some());
+        assert!(c.get(&k(1, 0, 1)).is_some()); // refresh key 1
+        assert_eq!(c.insert(k(3, 0, 1), pats(3)), 1, "budget full: evict LRU");
+        assert!(c.get(&k(2, 0, 1)).is_none(), "key 2 was least recent");
+        assert!(c.get(&k(1, 0, 1)).is_some());
         assert_eq!(c.bytes(), one * 2);
     }
 
@@ -502,15 +528,15 @@ mod tests {
             max_bytes: one,
             ttl: None,
         });
-        c.insert((1, 0, 1), pats(1));
+        c.insert(k(1, 0, 1), pats(1));
         let big = Arc::new(vec![
             ItemsetCount { items: vec![1], support: 1 },
             ItemsetCount { items: vec![2], support: 1 },
         ]);
         assert!(approx_bytes(&big) > one);
-        assert_eq!(c.insert((2, 0, 1), big), 0);
-        assert!(c.get(&(2, 0, 1)).is_none(), "over-budget result skipped");
-        assert!(c.get(&(1, 0, 1)).is_some(), "resident entry untouched");
+        assert_eq!(c.insert(k(2, 0, 1), big), 0);
+        assert!(c.get(&k(2, 0, 1)).is_none(), "over-budget result skipped");
+        assert!(c.get(&k(1, 0, 1)).is_some(), "resident entry untouched");
     }
 
     #[test]
@@ -524,8 +550,8 @@ mod tests {
             ItemsetCount { items: vec![1, 2, 3], support: 1 },
             ItemsetCount { items: vec![2], support: 1 },
         ]);
-        c.insert((1, 0, 1), big);
-        c.insert((1, 0, 1), pats(1));
+        c.insert(k(1, 0, 1), big);
+        c.insert(k(1, 0, 1), pats(1));
         assert_eq!(c.bytes(), approx_bytes(&pats(1)));
     }
 }

@@ -307,7 +307,12 @@ fn step_conn(
                     break;
                 }
                 Ok(n) => {
-                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    // `read` contracts `n <= chunk.len()`; the checked
+                    // accessor keeps this path panic-free even against
+                    // a misbehaving reader.
+                    if let Some(read) = chunk.get(..n) {
+                        conn.rbuf.extend_from_slice(read);
+                    }
                     progressed = true;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -317,8 +322,11 @@ fn step_conn(
         }
         // Parse every complete line out of the read buffer.
         while let Some(nl) = conn.rbuf.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = conn.rbuf.drain(..=nl).collect();
-            let line = String::from_utf8_lossy(&line[..nl]).into_owned();
+            let mut line: Vec<u8> = conn.rbuf.drain(..=nl).collect();
+            // Drop the trailing newline the drain kept (position
+            // guarantees it is there; pop is panic-free regardless).
+            line.pop();
+            let line = String::from_utf8_lossy(&line).into_owned();
             if line.trim().is_empty() {
                 continue;
             }

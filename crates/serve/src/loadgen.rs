@@ -31,6 +31,8 @@ use crate::json::Json;
 use crate::request::{DatasetSpec, Kernel, MineRequest, Outcome};
 use crate::service::{MineService, Ticket};
 use fpm::faults::mix;
+use fpm::types::MineKind;
+use fpm::PatternQuery;
 use quest::{Dataset, Scale};
 use std::time::{Duration, Instant};
 
@@ -53,6 +55,12 @@ pub struct LoadConfig {
     pub kernel: Kernel,
     /// Per-request deadline, if any.
     pub deadline: Option<Duration>,
+    /// How many entries of [`query_palette`] the schedule draws from
+    /// (clamped to `1..=4`). `1` — the default — offers only the
+    /// identity query, the pre-query traffic shape; `4` mixes closed,
+    /// maximal and top-k requests in, each key × query pair its own
+    /// cache entry.
+    pub query_mix: usize,
 }
 
 impl Default for LoadConfig {
@@ -65,8 +73,21 @@ impl Default for LoadConfig {
             skew: 1.0,
             kernel: Kernel::Lcm,
             deadline: None,
+            query_mix: 1,
         }
     }
+}
+
+/// The pattern queries `--query-mix` rotates over: identity first (so a
+/// mix of 1 is exactly the pre-query traffic), then the closed and
+/// maximal postfilters and a top-k selection.
+pub fn query_palette() -> [PatternQuery; 4] {
+    [
+        PatternQuery::all(),
+        PatternQuery::class(MineKind::Closed),
+        PatternQuery::class(MineKind::Maximal),
+        PatternQuery::all().top_k(32),
+    ]
 }
 
 /// One scheduled arrival: a key lands at `at_us` microseconds after the
@@ -77,6 +98,9 @@ pub struct Arrival {
     pub at_us: u64,
     /// Request-key index in `0..cfg.keys`.
     pub key: usize,
+    /// [`query_palette`] index in `0..cfg.query_mix` (always `0` when
+    /// the mix is 1 — the identity query).
+    pub query: usize,
 }
 
 /// A uniform draw in `[0, 1)` from one mixed 64-bit word.
@@ -91,14 +115,16 @@ fn unit(x: u64) -> f64 {
 /// each dataset's Table 6 smoke support — a cold mine costs tens of
 /// milliseconds, not seconds, keeping the generator about the *service*
 /// (queueing, caching, coalescing), not kernel throughput.
-pub fn key_request(cfg: &LoadConfig, key: usize) -> MineRequest {
+pub fn key_request(cfg: &LoadConfig, key: usize, query: usize) -> MineRequest {
     let dataset = Dataset::ALL[key % Dataset::ALL.len()];
     let step = (key / Dataset::ALL.len()) as u64;
     let spec = DatasetSpec::Named {
         dataset,
         scale: Scale::Smoke,
     };
-    let mut req = MineRequest::new(spec, cfg.kernel, dataset.support(Scale::Smoke) * 2 + step * 7);
+    let palette = query_palette();
+    let mut req = MineRequest::new(spec, cfg.kernel, dataset.support(Scale::Smoke) * 2 + step * 7)
+        .with_query(palette[query % palette.len()]);
     req.include_patterns = false;
     req.deadline = cfg.deadline;
     req
@@ -117,6 +143,7 @@ pub fn schedule(cfg: &LoadConfig) -> Vec<Arrival> {
         .collect();
     let total = *weights.last().expect("at least one key");
 
+    let n_queries = cfg.query_mix.clamp(1, query_palette().len()) as u64;
     let mut arrivals = Vec::new();
     let horizon_us = cfg.duration.as_micros() as u64;
     let rps = cfg.rps.max(1e-6);
@@ -132,9 +159,15 @@ pub fn schedule(cfg: &LoadConfig) -> Vec<Arrival> {
         }
         let v = unit(mix(cfg.seed ^ mix(2 * i + 2))) * total;
         let key = weights.partition_point(|&w| w <= v).min(keys - 1);
+        // The query draw is its own salted stream, so raising the mix
+        // never perturbs arrival times or key draws — the identity-mix
+        // prefix of the traffic is unchanged, only the query annotation
+        // widens.
+        let query = (mix(cfg.seed ^ 0x9e37_79b9_7f4a_7c15 ^ mix(i + 1)) % n_queries) as usize;
         arrivals.push(Arrival {
             at_us: t_us as u64,
             key,
+            query,
         });
     }
     arrivals
@@ -153,6 +186,7 @@ pub fn schedule_digest(arrivals: &[Arrival]) -> u64 {
     for a in arrivals {
         eat(a.at_us);
         eat(a.key as u64);
+        eat(a.query as u64);
     }
     h
 }
@@ -240,6 +274,7 @@ impl LoadReport {
                     ("keys".into(), num(cfg.keys as u64)),
                     ("skew".into(), Json::Num(cfg.skew)),
                     ("kernel".into(), Json::Str(cfg.kernel.label().into())),
+                    ("query_mix".into(), num(cfg.query_mix as u64)),
                     (
                         "deadline_ms".into(),
                         cfg.deadline
@@ -314,7 +349,7 @@ pub fn run(service: &MineService, cfg: &LoadConfig) -> LoadReport {
         if due > elapsed {
             std::thread::sleep(due - elapsed);
         }
-        tickets.push(service.submit(key_request(cfg, a.key)));
+        tickets.push(service.submit(key_request(cfg, a.key, a.query)));
     }
     let mut latencies: Vec<u64> = Vec::with_capacity(tickets.len());
     for ticket in tickets {
@@ -421,6 +456,66 @@ mod tests {
             uniform_key0 * 4 < uniform.len(),
             "skew 0 is uniform-ish (got {uniform_key0} of {})",
             uniform.len()
+        );
+    }
+
+    #[test]
+    fn query_mix_widens_the_schedule_deterministically() {
+        let base = quick();
+        let mixed = LoadConfig {
+            query_mix: 4,
+            ..base
+        };
+        let a = schedule(&mixed);
+        let b = schedule(&mixed);
+        assert_eq!(a, b, "same seed + mix, same annotated schedule");
+        assert_eq!(schedule_digest(&a), schedule_digest(&b));
+        assert_ne!(
+            schedule_digest(&a),
+            schedule_digest(&schedule(&base)),
+            "the query annotation is part of the offered-traffic witness"
+        );
+        // Raising the mix only widens the query annotation: arrival
+        // times and key draws are untouched.
+        let plain = schedule(&base);
+        assert_eq!(a.len(), plain.len());
+        for (m, p) in a.iter().zip(&plain) {
+            assert_eq!((m.at_us, m.key), (p.at_us, p.key));
+            assert!(m.query < 4);
+            assert_eq!(p.query, 0, "mix 1 is identity-only");
+        }
+        let used: std::collections::BTreeSet<usize> = a.iter().map(|x| x.query).collect();
+        assert!(used.len() > 1, "a mix of 4 must actually draw several queries");
+    }
+
+    #[test]
+    fn mixed_query_run_mines_once_per_distinct_key_query_pair() {
+        let svc = MineService::start(ServeConfig {
+            shards: 2,
+            workers: 2,
+            queue_depth: 4096,
+            ..ServeConfig::default()
+        });
+        let cfg = LoadConfig {
+            query_mix: 4,
+            ..quick()
+        };
+        let report = run(&svc, &cfg);
+        svc.shutdown();
+        assert_eq!(report.requests, schedule(&cfg).len() as u64);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.failed, 0);
+        let distinct: std::collections::BTreeSet<(usize, usize)> =
+            schedule(&cfg).iter().map(|a| (a.key, a.query)).collect();
+        assert_eq!(
+            report.mined_runs,
+            distinct.len() as u64,
+            "cache + single-flight are keyed by the full query tuple"
+        );
+        assert_eq!(
+            report.requests,
+            report.mined_runs + report.cache_hits + report.coalesced,
+            "every request either mined its (key, query) pair once or reused it"
         );
     }
 

@@ -8,7 +8,8 @@
 //! through [`parse_request`] / [`render_response`].
 
 use crate::json::{self, num, Json};
-use fpm::{ItemsetCount, TransactionDb};
+use fpm::types::MineKind;
+use fpm::{ItemsetCount, PatternQuery, RuleSpec, TransactionDb};
 use quest::{Dataset, Scale};
 use std::sync::Arc;
 use std::time::Duration;
@@ -50,7 +51,7 @@ impl DatasetSpec {
 }
 
 /// One mining query.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MineRequest {
     /// The input transactions.
     pub dataset: DatasetSpec,
@@ -58,6 +59,11 @@ pub struct MineRequest {
     pub kernel: Kernel,
     /// Minimum support (absolute count).
     pub min_support: u64,
+    /// Which slice of the frequent set to answer with (class, top-k,
+    /// rule thresholds — DESIGN.md §15). The default is the identity
+    /// (every frequent itemset), which keeps the pre-query wire shape
+    /// valid unchanged. Part of the cache/single-flight key.
+    pub query: PatternQuery,
     /// Wall-clock limit, armed at *submit* time — queue wait counts
     /// against it, as a caller experiences latency.
     pub deadline: Option<Duration>,
@@ -76,10 +82,17 @@ impl MineRequest {
             dataset,
             kernel,
             min_support,
+            query: PatternQuery::all(),
             deadline: None,
             max_patterns: None,
             include_patterns: true,
         }
+    }
+
+    /// Replaces the request's pattern query.
+    pub fn with_query(mut self, query: PatternQuery) -> Self {
+        self.query = query;
+        self
     }
 }
 
@@ -200,7 +213,12 @@ impl MineResponse {
 ///
 /// with `{"name": "ds1", "scale": "smoke"}` or `{"path": "db.dat"}` as
 /// the other dataset forms. `deadline_ms`, `max_patterns`, and
-/// `include_patterns` are optional.
+/// `include_patterns` are optional, as are the query fields:
+/// `"class"` (`"all"` / `"closed"` / `"maximal"`), `"top_k"`
+/// (non-negative integer), and `"rules"` (an object with numeric
+/// `"min_confidence"` and optional `"min_lift"`). Absent query fields
+/// mean the identity query — the pre-query wire shape parses to the
+/// same request it always did.
 pub fn parse_request(line: &str) -> Result<MineRequest, String> {
     let v = json::parse(line)?;
     let dataset = v.get("dataset").ok_or("missing \"dataset\"")?;
@@ -257,10 +275,49 @@ pub fn parse_request(line: &str) -> Result<MineRequest, String> {
         None => true,
         Some(b) => b.as_bool().ok_or("\"include_patterns\" must be a boolean")?,
     };
+    let class = match v.get("class") {
+        None | Some(Json::Null) => MineKind::All,
+        Some(c) => {
+            let c = c.as_str().ok_or("\"class\" must be a string")?;
+            MineKind::by_label(c).ok_or_else(|| format!("unknown class {c:?}"))?
+        }
+    };
+    let top_k = match v.get("top_k") {
+        None | Some(Json::Null) => None,
+        Some(k) => Some(k.as_u64().ok_or("\"top_k\" must be a non-negative integer")?),
+    };
+    let rules = match v.get("rules") {
+        None | Some(Json::Null) => None,
+        Some(r) => {
+            let min_confidence = r
+                .get("min_confidence")
+                .and_then(Json::as_f64)
+                .ok_or("\"rules\" needs numeric \"min_confidence\"")?;
+            let min_lift = match r.get("min_lift") {
+                None | Some(Json::Null) => 0.0,
+                Some(l) => l.as_f64().ok_or("\"min_lift\" must be numeric")?,
+            };
+            if !(0.0..=1.0).contains(&min_confidence) {
+                return Err("\"min_confidence\" must be in [0, 1]".into());
+            }
+            if !min_lift.is_finite() || min_lift < 0.0 {
+                return Err("\"min_lift\" must be finite and non-negative".into());
+            }
+            Some(RuleSpec {
+                min_confidence,
+                min_lift,
+            })
+        }
+    };
     Ok(MineRequest {
         dataset,
         kernel,
         min_support,
+        query: PatternQuery {
+            class,
+            top_k,
+            rules,
+        },
         deadline,
         max_patterns,
         include_patterns,
@@ -364,9 +421,57 @@ mod tests {
             r#"{"dataset":{"inline":[[1]]},"kernel":"lcm"}"#,
             r#"{"dataset":{"name":"ds9"},"kernel":"lcm","min_support":1}"#,
             r#"{"dataset":{"inline":[[-1]]},"kernel":"lcm","min_support":1}"#,
+            r#"{"dataset":{"inline":[[1]]},"kernel":"lcm","min_support":1,"class":"open"}"#,
+            r#"{"dataset":{"inline":[[1]]},"kernel":"lcm","min_support":1,"class":3}"#,
+            r#"{"dataset":{"inline":[[1]]},"kernel":"lcm","min_support":1,"top_k":-4}"#,
+            r#"{"dataset":{"inline":[[1]]},"kernel":"lcm","min_support":1,"rules":{}}"#,
+            r#"{"dataset":{"inline":[[1]]},"kernel":"lcm","min_support":1,
+               "rules":{"min_confidence":1.5}}"#,
+            r#"{"dataset":{"inline":[[1]]},"kernel":"lcm","min_support":1,
+               "rules":{"min_confidence":0.5,"min_lift":-1}}"#,
         ] {
             assert!(parse_request(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn parses_query_fields_and_defaults_to_identity() {
+        // Absent fields: the pre-query wire shape still means "all".
+        let r = parse_request(r#"{"dataset":{"inline":[[1]]},"kernel":"lcm","min_support":1}"#)
+            .unwrap();
+        assert!(r.query.is_all());
+        assert_eq!(r.query, PatternQuery::all());
+
+        // Nulls are treated as absent, like deadline_ms/max_patterns.
+        let r = parse_request(
+            r#"{"dataset":{"inline":[[1]]},"kernel":"lcm","min_support":1,
+               "class":null,"top_k":null,"rules":null}"#,
+        )
+        .unwrap();
+        assert!(r.query.is_all());
+
+        let r = parse_request(
+            r#"{"dataset":{"inline":[[1,2],[1,2],[2]]},"kernel":"eclat","min_support":1,
+               "class":"closed","top_k":5,
+               "rules":{"min_confidence":0.6,"min_lift":1.2}}"#,
+        )
+        .unwrap();
+        assert_eq!(r.query.class, MineKind::Closed);
+        assert_eq!(r.query.top_k, Some(5));
+        let spec = r.query.rules.unwrap();
+        assert_eq!(spec.min_confidence, 0.6);
+        assert_eq!(spec.min_lift, 1.2);
+
+        // min_lift is optional inside "rules" and defaults to 0 (no
+        // lift constraint).
+        let r = parse_request(
+            r#"{"dataset":{"inline":[[1]]},"kernel":"lcm","min_support":1,
+               "class":"maximal","rules":{"min_confidence":0.9}}"#,
+        )
+        .unwrap();
+        assert_eq!(r.query.class, MineKind::Maximal);
+        assert_eq!(r.query.rules, Some(RuleSpec::confidence(0.9)));
+        assert_eq!(r.query.top_k, None);
     }
 
     #[test]

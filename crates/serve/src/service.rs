@@ -17,7 +17,9 @@
 //!    answered without mining — with an *empty* pattern list, which is
 //!    the correct zero-length prefix of the serial order.
 //! 3. **Cache probe**: complete results are cached per shard by
-//!    `(dataset fingerprint, kernel, min_support)`; a hit answers from
+//!    `(dataset fingerprint, kernel, min_support, query)` — distinct
+//!    pattern queries (class, top-k, rules — DESIGN.md §15) occupy
+//!    distinct slots; a hit answers from
 //!    memory (budget-limited callers get a prefix of the cached list).
 //!    Every entry is checksum-verified on probe — a corrupted entry is
 //!    dropped and counted (`cache_integrity_failures`), an entry past
@@ -28,8 +30,8 @@
 //!    shape facts alone; a bound above the configured ceiling rejects
 //!    the request before any mining work is spent.
 //! 5. **Single-flight**: an admitted miss checks the shard's in-flight
-//!    table. If an identical `(fingerprint, kernel, minsup)` run is
-//!    already mining, the job *attaches* to it as a follower — no
+//!    table. If an identical `(fingerprint, kernel, minsup, query)` run
+//!    is already mining, the job *attaches* to it as a follower — no
 //!    second mine — and is answered at fan-out. Otherwise the job
 //!    registers as the **leader** and mines.
 //! 6. **Mine + fan out**: the kernel runs under the leader's control —
@@ -66,7 +68,7 @@ use crate::request::{DatasetSpec, Kernel, MineRequest, MineResponse, MineStats, 
 use exec::MinePlan;
 use fpm::control::{MineControl, StopCause};
 use fpm::metrics::MetricSet;
-use fpm::{CollectSink, ItemsetCount, TransactionDb};
+use fpm::{CollectSink, ItemsetCount, QueryKey, TransactionDb};
 use std::collections::{BTreeMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -336,9 +338,14 @@ impl MineService {
     }
 
     /// One shard's counters; summed over shards they equal
-    /// [`metrics`](MineService::metrics) exactly.
+    /// [`metrics`](MineService::metrics) exactly. An out-of-range index
+    /// reads as an unshared all-zero set — the honest answer for a
+    /// shard that does not exist — rather than panicking.
     pub fn shard_metrics(&self, shard: usize) -> Arc<MetricSet> {
-        Arc::clone(&self.inner.shards[shard].metrics)
+        match self.inner.shards.get(shard) {
+            Some(s) => Arc::clone(&s.metrics),
+            None => Arc::new(MetricSet::new(METRIC_NAMES)),
+        }
     }
 
     /// Number of shards actually running (`max(1, cfg.shards)`).
@@ -356,12 +363,6 @@ impl MineService {
     /// [`Ticket`]; queue-full and post-shutdown rejections are delivered
     /// through it so callers have one uniform wait path.
     pub fn submit(&self, request: MineRequest) -> Ticket {
-        let shard = &self.inner.shards[shard_of(&request.dataset, self.inner.shards.len())];
-        let m = Meters {
-            global: &self.inner.metrics,
-            shard: &shard.metrics,
-        };
-        m.incr("requests_submitted");
         let control = Arc::new(MineControl::new(request.deadline, request.max_patterns));
         let (tx, rx) = mpsc::channel();
         let ticket = Ticket {
@@ -369,6 +370,22 @@ impl MineService {
             control: Arc::clone(&control),
         };
         let submitted = Instant::now();
+        let idx = shard_of(&request.dataset, self.inner.shards.len());
+        let Some(shard) = self.inner.shards.get(idx) else {
+            // Unreachable by construction (`shard_of` reduces modulo the
+            // shard count); reject instead of panicking if routing ever
+            // regresses — this is a panic-free path.
+            let _ = tx.send(MineResponse::rejected(
+                "internal: shard routing out of range",
+                MineStats::default(),
+            ));
+            return ticket;
+        };
+        let m = Meters {
+            global: &self.inner.metrics,
+            shard: &shard.metrics,
+        };
+        m.incr("requests_submitted");
         let mut q = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
         let reject = if q.shutdown {
             Some("service shut down")
@@ -422,9 +439,10 @@ impl MineService {
     }
 
     /// Test support: corrupts the cached result for `(spec, kernel,
-    /// min_support)` in place without refreshing its checksum — the
-    /// chaos harness's stand-in for rot between insert and probe.
-    /// Returns `false` when nothing is cached under that key.
+    /// min_support)`'s **identity-query** slot in place without
+    /// refreshing its checksum — the chaos harness's stand-in for rot
+    /// between insert and probe. Returns `false` when nothing is cached
+    /// under that key.
     #[doc(hidden)]
     pub fn tamper_cached(
         &self,
@@ -436,8 +454,11 @@ impl MineService {
         let Ok(db) = resolve_dataset(&self.inner, spec) else {
             return false;
         };
-        let key: CacheKey = (fingerprint(&db), kernel.code(), min_support);
-        self.inner.shards[shard_of(spec, self.inner.shards.len())]
+        let key: CacheKey = (fingerprint(&db), kernel.code(), min_support, QueryKey::default());
+        let Some(shard) = self.inner.shards.get(shard_of(spec, self.inner.shards.len())) else {
+            return false;
+        };
+        shard
             .cache
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -445,8 +466,9 @@ impl MineService {
     }
 
     /// Test support: backdates the cached result for `(spec, kernel,
-    /// min_support)` by `by`, simulating TTL passage without sleeping.
-    /// Returns `false` when nothing is cached under that key.
+    /// min_support)`'s **identity-query** slot by `by`, simulating TTL
+    /// passage without sleeping. Returns `false` when nothing is cached
+    /// under that key.
     #[doc(hidden)]
     pub fn age_cached(
         &self,
@@ -458,8 +480,11 @@ impl MineService {
         let Ok(db) = resolve_dataset(&self.inner, spec) else {
             return false;
         };
-        let key: CacheKey = (fingerprint(&db), kernel.code(), min_support);
-        self.inner.shards[shard_of(spec, self.inner.shards.len())]
+        let key: CacheKey = (fingerprint(&db), kernel.code(), min_support, QueryKey::default());
+        let Some(shard) = self.inner.shards.get(shard_of(spec, self.inner.shards.len())) else {
+            return false;
+        };
+        shard
             .cache
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -538,7 +563,10 @@ fn respond(job: Job, mut resp: MineResponse) {
 }
 
 fn worker_loop(inner: &Inner, shard_idx: usize) {
-    let shard = &inner.shards[shard_idx];
+    // Spawned with an in-range index; bail (don't panic) if not.
+    let Some(shard) = inner.shards.get(shard_idx) else {
+        return;
+    };
     loop {
         let job = {
             let mut q = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
@@ -595,9 +623,16 @@ fn serve_full(
     full: Arc<Vec<ItemsetCount>>,
     stats: &mut MineStats,
 ) -> MineResponse {
-    let (patterns, truncated) = match req.max_patterns {
-        Some(b) if (b as usize) < full.len() => (Arc::new(full[..b as usize].to_vec()), true),
-        _ => (full, false),
+    // Budget cut via the non-panicking slice accessor: a budget at or
+    // past the end serves the whole list untruncated.
+    let cut = req
+        .max_patterns
+        .and_then(|b| full.get(..b as usize))
+        .filter(|prefix| prefix.len() < full.len())
+        .map(|prefix| prefix.to_vec());
+    let (patterns, truncated) = match cut {
+        Some(prefix) => (Arc::new(prefix), true),
+        None => (full, false),
     };
     stats.truncated = truncated;
     stats.emitted = patterns.len() as u64;
@@ -652,7 +687,12 @@ fn handle_job(inner: &Inner, shard: &Shard, job: Job) {
             return;
         }
     };
-    let key: CacheKey = (fingerprint(&db), job.request.kernel.code(), job.request.min_support);
+    let key: CacheKey = (
+        fingerprint(&db),
+        job.request.kernel.code(),
+        job.request.min_support,
+        job.request.query.key(),
+    );
 
     // Cache probe before admission: a cached answer is free to serve no
     // matter how large the search space was. Corrupt and expired
@@ -759,6 +799,7 @@ fn handle_job(inner: &Inner, shard: &Shard, job: Job) {
     // auto-detection the way `MinePlan::threads(0)` would.
     let summary = MinePlan::kernel(job.request.kernel, job.request.min_support)
         .threads(inner.cfg.mine_threads.max(1))
+        .query(job.request.query)
         .execute_controlled(&db, &job.control, &mut sink);
     stats.mine_ms = picked_up.elapsed().as_millis() as u64;
     let cause = job.control.stop_cause();
@@ -977,7 +1018,12 @@ fn warm_start(inner: &Inner, dir: &Path) {
         {
             let mut cache = shard.cache.lock().unwrap_or_else(|e| e.into_inner());
             for entry in artifact.live_results() {
-                let key: CacheKey = (artifact.fingerprint, entry.kernel, entry.min_support);
+                // A v2 artifact with an unknown (future) query class
+                // code cannot appear here — the store decoder validates
+                // the tag — so the key can carry the entry's query
+                // verbatim; v1 entries carry the identity key.
+                let key: CacheKey =
+                    (artifact.fingerprint, entry.kernel, entry.min_support, entry.query);
                 evicted += cache.insert(key, Arc::new(entry.patterns.clone()));
                 warmed += 1;
             }
@@ -1041,7 +1087,7 @@ fn flush_store(inner: &Inner) {
         artifact.generation = generation;
         let flushed = entries.len() as u64;
         for (key, patterns) in entries {
-            artifact.push_result(key.1, key.2, (*patterns).clone());
+            artifact.push_result(key.1, key.2, key.3, (*patterns).clone());
         }
         let path = dir.join(format!("{}.{}", stem, store::EXTENSION));
         if artifact.store(&path).is_ok() {
@@ -1094,6 +1140,8 @@ fn resolve_dataset(inner: &Inner, spec: &DatasetSpec) -> Result<Arc<TransactionD
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fpm::types::MineKind;
+    use fpm::{PatternQuery, RuleSpec};
 
     fn toy_spec() -> DatasetSpec {
         DatasetSpec::Inline(vec![
@@ -1475,6 +1523,127 @@ mod tests {
         assert!(resp.stats.truncated);
         assert_eq!(*resp.patterns.unwrap(), full[..2], "fan-out applies the budget cut");
         svc.shutdown();
+    }
+
+    #[test]
+    fn query_requests_answer_like_the_plan_and_cache_separately() {
+        let svc = MineService::start(ServeConfig::default());
+        let queries = [
+            PatternQuery::all(),
+            PatternQuery::class(MineKind::Closed),
+            PatternQuery::class(MineKind::Maximal),
+            PatternQuery::all().top_k(3),
+            PatternQuery::class(MineKind::Closed)
+                .rules(RuleSpec { min_confidence: 0.6, min_lift: 0.0 }),
+        ];
+        let db = toy_spec().resolve().unwrap();
+        for q in queries {
+            let req = MineRequest::new(toy_spec(), Kernel::Lcm, 2).with_query(q);
+            let resp = svc.mine(req);
+            assert_eq!(resp.outcome, Outcome::Complete, "{}", q.label());
+            let mut sink = CollectSink::default();
+            let summary = MinePlan::kernel(Kernel::Lcm, 2)
+                .query(q)
+                .execute(&db, &mut sink);
+            assert!(summary.complete);
+            assert_eq!(
+                *resp.patterns.expect("patterns included"),
+                sink.patterns,
+                "{}",
+                q.label()
+            );
+        }
+        // Five distinct queries at one (dataset, kernel, minsup): five
+        // distinct cache slots, five mines, zero cross-query hits.
+        let m = svc.metrics();
+        assert_eq!(m.get("mined_runs"), queries.len() as u64);
+        assert_eq!(m.get("cache_hits"), 0);
+        // Re-asking each query now hits its own slot.
+        for q in queries {
+            let resp = svc.mine(MineRequest::new(toy_spec(), Kernel::Lcm, 2).with_query(q));
+            assert!(resp.stats.cache_hit, "{}", q.label());
+        }
+        assert_eq!(m.get("mined_runs"), queries.len() as u64, "no re-mining");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn coalescing_is_query_keyed() {
+        // Identical (dataset, kernel, minsup) but a different query must
+        // NOT attach to the in-flight identity run — it is a different
+        // answer. Same query does attach.
+        let svc = MineService::start(ServeConfig {
+            shards: 1,
+            workers: 3,
+            ..ServeConfig::default()
+        });
+        svc.hold_mining(true);
+        let leader = svc.submit(MineRequest::new(toy_spec(), Kernel::Lcm, 2));
+        wait_for(&svc, "singleflight_leaders", 1);
+        let same = svc.submit(MineRequest::new(toy_spec(), Kernel::Lcm, 2));
+        wait_for(&svc, "requests_coalesced", 1);
+        let closed = svc.submit(
+            MineRequest::new(toy_spec(), Kernel::Lcm, 2)
+                .with_query(PatternQuery::class(MineKind::Closed)),
+        );
+        // The closed-query request leads its own flight instead.
+        wait_for(&svc, "singleflight_leaders", 2);
+        svc.hold_mining(false);
+        let lead_resp = leader.wait();
+        let same_resp = same.wait();
+        let closed_resp = closed.wait();
+        assert!(same_resp.stats.coalesced);
+        assert_eq!(same_resp.patterns, lead_resp.patterns);
+        assert!(!closed_resp.stats.coalesced, "distinct query, distinct flight");
+        assert_ne!(closed_resp.patterns, lead_resp.patterns);
+        assert_eq!(svc.metrics().get("mined_runs"), 2);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn warm_start_round_trips_query_tagged_results() {
+        let dir = std::env::temp_dir().join(format!(
+            "fpm-serve-query-store-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = DatasetSpec::Named {
+            dataset: quest::Dataset::Ds1,
+            scale: quest::Scale::Smoke,
+        };
+        let queries = [
+            PatternQuery::all(),
+            PatternQuery::class(MineKind::Maximal),
+            PatternQuery::all().top_k(5),
+        ];
+        let cfg = ServeConfig {
+            store_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let first = MineService::start(cfg.clone());
+        let cold: Vec<_> = queries
+            .iter()
+            .map(|&q| {
+                let resp = first.mine(MineRequest::new(spec.clone(), Kernel::Lcm, 60).with_query(q));
+                assert_eq!(resp.outcome, Outcome::Complete, "{}", q.label());
+                resp.patterns.expect("patterns")
+            })
+            .collect();
+        first.shutdown();
+        assert_eq!(first.metrics().get("store_flushed_entries"), queries.len() as u64);
+
+        // A new process warm-starts every query's slot: zero mining.
+        let second = MineService::start(cfg);
+        assert_eq!(second.metrics().get("store_warm_entries"), queries.len() as u64);
+        for (q, cold) in queries.iter().zip(&cold) {
+            let resp = second.mine(MineRequest::new(spec.clone(), Kernel::Lcm, 60).with_query(*q));
+            assert!(resp.stats.cache_hit, "{}: warm slot must hit", q.label());
+            assert_eq!(resp.patterns.as_ref(), Some(cold), "{}", q.label());
+        }
+        assert_eq!(second.metrics().get("mined_runs"), 0, "warm start re-mined nothing");
+        second.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Spins until the global counter reaches `want` (bounded).

@@ -195,7 +195,12 @@ mod tests {
     #[test]
     fn append_bumps_generation_and_invalidates_results() {
         let mut a = built(base_rows(), 2);
-        a.push_result(0, 2, vec![ItemsetCount { items: vec![1], support: 3 }]);
+        a.push_result(
+            0,
+            2,
+            fpm::QueryKey::default(),
+            vec![ItemsetCount { items: vec![1], support: 3 }],
+        );
         assert_eq!(a.live_results().count(), 1);
         let report = append(&mut a, &[vec![1, 2]]);
         assert_eq!(report.invalidated_results, 1);

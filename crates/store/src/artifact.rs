@@ -1,6 +1,6 @@
 //! The on-disk artifact: sectioned, versioned, checksummed.
 //!
-//! # Layout (format version 1)
+//! # Layout (format version 2; version 1 still decodes)
 //!
 //! ```text
 //! magic "FPMSTOR1" (8)  version u32  section_count u32
@@ -27,7 +27,7 @@
 //! | 4  | ranked  | remapped DB: rank→orig, supports, ranked rows      |
 //! | 5  | vbm     | vertical bit-matrix, column-major u64 words        |
 //! | 6  | fpt     | serialized prefix tree (item, parent, count) rows  |
-//! | 7  | results | cached results keyed (kernel, minsup, generation)  |
+//! | 7  | results | cached results keyed (kernel, minsup, query, gen)  |
 //!
 //! Sections 4–6 are the paper's P2 *prepared* forms — persisting them
 //! is the point: a warm start costs a checksum pass, not a rebuild.
@@ -35,19 +35,37 @@
 //! matches the artifact's current generation; `append` bumps the
 //! generation, which invalidates every dependent cached result without
 //! touching their bytes.
+//!
+//! # Version 2: query-tagged results
+//!
+//! Version 2 adds a **query tag** to every results entry — the
+//! canonical [`fpm::PatternQuery::encode`] byte layout (class code,
+//! top-k flag + value, rules flag + two `f64` bit patterns), so a
+//! warm start can seed the serve cache under the full widened key
+//! `(fingerprint, kernel, minsup, query)`. Version 1 files carry no
+//! tag; the decoder reads them with every entry tagged as the identity
+//! query ([`fpm::QueryKey::default`]), which is exactly what a v1
+//! producer meant. The writer always emits version 2.
 
 use crate::fmt::{crc32, put_str, put_u32, put_u64, Rd};
-use fpm::{remap, Item, ItemsetCount, TransactionDb};
+use fpm::types::MineKind;
+use fpm::{remap, Item, ItemsetCount, QueryKey, TransactionDb};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// File magic: "FPMSTOR" + format generation digit.
+/// File magic, identifying the artifact family; the version field right
+/// after it carries the format version.
 pub const MAGIC: [u8; 8] = *b"FPMSTOR1";
-/// On-disk format version; bump on any incompatible layout change.
-pub const FORMAT_VERSION: u32 = 1;
+/// On-disk format version written by [`Artifact::encode`]; bump on any
+/// incompatible layout change. The decoder also accepts every version
+/// in [`DECODABLE_VERSIONS`].
+pub const FORMAT_VERSION: u32 = 2;
+/// Format versions [`Artifact::decode`] understands: 1 (query-less
+/// results entries, read as identity-query) and 2 (query-tagged).
+pub const DECODABLE_VERSIONS: [u32; 2] = [1, 2];
 /// Artifact file extension (`<stem>.fpa`).
 pub const EXTENSION: &str = "fpa";
 
@@ -325,6 +343,10 @@ pub struct ResultEntry {
     pub kernel: u8,
     /// Minimum support the result was mined at.
     pub min_support: u64,
+    /// The pattern query the result answers, in its hashable key form
+    /// ([`fpm::PatternQuery::key`]); [`QueryKey::default`] is the
+    /// identity query — the only value version-1 files can carry.
+    pub query: QueryKey,
     /// Artifact generation the result belongs to; entries from older
     /// generations are dead weight kept only until the next rewrite.
     pub generation: u64,
@@ -388,13 +410,20 @@ impl Artifact {
     }
 
     /// Records a result at the artifact's current generation, replacing
-    /// any entry for the same `(kernel, min_support)`.
-    pub fn push_result(&mut self, kernel: u8, min_support: u64, patterns: Vec<ItemsetCount>) {
+    /// any entry for the same `(kernel, min_support, query)`.
+    pub fn push_result(
+        &mut self,
+        kernel: u8,
+        min_support: u64,
+        query: QueryKey,
+        patterns: Vec<ItemsetCount>,
+    ) {
         self.results
-            .retain(|e| !(e.kernel == kernel && e.min_support == min_support));
+            .retain(|e| !(e.kernel == kernel && e.min_support == min_support && e.query == query));
         self.results.push(ResultEntry {
             kernel,
             min_support,
+            query,
             generation: self.generation,
             patterns,
         });
@@ -420,8 +449,22 @@ impl Artifact {
         dir.join(format!("{}.{}", self.stem(), EXTENSION))
     }
 
-    /// Serializes to the sectioned format documented at module level.
+    /// Serializes to the sectioned format documented at module level
+    /// (always the current [`FORMAT_VERSION`]).
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_with(FORMAT_VERSION)
+    }
+
+    /// Serializes in the version-1 layout (query-less results entries).
+    /// **Lossy**: entries whose query is not the identity cannot be
+    /// represented and are dropped. Exists so compatibility tests can
+    /// manufacture genuine v1 bytes; production code always writes v2.
+    #[doc(hidden)]
+    pub fn encode_legacy_v1(&self) -> Vec<u8> {
+        self.encode_with(1)
+    }
+
+    fn encode_with(&self, version: u32) -> Vec<u8> {
         let payloads: Vec<(u32, Vec<u8>)> = vec![
             (SEC_META, self.enc_meta()),
             (SEC_RAWDB, enc_rows_items(&self.raw)),
@@ -429,14 +472,14 @@ impl Artifact {
             (SEC_RANKED, self.enc_ranked()),
             (SEC_VBM, self.enc_vbm()),
             (SEC_FPT, self.enc_fpt()),
-            (SEC_RESULTS, self.enc_results()),
+            (SEC_RESULTS, self.enc_results(version)),
         ];
         let header_len = 8 + 4 + 4 + payloads.len() * 24 + 4;
         let mut out = Vec::with_capacity(
             header_len + payloads.iter().map(|(_, p)| p.len()).sum::<usize>(),
         );
         out.extend_from_slice(&MAGIC);
-        put_u32(&mut out, FORMAT_VERSION);
+        put_u32(&mut out, version);
         put_u32(&mut out, payloads.len() as u32);
         let mut offset = header_len as u64;
         for (id, payload) in &payloads {
@@ -465,7 +508,7 @@ impl Artifact {
         let mut rd = Rd::new(bytes);
         let _ = rd.bytes(8); // magic, just checked
         let version = rd.u32().ok_or(corrupt("header"))?;
-        if version != FORMAT_VERSION {
+        if !DECODABLE_VERSIONS.contains(&version) {
             return Err(LoadError::BadVersion(version));
         }
         let count = rd.u32().ok_or(corrupt("header"))? as usize;
@@ -518,7 +561,7 @@ impl Artifact {
         let ranked = dec_ranked(sections[3])?;
         let vbm = dec_vbm(sections[4])?;
         let fpt = dec_fpt(sections[5])?;
-        let results = dec_results(sections[6])?;
+        let results = dec_results(sections[6], version)?;
         Ok(Artifact {
             spec,
             generation,
@@ -641,12 +684,23 @@ impl Artifact {
         out
     }
 
-    fn enc_results(&self) -> Vec<u8> {
+    fn enc_results(&self, version: u32) -> Vec<u8> {
+        // Version 1 cannot carry a query tag: only identity-query
+        // entries survive a legacy encode (push_result dedup keeps the
+        // retained set deterministic).
+        let entries: Vec<&ResultEntry> = self
+            .results
+            .iter()
+            .filter(|e| version >= 2 || e.query == QueryKey::default())
+            .collect();
         let mut out = Vec::new();
-        put_u64(&mut out, self.results.len() as u64);
-        for e in &self.results {
+        put_u64(&mut out, entries.len() as u64);
+        for e in entries {
             out.push(e.kernel);
             put_u64(&mut out, e.min_support);
+            if version >= 2 {
+                enc_query(&mut out, &e.query);
+            }
             put_u64(&mut out, e.generation);
             put_u64(&mut out, e.patterns.len() as u64);
             for p in &e.patterns {
@@ -659,6 +713,47 @@ impl Artifact {
         }
         out
     }
+}
+
+/// Writes a query tag in the canonical [`fpm::PatternQuery::encode`]
+/// byte layout (asserted equal by a unit test below): class code `u8`,
+/// top-k flag `u8` (+ `u64` LE when set), rules flag `u8` (+ two `f64`
+/// bit patterns LE when set).
+fn enc_query(out: &mut Vec<u8>, q: &QueryKey) {
+    out.push(q.class);
+    match q.top_k {
+        Some(k) => {
+            out.push(1);
+            put_u64(out, k);
+        }
+        None => out.push(0),
+    }
+    match q.rules {
+        Some((c, l)) => {
+            out.push(1);
+            put_u64(out, c);
+            put_u64(out, l);
+        }
+        None => out.push(0),
+    }
+}
+
+/// Reads [`enc_query`]'s layout, validating the class code and flag
+/// bytes; `None` on anything malformed.
+fn dec_query(rd: &mut Rd) -> Option<QueryKey> {
+    let class = rd.u8()?;
+    MineKind::from_code(class)?;
+    let top_k = match rd.u8()? {
+        0 => None,
+        1 => Some(rd.u64()?),
+        _ => return None,
+    };
+    let rules = match rd.u8()? {
+        0 => None,
+        1 => Some((rd.u64()?, rd.u64()?)),
+        _ => return None,
+    };
+    Some(QueryKey { class, top_k, rules })
 }
 
 /// A conservative cap on decoded element counts: no section of a real
@@ -802,7 +897,7 @@ fn dec_fpt(bytes: &[u8]) -> Result<PrefixTree, LoadError> {
     Ok(PrefixTree { items, parents, counts })
 }
 
-fn dec_results(bytes: &[u8]) -> Result<Vec<ResultEntry>, LoadError> {
+fn dec_results(bytes: &[u8], version: u32) -> Result<Vec<ResultEntry>, LoadError> {
     let corrupt = || LoadError::Corrupt { section: "results" };
     let mut rd = Rd::new(bytes);
     let n = take_len(rd.u64().ok_or_else(corrupt)?, "results")?;
@@ -810,6 +905,13 @@ fn dec_results(bytes: &[u8]) -> Result<Vec<ResultEntry>, LoadError> {
     for _ in 0..n {
         let kernel = rd.u8().ok_or_else(corrupt)?;
         let min_support = rd.u64().ok_or_else(corrupt)?;
+        let query = if version >= 2 {
+            dec_query(&mut rd).ok_or_else(corrupt)?
+        } else {
+            // Version 1 predates the query surface: every entry answers
+            // the identity query.
+            QueryKey::default()
+        };
         let generation = rd.u64().ok_or_else(corrupt)?;
         let np = take_len(rd.u64().ok_or_else(corrupt)?, "results")?;
         let mut patterns = Vec::with_capacity(np.min(1 << 20));
@@ -822,7 +924,7 @@ fn dec_results(bytes: &[u8]) -> Result<Vec<ResultEntry>, LoadError> {
             let support = rd.u64().ok_or_else(corrupt)?;
             patterns.push(ItemsetCount { items, support });
         }
-        results.push(ResultEntry { kernel, min_support, generation, patterns });
+        results.push(ResultEntry { kernel, min_support, query, generation, patterns });
     }
     if !rd.exhausted() {
         return Err(corrupt());
@@ -860,10 +962,20 @@ mod tests {
         a.push_result(
             0,
             2,
+            QueryKey::default(),
             vec![
                 ItemsetCount { items: vec![1], support: 3 },
                 ItemsetCount { items: vec![1, 2], support: 3 },
             ],
+        );
+        // A query-tagged entry (closed, top-2): v2's reason to exist.
+        a.push_result(
+            0,
+            2,
+            fpm::PatternQuery::class(fpm::types::MineKind::Closed)
+                .top_k(2)
+                .key(),
+            vec![ItemsetCount { items: vec![1, 2], support: 3 }],
         );
         (db, a)
     }
@@ -921,18 +1033,83 @@ mod tests {
         let mut bytes = a.encode();
         bytes[0] = b'X';
         assert!(matches!(Artifact::decode(&bytes), Err(LoadError::BadMagic)));
-        let mut v2 = a.encode();
-        v2[8] = 2; // version field
-        assert!(matches!(Artifact::decode(&v2), Err(LoadError::BadVersion(2))));
+        let mut v3 = a.encode();
+        v3[8] = 3; // version field: one past everything decodable
+        assert!(matches!(Artifact::decode(&v3), Err(LoadError::BadVersion(3))));
+    }
+
+    #[test]
+    fn v1_artifacts_still_decode_with_identity_query_tags() {
+        let (_, a) = sample();
+        let v1 = a.encode_legacy_v1();
+        assert_eq!(&v1[8..12], &1u32.to_le_bytes(), "legacy writer stamps version 1");
+        let back = Artifact::decode(&v1).expect("v1 bytes decode");
+        // The query-tagged entry cannot ride in a v1 file; the identity
+        // entry survives, tagged as the identity query.
+        assert_eq!(back.results.len(), 1);
+        assert_eq!(back.results[0].query, QueryKey::default());
+        assert_eq!(back.results[0].patterns, a.results[0].patterns);
+        assert_eq!(back.spec, a.spec);
+        assert_eq!(back.fingerprint, a.fingerprint);
+        assert!(back.verify_deep().is_ok());
+        // Re-encoding the decoded artifact lands on v2 bytes that
+        // round-trip: upgrade-on-rewrite, no special casing.
+        let upgraded = Artifact::decode(&back.encode()).expect("v2 re-encode decodes");
+        assert_eq!(upgraded, back);
+    }
+
+    #[test]
+    fn query_tag_layout_matches_canonical_encoding() {
+        // The store's tag bytes must be exactly
+        // `fpm::PatternQuery::encode` — one canonical layout everywhere.
+        let queries = [
+            fpm::PatternQuery::all(),
+            fpm::PatternQuery::class(fpm::types::MineKind::Closed),
+            fpm::PatternQuery::class(fpm::types::MineKind::Maximal)
+                .top_k(7)
+                .rules(fpm::RuleSpec { min_confidence: 0.75, min_lift: 1.1 }),
+        ];
+        for q in queries {
+            let mut tagged = Vec::new();
+            enc_query(&mut tagged, &q.key());
+            assert_eq!(tagged, q.encode(), "{}", q.label());
+            let mut rd = Rd::new(&tagged);
+            assert_eq!(dec_query(&mut rd), Some(q.key()));
+            assert!(rd.exhausted());
+        }
+        // Malformed tags are rejected, not misread.
+        for bad in [&[9u8, 0, 0][..], &[0, 2, 0], &[0, 0, 7], &[0, 1, 0]] {
+            let mut rd = Rd::new(bad);
+            assert!(dec_query(&mut rd).is_none(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn push_result_replaces_per_query_slot() {
+        let (_, mut a) = sample();
+        let closed = fpm::PatternQuery::class(fpm::types::MineKind::Closed).key();
+        assert_eq!(a.results.len(), 2);
+        // Same (kernel, minsup), third query: a new slot.
+        a.push_result(0, 2, closed, vec![]);
+        assert_eq!(a.results.len(), 3);
+        // Same triple again: replaced, not appended.
+        a.push_result(0, 2, closed, vec![ItemsetCount { items: vec![2], support: 4 }]);
+        assert_eq!(a.results.len(), 3);
+        let entry = a
+            .results
+            .iter()
+            .find(|e| e.query == closed)
+            .expect("closed-query slot exists");
+        assert_eq!(entry.patterns.len(), 1);
     }
 
     #[test]
     fn generation_gates_live_results() {
         let (_, mut a) = sample();
-        assert_eq!(a.live_results().count(), 1);
+        assert_eq!(a.live_results().count(), 2);
         a.generation += 1;
         assert_eq!(a.live_results().count(), 0, "stale-generation entries are dead");
-        a.push_result(1, 2, vec![]);
+        a.push_result(1, 2, QueryKey::default(), vec![]);
         assert_eq!(a.live_results().count(), 1);
     }
 

@@ -24,7 +24,10 @@
 //!   sibling `.tmp` and renames over the target; a crash leaves the
 //!   old artifact intact.
 //! * **Generations invalidate.** Persisted results are keyed
-//!   `(kernel, minsup, generation)`; [`append`] bumps the generation,
+//!   `(kernel, minsup, query, generation)` — the query tag is the
+//!   canonical [`fpm::PatternQuery`] encoding, new in format version 2
+//!   (version-1 files still load, every entry read as the identity
+//!   query); [`append`] bumps the generation,
 //!   so stale patterns can never be served for an appended dataset —
 //!   and when the append preserves the frequent-item rank order, the
 //!   remapped DB and frequency map are patched in place rather than
@@ -37,7 +40,8 @@
 //!
 //! let db = TransactionDb::from_transactions(vec![vec![1, 2, 3], vec![1, 2], vec![2, 3]]);
 //! let mut artifact = Artifact::build(SpecMeta::named("ds1", "smoke"), &db, 2);
-//! artifact.push_result(0, 2, vec![]); // kernel code 0 = lcm
+//! // kernel code 0 = lcm; the default query key is the identity query.
+//! artifact.push_result(0, 2, fpm::QueryKey::default(), vec![]);
 //!
 //! let bytes = artifact.encode();
 //! let back = Artifact::decode(&bytes).unwrap();
@@ -59,5 +63,5 @@ pub mod fmt;
 pub use append::{append, AppendReport};
 pub use artifact::{
     fingerprint, scan, section_name, Artifact, BitMatrix, LoadError, PrefixTree, RankedSection,
-    ResultEntry, SpecKind, SpecMeta, EXTENSION, FORMAT_VERSION, MAGIC,
+    ResultEntry, SpecKind, SpecMeta, DECODABLE_VERSIONS, EXTENSION, FORMAT_VERSION, MAGIC,
 };

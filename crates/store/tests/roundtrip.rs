@@ -8,8 +8,8 @@
 //! * damaging any individual section is detected and named; arbitrary
 //!   garbage never panics the decoder.
 
-use fpm::types::canonicalize;
-use fpm::{CollectSink, Kernel, TransactionDb};
+use fpm::types::{canonicalize, MineKind};
+use fpm::{CollectSink, Kernel, PatternQuery, QueryKey, RuleSpec, TransactionDb};
 use fpm_store as store;
 use proptest::prelude::*;
 use store::{Artifact, LoadError, SpecMeta};
@@ -49,7 +49,12 @@ proptest! {
     ) {
         let mut artifact = Artifact::build(SpecMeta::named("ds1", "smoke"), &db, minsup);
         for kernel in Kernel::ALL {
-            artifact.push_result(kernel.code(), minsup, mine(&db, kernel, minsup));
+            artifact.push_result(
+                kernel.code(),
+                minsup,
+                QueryKey::default(),
+                mine(&db, kernel, minsup),
+            );
         }
 
         // In-memory encode/decode is exact.
@@ -127,6 +132,50 @@ proptest! {
     fn decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
         let _ = Artifact::decode(&bytes);
     }
+
+    /// Format v2: query-tagged result entries survive the disk round
+    /// trip exactly, each query occupying its own slot, and the
+    /// persisted answer equals applying the query to the full mine.
+    #[test]
+    fn query_tagged_results_roundtrip(
+        db in arb_db(),
+        minsup in 1u64..6,
+        k in 1u64..8,
+    ) {
+        let queries = [
+            PatternQuery::all(),
+            PatternQuery::class(MineKind::Closed),
+            PatternQuery::class(MineKind::Maximal),
+            PatternQuery::all().top_k(k),
+            PatternQuery::class(MineKind::Closed)
+                .top_k(k)
+                .rules(RuleSpec { min_confidence: 0.5, min_lift: 1.0 }),
+        ];
+        let full = mine(&db, Kernel::Lcm, minsup);
+        let mut artifact = Artifact::build(SpecMeta::named("ds1", "smoke"), &db, minsup);
+        for q in &queries {
+            let answer = q.apply(full.clone(), db.len() as u64);
+            artifact.push_result(Kernel::Lcm.code(), minsup, q.key(), answer);
+        }
+        prop_assert_eq!(artifact.results.len(), queries.len());
+
+        let path = tmp_path("query");
+        artifact.store(&path).expect("store");
+        let loaded = Artifact::load(&path).expect("load");
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(&loaded, &artifact);
+        for q in &queries {
+            let entry = loaded
+                .live_results()
+                .find(|e| e.query == q.key())
+                .expect("per-query slot persisted");
+            prop_assert_eq!(
+                &entry.patterns,
+                &q.apply(full.clone(), db.len() as u64),
+                "{}", q.label()
+            );
+        }
+    }
 }
 
 /// Deterministic per-section sweep: damage inside each section's
@@ -143,7 +192,7 @@ fn damage_names_the_section_it_landed_in() {
         vec![2, 3, 4],
     ]);
     let mut artifact = Artifact::build(SpecMeta::named("ds1", "smoke"), &db, 2);
-    artifact.push_result(0, 2, mine(&db, Kernel::Lcm, 2));
+    artifact.push_result(0, 2, QueryKey::default(), mine(&db, Kernel::Lcm, 2));
     let clean = artifact.encode();
 
     for i in 0..7 {
@@ -185,7 +234,7 @@ fn store_is_atomic_rename_and_rewrites_whole() {
     artifact.store(&path).expect("first store");
     let first = std::fs::read(&path).expect("read");
 
-    artifact.push_result(0, 1, mine(&db, Kernel::Lcm, 1));
+    artifact.push_result(0, 1, QueryKey::default(), mine(&db, Kernel::Lcm, 1));
     artifact.store(&path).expect("rewrite");
     let second = std::fs::read(&path).expect("read");
     let _ = std::fs::remove_file(&path);

@@ -277,6 +277,28 @@ mod tests {
     }
 
     #[test]
+    fn committed_baseline_is_empty() {
+        // The panic-path paydown ratcheted the committed baseline to
+        // zero entries. It must never grow again: a new finding fails
+        // the lint as fresh, and this test fails any attempt to re-pin
+        // debt instead of fixing it.
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(BASELINE_FILE);
+        let src = std::fs::read_to_string(&path).expect("committed lint-baseline.json");
+        let baseline = Baseline::parse(&src).expect("committed baseline must parse");
+        assert!(
+            baseline.is_empty(),
+            "lint-baseline.json must stay empty — fix findings, don't pin them"
+        );
+        assert_eq!(
+            src,
+            baseline.render(),
+            "committed baseline must be in canonical render form"
+        );
+    }
+
+    #[test]
     fn malformed_baseline_is_an_error() {
         assert!(Baseline::parse("not json").is_err());
         assert!(Baseline::parse("{ \"entries\": [ { \"file\": \"a\" } ] }").is_err());

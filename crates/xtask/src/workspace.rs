@@ -24,6 +24,7 @@ use std::path::{Path, PathBuf};
 pub const EMISSION_PATHS: &[&str] = &[
     "crates/fpm/src/sink.rs",
     "crates/fpm/src/postfilter.rs",
+    "crates/fpm/src/query.rs",
     "crates/par/src/lib.rs",
     "crates/exec/src/lib.rs",
     "crates/apriori/src/lib.rs",
@@ -196,6 +197,9 @@ mod tests {
         assert!(!c.in_also);
         let c = classify(&root, "crates/fpm/src/sink.rs");
         assert!(c.emission_path);
+        // The query surface (class/rules/top-k filters) feeds
+        // caller-visible output directly, so it carries R3 too.
+        assert!(classify(&root, "crates/fpm/src/query.rs").emission_path);
         // The serve layer renders caller-visible output, so all of it
         // carries R3.
         let c = classify(&root, "crates/serve/src/cache.rs");
