@@ -53,6 +53,70 @@ pub fn choose_repr(n_transactions: usize, n_items: usize, nnz: u64, distinct_rat
 /// nudged up slightly because sparse arrays also compress trailing items.
 pub const DENSE_THRESHOLD: f64 = 0.04;
 
+// ---------------------------------------------------------------------------
+// Per-chunk container rules — the roaring-style refinement of P2. The
+// global [`choose_repr`] picks one representation for the whole table;
+// these rules pick one *per 2^16-tid chunk* (mechanism in
+// [`crate::containers`]).
+// ---------------------------------------------------------------------------
+
+/// The three per-chunk container shapes of [`crate::containers`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ContainerKind {
+    /// Sorted `u16` array — 2 bytes per element, for sparse chunks.
+    Array,
+    /// 1024×u64 bitmap — fixed 8 KiB, for dense chunks.
+    Bitmap,
+    /// Run-length intervals — 4 bytes per run, for clustered chunks.
+    Runs,
+}
+
+/// Largest cardinality stored as a sorted-u16 array: past this point the
+/// fixed 8 KiB bitmap is smaller than `2 × card` bytes (the classic
+/// roaring 4096 crossover).
+pub const ARRAY_MAX: usize = 4096;
+
+/// Cardinality **below** which a bitmap demotes back to an array on
+/// removal. Strictly less than [`ARRAY_MAX`]: the band
+/// `ARRAY_DEMOTE ..= ARRAY_MAX` is the hysteresis region where a chunk
+/// keeps its bitmap, so a workload oscillating around the crossover does
+/// not thrash between shapes (promotion and demotion each cost a full
+/// chunk rewrite).
+pub const ARRAY_DEMOTE: usize = ARRAY_MAX - 512;
+
+/// Whether an array that just grew to `card` elements should promote to a
+/// bitmap (insert path).
+#[inline]
+pub fn should_promote(card: usize) -> bool {
+    card > ARRAY_MAX
+}
+
+/// Whether a bitmap that just shrank to `card` elements should demote to
+/// an array (remove path). Deliberately below the promote threshold —
+/// see [`ARRAY_DEMOTE`].
+#[inline]
+pub fn should_demote(card: usize) -> bool {
+    card < ARRAY_DEMOTE
+}
+
+/// Static cost rule choosing the cheapest container for a chunk with
+/// `card` values forming `n_runs` maximal intervals: compares exact
+/// storage bytes (array `2·card` when it fits, bitmap 8 KiB, runs
+/// `4·n_runs`) and picks the smallest, runs winning ties because its
+/// set ops are also the cheapest per byte.
+pub fn choose_container(card: usize, n_runs: usize) -> ContainerKind {
+    let array_bytes = if card <= ARRAY_MAX { card * 2 } else { usize::MAX };
+    let bitmap_bytes = 8 * 1024;
+    let runs_bytes = n_runs * 4;
+    if runs_bytes <= array_bytes && runs_bytes <= bitmap_bytes {
+        ContainerKind::Runs
+    } else if array_bytes <= bitmap_bytes {
+        ContainerKind::Array
+    } else {
+        ContainerKind::Bitmap
+    }
+}
+
 /// Distinct-transaction ratio below which prefix sharing pays for a tree.
 pub const TREE_SHARING_THRESHOLD: f64 = 0.5;
 

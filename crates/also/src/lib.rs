@@ -37,6 +37,7 @@ pub mod aggregate;
 pub mod bits;
 pub mod catalog;
 pub mod compact;
+pub mod containers;
 pub mod lexorder;
 pub mod prefetch;
 pub mod radix;

@@ -54,9 +54,11 @@ impl Popcount {
         v
     }
 
-    /// The fastest strategy available on the current CPU.
+    /// The fastest strategy available on the current CPU. Cached after the
+    /// first call so hot kernels can consult it without allocating.
     pub fn best() -> Popcount {
-        *Popcount::available().last().expect("non-empty")
+        static BEST: std::sync::OnceLock<Popcount> = std::sync::OnceLock::new();
+        *BEST.get_or_init(|| *Popcount::available().last().expect("non-empty"))
     }
 
     /// Human-readable label used in benchmark reports.

@@ -1,0 +1,233 @@
+//! Sparse-shape ablation for the hybrid-container vertical path
+//! (DESIGN.md §16): per-chunk adaptive containers ([`AutoMode::PerChunk`],
+//! roaring-style array/bitmap/run chunks) against the global-pick
+//! baseline ([`AutoMode::Global`], one representation for the whole
+//! database — flat `Vec<u32>` tid-lists on sparse shapes, the bit matrix
+//! on dense ones).
+//!
+//! Usage: `cargo run --release --bin containers [out.json]`
+//!
+//! Three QUEST shapes probe the three container regimes:
+//!
+//! * `sparse-uniform` — many items, low per-chunk density: every chunk is
+//!   a sorted-u16 array, so the win is bytes-per-tid (2 vs 4) and
+//!   galloping skewed intersections;
+//! * `sparse-skewed` — fewer items, heavier columns: skewed operand sizes
+//!   bitmap chunks and the per-chunk rule splits where a global pick
+//!   cannot;
+//! * `sparse-clustered` — the same transactions sorted lexicographically,
+//!   concentrating each item's tids into contiguous spans: run containers
+//!   collapse the columns.
+//!
+//! The JSON report (committed as `BENCH_containers.json`) records, per
+//! shape, wall time and vertical-structure bytes for both modes plus the
+//! realized container census. Methodology in EXPERIMENTS.md.
+
+use also::advisor::AutoMode;
+use eclat::tidlist::mine_auto_mode;
+use fpm::vertical::{VerticalBitDb, VerticalHybridDb};
+use fpm::{remap, CountSink, TransactionDb};
+use fpm_bench::time_best_of;
+use quest::quest::{generate, QuestParams};
+use std::fmt::Write as _;
+
+struct Shape {
+    name: &'static str,
+    note: &'static str,
+    db: TransactionDb,
+    minsup: u64,
+}
+
+fn shapes() -> Vec<Shape> {
+    let sparse = QuestParams {
+        n_transactions: 60_000,
+        avg_transaction_len: 10.0,
+        avg_pattern_len: 4.0,
+        n_items: 20_000,
+        n_patterns: 4_000,
+        ..QuestParams::default()
+    };
+    let skewed = QuestParams {
+        n_transactions: 60_000,
+        avg_transaction_len: 10.0,
+        avg_pattern_len: 4.0,
+        n_items: 2_000,
+        n_patterns: 1_000,
+        ..QuestParams::default()
+    };
+    let clustered_db = {
+        let mut t = generate(&sparse).transactions().to_vec();
+        // Lexicographic transaction reorder: the tid-axis analogue of the
+        // paper's lexicographic item order — rows sharing a prefix become
+        // neighbours, so each item's tid-set collapses into runs.
+        t.sort_unstable();
+        TransactionDb::from_transactions(t)
+    };
+    vec![
+        Shape {
+            name: "sparse-uniform",
+            note: "T10I4D60K, 20000 items: all-array chunks",
+            db: generate(&sparse),
+            minsup: 60,
+        },
+        Shape {
+            name: "sparse-skewed",
+            note: "T10I4D60K, 2000 items: heavier columns, skewed pair sizes (gallop regime)",
+            db: generate(&skewed),
+            minsup: 120,
+        },
+        Shape {
+            name: "sparse-clustered",
+            note: "T10I4D60K, 20000 items, lex-sorted tids: run chunks",
+            db: clustered_db,
+            minsup: 60,
+        },
+    ]
+}
+
+/// Bytes of the vertical structure the *global* pick would build over the
+/// ranked view: the bit matrix for `Repr::Bits`, flat `Vec<u32>` tid-lists
+/// otherwise (tid-lists and diffsets start from the same root lists).
+fn global_bytes(db: &TransactionDb, minsup: u64, repr: also::adapt::Repr) -> usize {
+    let ranked = remap(db, minsup);
+    match repr {
+        also::adapt::Repr::VerticalBits => {
+            VerticalBitDb::from_ranked(&ranked.transactions, ranked.n_ranks()).bytes()
+        }
+        _ => ranked
+            .transactions
+            .iter()
+            .map(|t| t.len() * std::mem::size_of::<u32>())
+            .sum(),
+    }
+}
+
+struct Census {
+    array: usize,
+    bitmap: usize,
+    runs: usize,
+    bytes: usize,
+}
+
+fn census(db: &TransactionDb, minsup: u64) -> Census {
+    let ranked = remap(db, minsup);
+    let hdb = VerticalHybridDb::from_ranked(&ranked.transactions, ranked.n_ranks());
+    let mut c = Census {
+        array: 0,
+        bitmap: 0,
+        runs: 0,
+        bytes: hdb.bytes(),
+    };
+    for i in 0..hdb.n_items() {
+        for (_, kind, _) in hdb.column(i as u32).chunk_kinds() {
+            match kind {
+                also::adapt::ContainerKind::Array => c.array += 1,
+                also::adapt::ContainerKind::Bitmap => c.bitmap += 1,
+                also::adapt::ContainerKind::Runs => c.runs += 1,
+            }
+        }
+    }
+    c
+}
+
+fn json_str(out: &mut String, indent: usize, key: &str, val: &str, last: bool) {
+    let comma = if last { "" } else { "," };
+    let _ = writeln!(out, "{:indent$}\"{key}\": \"{val}\"{comma}", "");
+}
+
+fn json_num(out: &mut String, indent: usize, key: &str, val: f64, last: bool) {
+    let comma = if last { "" } else { "," };
+    if val.fract() == 0.0 && val.abs() < 9.0e15 {
+        let _ = writeln!(out, "{:indent$}\"{key}\": {}{comma}", "", val as i64);
+    } else {
+        let _ = writeln!(out, "{:indent$}\"{key}\": {val:.4}{comma}", "");
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_containers.json".to_string());
+    let runs = 3;
+    let mut report = String::from("{\n");
+    json_str(&mut report, 2, "benchmark", "container-ablation", false);
+    json_str(
+        &mut report,
+        2,
+        "baseline",
+        "AutoMode::Global (one repr for the whole db) vs AutoMode::PerChunk (hybrid containers)",
+        false,
+    );
+    json_num(&mut report, 2, "timing_runs_best_of", runs as f64, false);
+    report.push_str("  \"shapes\": [\n");
+
+    let all = shapes();
+    let n_shapes = all.len();
+    let mut gate_pass = false;
+    for (si, shape) in all.into_iter().enumerate() {
+        let db = &shape.db;
+        let minsup = shape.minsup;
+
+        let mut count_g = CountSink::default();
+        let picked = mine_auto_mode(db, minsup, AutoMode::Global, &mut count_g);
+        let mut count_p = CountSink::default();
+        mine_auto_mode(db, minsup, AutoMode::PerChunk, &mut count_p);
+        assert_eq!(
+            count_g.count, count_p.count,
+            "{}: modes must mine identical pattern sets",
+            shape.name
+        );
+
+        let t_global = time_best_of(runs, || {
+            let mut s = CountSink::default();
+            mine_auto_mode(db, minsup, AutoMode::Global, &mut s);
+            s.count
+        });
+        let t_chunk = time_best_of(runs, || {
+            let mut s = CountSink::default();
+            mine_auto_mode(db, minsup, AutoMode::PerChunk, &mut s);
+            s.count
+        });
+        let b_global = global_bytes(db, minsup, picked);
+        let c = census(db, minsup);
+        let speedup = t_global / t_chunk;
+        let mem_ratio = b_global as f64 / c.bytes as f64;
+        if speedup >= 1.5 || mem_ratio >= 2.0 {
+            gate_pass = true;
+        }
+
+        report.push_str("    {\n");
+        json_str(&mut report, 6, "name", shape.name, false);
+        json_str(&mut report, 6, "note", shape.note, false);
+        json_num(&mut report, 6, "n_transactions", db.transactions().len() as f64, false);
+        json_num(&mut report, 6, "minsup", minsup as f64, false);
+        json_num(&mut report, 6, "patterns", count_g.count as f64, false);
+        json_str(&mut report, 6, "global_pick", &format!("{picked:?}"), false);
+        json_num(&mut report, 6, "global_time_s", t_global, false);
+        json_num(&mut report, 6, "per_chunk_time_s", t_chunk, false);
+        json_num(&mut report, 6, "speedup", speedup, false);
+        json_num(&mut report, 6, "global_bytes", b_global as f64, false);
+        json_num(&mut report, 6, "per_chunk_bytes", c.bytes as f64, false);
+        json_num(&mut report, 6, "memory_ratio", mem_ratio, false);
+        json_num(&mut report, 6, "array_chunks", c.array as f64, false);
+        json_num(&mut report, 6, "bitmap_chunks", c.bitmap as f64, false);
+        json_num(&mut report, 6, "run_chunks", c.runs as f64, true);
+        report.push_str(if si + 1 == n_shapes { "    }\n" } else { "    },\n" });
+
+        eprintln!(
+            "{:>16}: {:>7} patterns | global {:.3}s / {} B ({:?}) | per-chunk {:.3}s / {} B | speedup {:.2}x mem {:.2}x",
+            shape.name, count_g.count, t_global, b_global, picked, t_chunk, c.bytes, speedup, mem_ratio
+        );
+    }
+    report.push_str("  ],\n");
+    let _ = writeln!(
+        report,
+        "  \"gate_speedup_1_5x_or_memory_2x\": {gate_pass}\n}}"
+    );
+    assert!(
+        gate_pass,
+        "no shape reached the 1.5x speed / 2x memory acceptance gate"
+    );
+    std::fs::write(&out_path, &report).expect("write report");
+    eprintln!("wrote {out_path}");
+}

@@ -1,0 +1,142 @@
+//! The container-era Eclat recursion: equivalence-class DFS over
+//! [`VerticalHybridDb`]'s adaptive per-chunk tid-sets (DESIGN.md §16).
+//!
+//! The lattice walk is *identical* to the bit-matrix miner's
+//! ([`crate::mine`]) — same class order, same minsup filter, same
+//! cooperative-stop points — and supports are cardinalities, which no
+//! representation can change; that is why swapping the storage keeps the
+//! emitted byte sequence identical at every thread count.
+//!
+//! The intersections themselves dispatch per chunk pair (galloping
+//! array∩array, word-wise SIMD bitmap∩bitmap, probe, run merges — see
+//! [`also::containers`]); ad-hoc k-way supports go through
+//! [`VerticalHybridDb::support_of`], the one-pass
+//! [`TidSet::multi_and_count_with`] fold that needs no chained pairwise
+//! temporaries.
+
+use crate::tidlist::SparseStats;
+use also::containers::TidSet;
+use fpm::control::MineControl;
+use fpm::vertical::VerticalHybridDb;
+use fpm::PatternSink;
+use memsim::Probe;
+
+/// A member of the current equivalence class: item rank, hybrid tid-set,
+/// cached support.
+struct HybridCand {
+    item: u32,
+    set: TidSet,
+    support: u64,
+}
+
+/// The hybrid-container DFS driver, mirroring `Miner` for the bit matrix.
+pub(crate) struct HybridMiner<'a, P, S> {
+    pub(crate) minsup: u64,
+    pub(crate) probe: &'a mut P,
+    pub(crate) sink: &'a mut S,
+    pub(crate) stats: SparseStats,
+    /// Cooperative stop signal, polled once per class member.
+    pub(crate) control: &'a MineControl,
+    /// Set when a control check cut the recursion: the emitted sequence
+    /// is a strict prefix of the full serial output.
+    pub(crate) cut: bool,
+    pub(crate) prefix: Vec<u32>,
+}
+
+/// Charges a tid-set's storage to the memory model: one streamed pass
+/// per chunk payload (arrays, bitmap words, or run intervals).
+fn probe_set<P: Probe>(probe: &mut P, set: &TidSet, write: bool) {
+    for (_, c) in set.chunks() {
+        let (addr, len) = if let Some(a) = c.as_array() {
+            memsim::slice_span(a)
+        } else if let Some(w) = c.as_bitmap() {
+            memsim::slice_span(&w[..])
+        } else if let Some(r) = c.as_runs() {
+            (r.as_ptr() as usize, std::mem::size_of_val(r))
+        } else {
+            continue;
+        };
+        if write {
+            probe.write(addr, len);
+        } else {
+            probe.read(addr, len);
+        }
+    }
+}
+
+impl<P: Probe, S: PatternSink> HybridMiner<'_, P, S> {
+    /// Serial full run: every root subtree in rank order.
+    pub(crate) fn run(&mut self, db: &VerticalHybridDb) {
+        for r in 0..db.n_items() as u32 {
+            self.mine_subtree(db, r);
+        }
+    }
+
+    /// Mines the subtree of itemsets whose first (lowest-rank) item is
+    /// `r` — the task granularity `EclatSpine` hands to `fpm-exec`.
+    pub(crate) fn mine_subtree(&mut self, db: &VerticalHybridDb, r: u32) {
+        if self.control.should_stop() {
+            self.cut = true;
+            return;
+        }
+        self.prefix.push(r);
+        self.sink.emit(&self.prefix, db.support(r));
+        let mut next: Vec<HybridCand> = Vec::new();
+        for j in (r + 1)..db.n_items() as u32 {
+            if let Some(cand) = self.intersect(db.column(r), db.column(j), j) {
+                next.push(cand);
+            }
+        }
+        if !next.is_empty() {
+            self.recurse(&next);
+        }
+        self.prefix.pop();
+    }
+
+    fn recurse(&mut self, class: &[HybridCand]) {
+        for (i, c) in class.iter().enumerate() {
+            if self.control.should_stop() {
+                self.cut = true;
+                return;
+            }
+            self.prefix.push(c.item);
+            self.sink.emit(&self.prefix, c.support);
+            let mut next: Vec<HybridCand> = Vec::new();
+            for d in &class[i + 1..] {
+                if let Some(cand) = self.intersect(&c.set, &d.set, d.item) {
+                    next.push(cand);
+                }
+            }
+            if !next.is_empty() {
+                self.recurse(&next);
+            }
+            self.prefix.pop();
+        }
+    }
+
+    /// Intersects two hybrid columns, keeping the result only when it
+    /// reaches minsup. Chunk pairs absent from either operand are skipped
+    /// without touching any word — the container-level 0-escaping.
+    fn intersect(&mut self, a: &TidSet, b: &TidSet, item: u32) -> Option<HybridCand> {
+        self.stats.set_ops += 1;
+        self.stats.elements_in += a.cardinality() + b.cardinality();
+        probe_set(self.probe, a, false);
+        probe_set(self.probe, b, false);
+        self.probe
+            .instr((a.cardinality().min(b.cardinality())).max(1) * 3);
+        let out = a.and(b);
+        let sup = out.cardinality();
+        self.stats.elements_out += sup;
+        if sup > 0 {
+            probe_set(self.probe, &out, true);
+        }
+        if sup < self.minsup {
+            return None;
+        }
+        Some(HybridCand {
+            item,
+            set: out,
+            support: sup,
+        })
+    }
+}

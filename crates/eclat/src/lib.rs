@@ -24,6 +24,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+pub(crate) mod hybrid;
 pub mod spine;
 pub mod tidlist;
 

@@ -3,13 +3,22 @@
 //!
 //! The root equivalence class splits into one independent subtree per
 //! first (lowest-rank) item; subtrees only *read* the shared vertical
-//! bit matrix, and their outputs in item order concatenate to the
-//! serial emission sequence of [`crate::mine`].
+//! database, and their outputs in item order concatenate to the serial
+//! emission sequence of [`crate::mine`].
+//!
+//! Since the container refactor (DESIGN.md §16) the spine mines over
+//! [`VerticalHybridDb`] — per-2^16-tid adaptive array/bitmap/run
+//! containers — instead of the dense bit matrix. The emitted byte
+//! sequence is unchanged: the class walk and minsup filter are
+//! representation-independent and supports are cardinalities, which the
+//! exec-conformance and chaos suites pin against the committed goldens.
 
-use crate::{EclatConfig, EclatStats, Forward, Miner};
+use crate::hybrid::HybridMiner;
+use crate::tidlist::SparseStats;
+use crate::{EclatConfig, Forward};
 use fpm::control::MineControl;
 use fpm::exec::KernelSpine;
-use fpm::vertical::VerticalBitDb;
+use fpm::vertical::VerticalHybridDb;
 use fpm::{remap, PatternSink, RankMap, TransactionDb, TranslateSink};
 use memsim::Probe;
 
@@ -18,12 +27,11 @@ use memsim::Probe;
 pub struct EclatSpine;
 
 /// The shared read-only root of an Eclat run: remapped rank space plus
-/// the vertical bit matrix.
+/// the vertical hybrid-container database.
 pub struct EclatPrepared {
     map: RankMap,
-    vdb: VerticalBitDb,
+    hdb: VerticalHybridDb,
     minsup: u64,
-    cfg: EclatConfig,
 }
 
 impl KernelSpine for EclatSpine {
@@ -36,19 +44,20 @@ impl KernelSpine for EclatSpine {
         let ranked = remap(db, minsup);
         let mut transactions = ranked.transactions.clone();
         if cfg.lex {
+            // P1 still pays: lexicographic clustering turns scattered
+            // chunks into run/dense chunks the per-chunk chooser exploits.
             also::lexorder::lex_order(&mut transactions);
         }
-        let vdb = VerticalBitDb::from_ranked(&transactions, ranked.n_ranks());
+        let hdb = VerticalHybridDb::from_ranked(&transactions, ranked.n_ranks());
         EclatPrepared {
             map: ranked.map,
-            vdb,
+            hdb,
             minsup,
-            cfg: *cfg,
         }
     }
 
     fn root_tasks(prepared: &Self::Prepared) -> Vec<Self::Task> {
-        (0..prepared.vdb.n_items() as u32).collect()
+        (0..prepared.hdb.n_items() as u32).collect()
     }
 
     fn mine_task<P: Probe, S: PatternSink>(
@@ -59,17 +68,16 @@ impl KernelSpine for EclatSpine {
         sink: &mut S,
     ) -> bool {
         let mut translate = TranslateSink::new(&prepared.map, Forward(sink));
-        let mut miner = Miner {
+        let mut miner = HybridMiner {
             minsup: prepared.minsup.max(1),
-            cfg: prepared.cfg,
             probe,
             sink: &mut translate,
-            stats: EclatStats::default(),
+            stats: SparseStats::default(),
             control,
             cut: false,
             prefix: Vec::new(),
         };
-        miner.mine_subtree(&prepared.vdb, task);
+        miner.mine_subtree(&prepared.hdb, task);
         !miner.cut
     }
 }

@@ -13,17 +13,26 @@
 //! the class prefix (`d(PX) = t(P) − t(PX)`), so deep recursion carries
 //! tiny sets even when tidsets are huge.
 
+use crate::hybrid::HybridMiner;
 use crate::EclatConfig;
+use also::advisor::AutoMode;
+use fpm::control::MineControl;
+use fpm::vertical::VerticalHybridDb;
 use fpm::{remap, PatternSink, TransactionDb, TranslateSink};
 use memsim::{NullProbe, Probe};
 
 /// Vertical set representation for the sparse miner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SparseRepr {
-    /// Plain sorted tid-lists, intersected by merge.
+    /// Plain sorted tid-lists, intersected by merge (the flat global-pick
+    /// baseline, kept for A/B against the containers).
     TidLists,
     /// dEclat: tidsets at level 1, diffsets below.
     Diffsets,
+    /// Roaring-style adaptive containers: per-2^16-tid chunks stored as
+    /// sorted-u16 arrays, bitmaps, or runs ([`also::containers`],
+    /// DESIGN.md §16).
+    Hybrid,
 }
 
 /// Work counters for a sparse-representation run.
@@ -58,6 +67,24 @@ pub fn mine_probed<P: Probe, S: PatternSink>(
     sink: &mut S,
 ) -> SparseStats {
     let ranked = remap(db, minsup);
+    if repr == SparseRepr::Hybrid {
+        // Hybrid containers: build the per-chunk adaptive columns and run
+        // the container DFS (crate::hybrid). Same class walk, same output.
+        let hdb = VerticalHybridDb::from_ranked(&ranked.transactions, ranked.n_ranks());
+        let mut translate = TranslateSink::new(&ranked.map, Fwd(sink));
+        let control = MineControl::unlimited();
+        let mut miner = HybridMiner {
+            minsup: minsup.max(1),
+            probe,
+            sink: &mut translate,
+            stats: SparseStats::default(),
+            control: &control,
+            cut: false,
+            prefix: Vec::new(),
+        };
+        miner.run(&hdb);
+        return miner.stats;
+    }
     // Build tid-lists directly: transactions are scanned once.
     let mut lists: Vec<Vec<u32>> = vec![Vec::new(); ranked.n_ranks()];
     for (tid, t) in ranked.transactions.iter().enumerate() {
@@ -92,16 +119,37 @@ pub fn mine_probed<P: Probe, S: PatternSink>(
             // diffsets: d(xy) = t(x) − t(y).
             recurse_level1_diff(&class, &mut prefix, minsup, probe, &mut translate, &mut stats)
         }
+        SparseRepr::Hybrid => unreachable!("handled above"),
     }
     stats
 }
 
-/// Picks bit matrix vs tid-lists from the measured density
+/// Picks bit matrix vs sparse from the measured density
 /// ([`also::adapt::choose_repr`]) and runs the corresponding miner.
 /// Returns which representation was chosen.
+///
+/// The density *decision* is unchanged from the pre-container chooser
+/// (bit-for-bit — [`also::advisor::AutoMode::Global`] pins this); what
+/// changed is the sparse branch's *execution*, which now runs the hybrid
+/// containers. Use [`mine_auto_mode`] with [`AutoMode::Global`] to also
+/// execute the legacy flat tid-lists for A/B.
 pub fn mine_auto<S: PatternSink>(
     db: &TransactionDb,
     minsup: u64,
+    sink: &mut S,
+) -> also::adapt::Repr {
+    mine_auto_mode(db, minsup, AutoMode::PerChunk, sink)
+}
+
+/// [`mine_auto`] with an explicit execution mode: the representation
+/// decision is always the legacy global [`also::adapt::choose_repr`]
+/// pick, but the sparse branch runs per-chunk hybrid containers in
+/// [`AutoMode::PerChunk`] and the flat `Vec<u32>` tid-lists in
+/// [`AutoMode::Global`] — the A/B lever the ablation bench flips.
+pub fn mine_auto_mode<S: PatternSink>(
+    db: &TransactionDb,
+    minsup: u64,
+    mode: AutoMode,
     sink: &mut S,
 ) -> also::adapt::Repr {
     let ranked = remap(db, minsup);
@@ -117,7 +165,11 @@ pub fn mine_auto<S: PatternSink>(
             crate::mine(db, minsup, &EclatConfig::all(), sink);
         }
         _ => {
-            mine(db, minsup, SparseRepr::TidLists, sink);
+            let sparse = match mode {
+                AutoMode::PerChunk => SparseRepr::Hybrid,
+                AutoMode::Global => SparseRepr::TidLists,
+            };
+            mine(db, minsup, sparse, sink);
         }
     }
     repr
@@ -318,6 +370,7 @@ mod tests {
             let expect = canonicalize(fpm::naive::mine(&toy(), minsup));
             assert_eq!(run(&toy(), minsup, SparseRepr::TidLists), expect, "tids {minsup}");
             assert_eq!(run(&toy(), minsup, SparseRepr::Diffsets), expect, "diff {minsup}");
+            assert_eq!(run(&toy(), minsup, SparseRepr::Hybrid), expect, "hybrid {minsup}");
         }
     }
 
@@ -341,6 +394,55 @@ mod tests {
         assert!(!expect.is_empty());
         assert_eq!(run(&db, 6, SparseRepr::TidLists), expect);
         assert_eq!(run(&db, 6, SparseRepr::Diffsets), expect);
+        assert_eq!(run(&db, 6, SparseRepr::Hybrid), expect);
+    }
+
+    #[test]
+    fn hybrid_matches_flat_and_moves_fewer_bytes_on_sparse() {
+        // Sparse scattered shape: long tid universe, low per-item density —
+        // the profile the containers target.
+        let mut s = 41u64;
+        let mut rnd = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let db = TransactionDb::from_transactions(
+            (0..4000)
+                .map(|_| (0..14u32).filter(|_| rnd() % 5 == 0).collect::<Vec<_>>())
+                .collect(),
+        );
+        let mut flat_sink = CollectSink::default();
+        let flat = mine(&db, 40, SparseRepr::TidLists, &mut flat_sink);
+        let mut hyb_sink = CollectSink::default();
+        let hyb = mine(&db, 40, SparseRepr::Hybrid, &mut hyb_sink);
+        assert_eq!(
+            canonicalize(flat_sink.patterns),
+            canonicalize(hyb_sink.patterns)
+        );
+        // Same class walk → same op/element counts; the wins come from
+        // bytes-per-element and per-chunk kernels, not from a different
+        // search.
+        assert_eq!(flat.set_ops, hyb.set_ops);
+        assert_eq!(flat.elements_out, hyb.elements_out);
+    }
+
+    #[test]
+    fn auto_mode_global_runs_legacy_flat_path() {
+        let sparse = TransactionDb::from_transactions(
+            (0..500u32).map(|k| vec![k % 97, 97 + k % 89]).collect(),
+        );
+        let mut per_chunk = CollectSink::default();
+        let r1 = mine_auto_mode(&sparse, 3, AutoMode::PerChunk, &mut per_chunk);
+        let mut global = CollectSink::default();
+        let r2 = mine_auto_mode(&sparse, 3, AutoMode::Global, &mut global);
+        // Identical decision, identical output — only the execution differs.
+        assert_eq!(r1, r2);
+        assert_eq!(
+            canonicalize(per_chunk.patterns),
+            canonicalize(global.patterns)
+        );
     }
 
     #[test]

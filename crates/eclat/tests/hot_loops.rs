@@ -1,10 +1,15 @@
 //! Runtime proof of the `// also-lint: hot` contract on the Eclat
-//! AND/popcount kernels (`also::simd`): once the lazily built Table16
-//! lookup table and the CPU-feature detection caches are warm, every
-//! strategy's fused intersect-and-count — plain, 0-escaped, and
-//! materializing — performs zero allocations.
+//! AND/popcount kernels (`also::simd`) and the hybrid-container chunk
+//! kernels (`also::containers`): once the lazily built Table16 lookup
+//! table and the CPU-feature detection caches are warm, every strategy's
+//! fused intersect-and-count — plain, 0-escaped, materializing,
+//! galloping, and the k-way chunk fold — performs zero allocations.
 
 use also::bits::BitVec;
+use also::containers::{
+    array_and_gallop_into, array_and_into, array_bitmap_and_into, bitmap_and_count,
+    bitmap_and_into, AndScratch, TidSet, BITMAP_WORDS,
+};
 use also::simd::{and_count, and_count_escaped, and_count_words, and_into_count, Popcount};
 use fpm::alloc_guard::assert_no_alloc;
 
@@ -18,6 +23,8 @@ fn dense(len: usize, step: usize, phase: usize) -> BitVec {
 /// `is_x86_feature_detected!` cache consulted by `Popcount::available`.
 fn warm() -> Vec<Popcount> {
     let strategies = Popcount::available();
+    let _ = Popcount::best(); // populate the cached-best OnceLock
+
     let a = [0xDEAD_BEEF_u64; 8];
     for &s in &strategies {
         let _ = and_count_words(&a, &a, s);
@@ -76,4 +83,71 @@ fn materializing_kernel_is_allocation_free() {
             s.label()
         );
     }
+}
+
+#[test]
+fn chunk_array_kernels_are_allocation_free() {
+    warm();
+    let small: Vec<u16> = (0..64u16).map(|i| i * 901).collect();
+    let large: Vec<u16> = (0..60_000u16).collect();
+    let peer: Vec<u16> = (0..30_000u16).map(|i| i * 2).collect();
+    let mut out = vec![0u16; 60_000];
+    // Skewed operands: the dispatching kernel and the explicit galloping
+    // kernel agree and neither allocates.
+    let (merged, galloped) = assert_no_alloc(|| {
+        let m = array_and_into(&small, &large, &mut out);
+        let g = array_and_gallop_into(&small, &large, &mut out);
+        (m, g)
+    });
+    assert_eq!(merged, galloped);
+    assert_eq!(merged, small.len());
+    // Balanced operands take the linear merge; still allocation-free.
+    let n = assert_no_alloc(|| array_and_into(&peer, &large, &mut out));
+    assert_eq!(n, peer.len());
+}
+
+#[test]
+fn chunk_bitmap_kernels_are_allocation_free() {
+    warm();
+    let mut a = Box::new([0u64; BITMAP_WORDS]);
+    let mut b = Box::new([0u64; BITMAP_WORDS]);
+    for i in 0..BITMAP_WORDS {
+        a[i] = 0xAAAA_AAAA_AAAA_AAAA ^ i as u64;
+        b[i] = 0x5555_5555_5555_5555 | (i as u64) << 7;
+    }
+    let arr: Vec<u16> = (0..4000u16).map(|i| i * 16) .collect();
+    let mut out_bm = Box::new([0u64; BITMAP_WORDS]);
+    let mut out_arr = vec![0u16; arr.len()];
+    let (into_card, count_card, probe_n) = assert_no_alloc(|| {
+        let c1 = bitmap_and_into(&a, &b, &mut out_bm);
+        let c2 = bitmap_and_count(&a, &b);
+        let n = array_bitmap_and_into(&arr, &a, &mut out_arr);
+        (c1, c2, n)
+    });
+    assert_eq!(into_card, count_card, "materializing and count-only AND agree");
+    let naive: usize = arr
+        .iter()
+        .filter(|&&v| a[v as usize / 64] >> (v % 64) & 1 == 1)
+        .count();
+    assert_eq!(probe_n, naive);
+}
+
+#[test]
+fn k_way_fold_is_allocation_free() {
+    warm();
+    // Three multi-chunk sets mixing all container shapes.
+    let a_tids: Vec<u32> = (0..140_000u32).step_by(3).collect();
+    let b_tids: Vec<u32> = (0..140_000u32).step_by(2).collect();
+    let c_tids: Vec<u32> = (10_000..90_000u32).collect();
+    let a = TidSet::from_sorted(&a_tids);
+    let b = TidSet::from_sorted(&b_tids);
+    let mut c = TidSet::from_sorted(&c_tids);
+    c.optimize(); // run containers join the fold
+    let mut scratch = AndScratch::new();
+    // Warm-up call outside the guard (first fold may fault pages only).
+    let expect = TidSet::multi_and_count_with(&[&a, &b, &c], &mut scratch);
+    let sets = [&a, &b, &c];
+    let got = assert_no_alloc(|| TidSet::multi_and_count_with(&sets, &mut scratch));
+    assert_eq!(got, expect);
+    assert_eq!(got, a.and(&b).and(&c).cardinality());
 }

@@ -39,6 +39,7 @@ proptest! {
         }
         prop_assert_eq!(run_sparse(&db, minsup, SparseRepr::TidLists), expect.clone());
         prop_assert_eq!(run_sparse(&db, minsup, SparseRepr::Diffsets), expect.clone());
+        prop_assert_eq!(run_sparse(&db, minsup, SparseRepr::Hybrid), expect.clone());
         let mut auto_sink = CollectSink::default();
         eclat::tidlist::mine_auto(&db, minsup, &mut auto_sink);
         prop_assert_eq!(canonicalize(auto_sink.patterns), expect);

@@ -38,6 +38,12 @@ pub const EMISSION_PATHS: &[&str] = &[
     "crates/store/src/fmt.rs",
     "crates/store/src/artifact.rs",
     "crates/store/src/append.rs",
+    // The hybrid-container vertical path (DESIGN.md §16): container
+    // layout and the chunk walk determine the tid order every kernel
+    // emits from, so iteration here must be deterministic.
+    "crates/also/src/containers.rs",
+    "crates/fpm/src/vertical.rs",
+    "crates/eclat/src/hybrid.rs",
 ];
 
 /// Path prefixes allowed to touch the `KernelSpine` machinery directly
@@ -211,6 +217,16 @@ mod tests {
         assert!(classify(&root, "crates/store/src/fmt.rs").emission_path);
         assert!(classify(&root, "crates/store/src/append.rs").emission_path);
         assert!(!classify(&root, "crates/store/src/lib.rs").emission_path);
+        // The hybrid-container chunk walk fixes the emitted tid order,
+        // so the container module and its consumers carry R3 (and the
+        // container kernels, being in crates/also, carry R4 as well).
+        let c = classify(&root, "crates/also/src/containers.rs");
+        assert!(c.emission_path);
+        assert!(c.in_also);
+        assert!(classify(&root, "crates/fpm/src/vertical.rs").emission_path);
+        let c = classify(&root, "crates/eclat/src/hybrid.rs");
+        assert!(c.emission_path);
+        assert!(c.kernel_internal);
         let c = classify(&root, "crates/serve/src/lib.rs");
         assert!(c.is_crate_root);
         assert!(!c.emission_path, "the crate root holds no iteration");

@@ -52,8 +52,19 @@ fn bench(label: &str, db: &TransactionDb, minsup: u64) {
         t.elapsed().as_secs_f64(),
         st.elements_out
     );
+
+    let t = Instant::now();
+    let mut s4 = CountSink::default();
+    let st = tidlist::mine(db, minsup, SparseRepr::Hybrid, &mut s4);
+    println!(
+        "   hybrid chunks  {:>8} patterns  {:.3}s  ({} elements moved)",
+        s4.count,
+        t.elapsed().as_secs_f64(),
+        st.elements_out
+    );
     assert_eq!(s.count, s2.count);
     assert_eq!(s.count, s3.count);
+    assert_eq!(s.count, s4.count);
 
     let chosen = tidlist::mine_auto(db, minsup, &mut CountSink::default());
     println!("   chooser picks: {chosen:?}\n");
@@ -87,4 +98,7 @@ fn main() {
     println!("Reading: diffsets move the least data on the dense end; plain");
     println!("tid-lists win once density drops below the bit-per-cell break-even");
     println!("(~1/32); the chooser flips representation on exactly that boundary.");
+    println!("Hybrid chunks split the same decision per 2^16-tid chunk: u16");
+    println!("arrays where sparse, bitmaps where dense, runs where clustered");
+    println!("(DESIGN.md §16) — same patterns, about half the vertical bytes.");
 }
